@@ -1,0 +1,1 @@
+bench/experiments.ml: Array Float List Printf Puma Puma_baselines Puma_compiler Puma_graph Puma_hwmodel Puma_isa Puma_nn Puma_sim Puma_util

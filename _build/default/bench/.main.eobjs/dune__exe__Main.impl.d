@@ -1,0 +1,1 @@
+bench/main.ml: Analyze Array Bechamel Benchmark Experiments Hashtbl List Measure Printf Puma_util Staged String Sys Test Time Toolkit

@@ -1,0 +1,387 @@
+(* puma_cli: command-line front end.
+
+   dune exec bin/puma_cli.exe -- models
+   dune exec bin/puma_cli.exe -- compile mlp --asm
+   dune exec bin/puma_cli.exe -- run lstm
+   dune exec bin/puma_cli.exe -- estimate BigLSTM --batch 16
+   dune exec bin/puma_cli.exe -- table3
+   dune exec bin/puma_cli.exe -- accuracy --bits 2 --sigma 0.1 *)
+
+open Cmdliner
+module Config = Puma_hwmodel.Config
+module Models = Puma_nn.Models
+module Network = Puma_nn.Network
+module Compile = Puma_compiler.Compile
+
+(* ---- Model registries ---- *)
+
+let mini_models =
+  [
+    ("mlp", `Net Models.mini_mlp);
+    ("lstm", `Net Models.mini_lstm);
+    ("rnn", `Net Models.mini_rnn);
+    ("lenet5", `Net Models.lenet5);
+    ("bm", `Graph Models.mini_bm);
+    ("rbm", `Graph Models.mini_rbm);
+  ]
+
+let full_models =
+  List.map (fun (n : Network.t) -> (n.Network.name, n)) Models.table5
+
+let graph_of = function
+  | `Net n -> Network.build_graph n
+  | `Graph g -> g
+
+let find_mini name =
+  (* A path to a .model description file works anywhere a zoo name does. *)
+  if Sys.file_exists name && not (Sys.is_directory name) then
+    match Puma_nn.Model_desc.parse_file name with
+    | Ok net -> Ok (`Net net)
+    | Error e -> Error (Printf.sprintf "%s: %s" name e)
+  else
+    match List.assoc_opt (String.lowercase_ascii name) mini_models with
+    | Some m -> Ok m
+    | None ->
+        Error
+          (Printf.sprintf
+             "unknown mini model %S (try a description file or: %s)" name
+             (String.concat ", " (List.map fst mini_models)))
+
+let find_full name =
+  let canon = String.lowercase_ascii name in
+  match
+    List.find_opt (fun (n, _) -> String.lowercase_ascii n = canon) full_models
+  with
+  | Some (_, n) -> Ok n
+  | None ->
+      Error
+        (Printf.sprintf "unknown benchmark model %S (try: %s)" name
+           (String.concat ", " (List.map fst full_models)))
+
+(* ---- Common arguments ---- *)
+
+let dim_arg =
+  let doc = "Crossbar dimension (power of two)." in
+  Arg.(value & opt int 128 & info [ "dim" ] ~doc)
+
+let config_of_dim dim = { Config.sweetspot with mvmu_dim = dim }
+
+let exit_err msg =
+  prerr_endline ("error: " ^ msg);
+  exit 1
+
+(* ---- models ---- *)
+
+let models_cmd =
+  let run () =
+    print_endline "Simulation-scale models (compile/run):";
+    List.iter
+      (fun (name, m) ->
+        match m with
+        | `Net (n : Network.t) ->
+            Format.printf "  %-8s %a@." name Network.pp_summary n
+        | `Graph g ->
+            let s = Puma_graph.Graph.stats g in
+            Format.printf "  %-8s %s: %d MVM ops, %d params@." name
+              (Puma_graph.Graph.name g) s.Puma_graph.Graph.num_mvms
+              s.Puma_graph.Graph.weight_params)
+      mini_models;
+    print_endline "Benchmark models (estimate, Table 5):";
+    List.iter
+      (fun (_, n) -> Format.printf "  %a@." Network.pp_summary n)
+      full_models
+  in
+  Cmd.v (Cmd.info "models" ~doc:"List the model zoo")
+    Term.(const run $ const ())
+
+(* ---- compile ---- *)
+
+let compile_cmd =
+  let model =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"MODEL")
+  in
+  let asm =
+    Arg.(value & flag & info [ "asm" ] ~doc:"Dump the per-core assembly.")
+  in
+  let output =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~doc:"Write the compiled program to a file.")
+  in
+  let run model asm output dim =
+    match find_mini model with
+    | Error e -> exit_err e
+    | Ok m ->
+        let config = config_of_dim dim in
+        let r = Compile.compile config (graph_of m) in
+        Puma_isa.Check.check_exn r.Compile.program;
+        Printf.printf
+          "%d instructions across %d tiles / %d cores; %d MVMU slots; %d MVM \
+           instructions (%d MVM operations before coalescing)\n"
+          r.codegen_stats.total_instructions r.tiles_used r.cores_used
+          r.mvmus_used r.num_mvm_instructions r.num_mvm_nodes;
+        Printf.printf
+          "loads %d, stores %d, sends %d, receives %d; %.1f%% accesses from \
+           spilled registers; peak shared-memory use %d words\n"
+          r.codegen_stats.num_loads r.codegen_stats.num_stores
+          r.codegen_stats.num_sends r.codegen_stats.num_receives
+          (100.0 *. r.codegen_stats.spilled_fraction)
+          r.codegen_stats.smem_high_water;
+        Format.printf "%a@." Puma_isa.Usage.pp (Compile.usage r);
+        (match output with
+        | Some path ->
+            Puma_isa.Program_io.save path r.Compile.program;
+            Printf.printf "wrote %s\n" path
+        | None -> ());
+        if asm then begin
+          let layout = Puma_isa.Operand.layout config in
+          Array.iter
+            (fun (tp : Puma_isa.Program.tile_program) ->
+              Array.iteri
+                (fun c code ->
+                  if Array.length code > 0 then
+                    Printf.printf "--- tile %d core %d ---\n%s"
+                      tp.Puma_isa.Program.tile_index c
+                      (Puma_isa.Asm.program_to_string layout code))
+                tp.Puma_isa.Program.core_code;
+              if Array.length tp.Puma_isa.Program.tile_code > 0 then
+                Printf.printf "--- tile %d control unit ---\n%s"
+                  tp.Puma_isa.Program.tile_index
+                  (Puma_isa.Asm.program_to_string layout
+                     tp.Puma_isa.Program.tile_code))
+            r.Compile.program.tiles
+        end
+  in
+  Cmd.v
+    (Cmd.info "compile" ~doc:"Compile a model and report compiler statistics")
+    Term.(const run $ model $ asm $ output $ dim_arg)
+
+(* ---- run ---- *)
+
+let run_cmd =
+  let model =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"MODEL")
+  in
+  let seed =
+    Arg.(value & opt int 7 & info [ "seed" ] ~doc:"Input RNG seed.")
+  in
+  let run model seed dim =
+    match find_mini model with
+    | Error e -> exit_err e
+    | Ok m ->
+        let g = graph_of m in
+        let config = config_of_dim dim in
+        let session = Puma.Session.create ~config g in
+        let rng = Puma_util.Rng.create seed in
+        let inputs =
+          List.map
+            (fun (n : Puma_graph.Graph.node) ->
+              match n.op with
+              | Puma_graph.Graph.Input name ->
+                  (name, Puma_util.Tensor.vec_rand rng n.len 0.8)
+              | _ -> assert false)
+            (Puma_graph.Graph.inputs g)
+        in
+        let got = Puma.Session.infer session inputs in
+        let want = Puma.reference g inputs in
+        List.iter
+          (fun (name, w) ->
+            let h = List.assoc name got in
+            Printf.printf "output %s: max |error| vs float reference %.5f\n"
+              name
+              (Puma_util.Tensor.vec_max_abs_diff w h))
+          want;
+        Format.printf "%a@." Puma_sim.Metrics.pp (Puma.Session.metrics session)
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Simulate one inference and validate it")
+    Term.(const run $ model $ seed $ dim_arg)
+
+(* ---- graph ---- *)
+
+let graph_cmd =
+  let model =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"MODEL")
+  in
+  let dot = Arg.(value & flag & info [ "dot" ] ~doc:"Emit GraphViz DOT.") in
+  let run model dot =
+    match find_mini model with
+    | Error e -> exit_err e
+    | Ok m ->
+        let g = graph_of m in
+        if dot then print_string (Puma_graph.Graph.to_dot g)
+        else begin
+          let s = Puma_graph.Graph.stats g in
+          Printf.printf
+            "%s: %d nodes, %d MVM ops (%d MACs), %d vector ops, %d nonlinear              (%d transcendental), %d weight parameters, widest vector %d
+"
+            (Puma_graph.Graph.name g)
+            (Puma_graph.Graph.num_nodes g)
+            s.Puma_graph.Graph.num_mvms s.Puma_graph.Graph.mvm_macs
+            s.Puma_graph.Graph.num_vector_ops s.Puma_graph.Graph.num_nonlinear
+            s.Puma_graph.Graph.num_transcendental
+            s.Puma_graph.Graph.weight_params s.Puma_graph.Graph.max_vector_len
+        end
+  in
+  Cmd.v
+    (Cmd.info "graph" ~doc:"Inspect a model's computational graph")
+    Term.(const run $ model $ dot)
+
+(* ---- exec ---- *)
+
+let exec_cmd =
+  let file = Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE") in
+  let seed = Arg.(value & opt int 7 & info [ "seed" ] ~doc:"Input RNG seed.") in
+  let run file seed =
+    match Puma_isa.Program_io.load file with
+    | Error e -> exit_err e
+    | Ok program ->
+        Puma_isa.Check.check_exn program;
+        let session = Puma.Session.of_program program in
+        let rng = Puma_util.Rng.create seed in
+        (* Feed every input binding with random data of the right size. *)
+        let by_name = Hashtbl.create 4 in
+        List.iter
+          (fun (b : Puma_isa.Program.io_binding) ->
+            let len =
+              max
+                (Option.value ~default:0 (Hashtbl.find_opt by_name b.name))
+                (b.offset + b.length)
+            in
+            Hashtbl.replace by_name b.name len)
+          program.inputs;
+        let inputs =
+          Hashtbl.fold
+            (fun name len acc ->
+              (name, Puma_util.Tensor.vec_rand rng len 0.8) :: acc)
+            by_name []
+        in
+        let outputs = Puma.Session.infer session inputs in
+        List.iter
+          (fun (name, v) ->
+            let preview =
+              Array.to_list (Array.sub v 0 (min 8 (Array.length v)))
+              |> List.map (Printf.sprintf "%.4f")
+              |> String.concat " "
+            in
+            Printf.printf "output %s (%d values): %s%s\n" name (Array.length v)
+              preview
+              (if Array.length v > 8 then " ..." else ""))
+          outputs;
+        Format.printf "%a@." Puma_sim.Metrics.pp (Puma.Session.metrics session)
+  in
+  Cmd.v
+    (Cmd.info "exec" ~doc:"Load a compiled program file and simulate it")
+    Term.(const run $ file $ seed)
+
+(* ---- estimate ---- *)
+
+let estimate_cmd =
+  let model =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"MODEL")
+  in
+  let batch = Arg.(value & opt int 1 & info [ "batch" ] ~doc:"Batch size.") in
+  let layers =
+    Arg.(value & flag & info [ "layers" ] ~doc:"Per-layer timing breakdown.")
+  in
+  let run model batch layers =
+    match find_full model with
+    | Error e -> exit_err e
+    | Ok net ->
+        let config = Config.sweetspot in
+        let w = Puma_baselines.Workload.of_network ~dim:config.mvmu_dim net in
+        let p = Puma_baselines.Puma_model.estimate config w ~batch in
+        Printf.printf
+          "PUMA: %.3f ms, %.3f mJ, %.1f inf/s (%d nodes, %d tiles, %.0f MVM \
+           executions)\n"
+          (p.latency_s *. 1e3) (p.energy_j *. 1e3) p.throughput_inf_s p.nodes
+          p.tiles_used p.mvm_executions;
+        List.iter
+          (fun spec ->
+            let e = Puma_baselines.Platform.estimate spec w ~batch in
+            Printf.printf
+              "%-8s %.3f ms, %.3f mJ  (PUMA advantage: %.1fx energy, %.2fx \
+               latency)\n"
+              spec.Puma_baselines.Platform.name (e.latency_s *. 1e3)
+              (e.energy_j *. 1e3)
+              (e.energy_j /. p.energy_j)
+              (e.latency_s /. p.latency_s))
+          Puma_baselines.Platform.all;
+        if layers then begin
+          Printf.printf "%-28s %6s %7s %7s %12s %12s\n" "layer" "steps"
+            "slots" "copies" "first (us)" "stream (us)";
+          List.iter
+            (fun (r : Puma_baselines.Puma_model.layer_report) ->
+              Printf.printf "%-28s %6d %7d %7d %12.2f %12.2f\n" r.label
+                r.steps r.slots r.copies r.t_first_us r.t_stream_us)
+            (Puma_baselines.Puma_model.layer_reports config w)
+        end
+  in
+  Cmd.v
+    (Cmd.info "estimate"
+       ~doc:"Analytical PUMA vs CPU/GPU estimate for a Table 5 model")
+    Term.(const run $ model $ batch $ layers)
+
+(* ---- table3 ---- *)
+
+let table3_cmd =
+  let run () =
+    let t =
+      Puma_util.Table.create ~title:"PUMA Hardware Characteristics"
+        ~headers:[ "Component"; "Power (mW)"; "Area (mm2)"; "Parameter"; "Spec" ]
+    in
+    List.iter
+      (fun (c : Puma_hwmodel.Table3.component) ->
+        Puma_util.Table.add_row t
+          [
+            c.name;
+            Printf.sprintf "%.3f" c.power_mw;
+            Printf.sprintf "%.4f" c.area_mm2;
+            c.parameter;
+            c.specification;
+          ])
+      (Puma_hwmodel.Table3.all Config.default);
+    Puma_util.Table.print t
+  in
+  Cmd.v (Cmd.info "table3" ~doc:"Print the Table 3 component inventory")
+    Term.(const run $ const ())
+
+(* ---- accuracy ---- *)
+
+let accuracy_cmd =
+  let bits = Arg.(value & opt int 2 & info [ "bits" ] ~doc:"Bits per cell.") in
+  let sigma =
+    Arg.(value & opt float 0.1 & info [ "sigma" ] ~doc:"Write noise sigma_N.")
+  in
+  let samples =
+    Arg.(value & opt int 20 & info [ "samples" ] ~doc:"Samples per programming.")
+  in
+  let run bits sigma samples =
+    let acc =
+      Puma.Accuracy.synthetic_classification ~bits_per_cell:bits ~sigma
+        ~samples ()
+    in
+    Printf.printf "accuracy at %d bits/cell, sigma=%.2f: %.1f%%\n" bits sigma
+      (100.0 *. acc)
+  in
+  Cmd.v
+    (Cmd.info "accuracy" ~doc:"Figure 13 accuracy point for one configuration")
+    Term.(const run $ bits $ sigma $ samples)
+
+let () =
+  let doc = "PUMA memristor-accelerator toolchain" in
+  let info = Cmd.info "puma" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            models_cmd;
+            compile_cmd;
+            graph_cmd;
+            exec_cmd;
+            run_cmd;
+            estimate_cmd;
+            table3_cmd;
+            accuracy_cmd;
+          ]))

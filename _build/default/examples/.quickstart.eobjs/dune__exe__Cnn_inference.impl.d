@@ -1,0 +1,1 @@
+examples/cnn_inference.ml: Format List Printf Puma Puma_compiler Puma_isa Puma_nn Puma_sim Puma_util

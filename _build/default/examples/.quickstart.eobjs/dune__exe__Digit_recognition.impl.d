@@ -1,0 +1,1 @@
+examples/digit_recognition.ml: Array Float Format List Printf Puma Puma_nn Puma_sim Puma_util

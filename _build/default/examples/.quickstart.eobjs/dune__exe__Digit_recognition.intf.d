@@ -1,0 +1,1 @@
+examples/digit_recognition.mli:

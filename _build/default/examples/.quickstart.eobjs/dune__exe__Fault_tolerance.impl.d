@@ -1,0 +1,1 @@
+examples/fault_tolerance.ml: Float List Printf Puma Puma_compiler Puma_nn Puma_sim Puma_util Puma_xbar

@@ -1,0 +1,1 @@
+examples/generality.ml: Float List Printf Puma Puma_compiler Puma_graph Puma_sim Puma_util

@@ -1,0 +1,1 @@
+examples/generality.mli:

@@ -1,0 +1,1 @@
+examples/handwritten_asm.ml: Array Float Format List Printf Puma Puma_hwmodel Puma_isa Puma_sim Puma_util

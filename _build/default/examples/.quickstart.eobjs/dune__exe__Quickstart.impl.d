@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format List Printf Puma Puma_sim Puma_util

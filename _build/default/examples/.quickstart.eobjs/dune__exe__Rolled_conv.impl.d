@@ -1,0 +1,1 @@
+examples/rolled_conv.ml: Array Float Format List Printf Puma Puma_hwmodel Puma_isa Puma_util Sys

@@ -1,0 +1,1 @@
+examples/rolled_conv.mli:

@@ -1,0 +1,1 @@
+examples/sequence_model.ml: Format List Printf Puma Puma_hwmodel Puma_nn Puma_sim Puma_util

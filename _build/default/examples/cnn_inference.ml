@@ -1,0 +1,46 @@
+(* Convolutional inference (the paper's Section 2.3 workload).
+
+   A small CNN (conv - maxpool - dense) compiled with the batch-loop
+   control-flow wrapper that CNN workloads use (Section 2.3.1): the static
+   instruction stream contains jmp/brn/SFU instructions, visible in the
+   Figure 4-style instruction mix printed below.
+
+     dune exec examples/cnn_inference.exe *)
+
+module Layer = Puma_nn.Layer
+module Network = Puma_nn.Network
+module Tensor = Puma_util.Tensor
+
+let () =
+  let net =
+    Network.make ~name:"tiny-cnn" ~kind:Cnn ~input:(Img { h = 10; w = 10; c = 1 })
+      [
+        Conv { out_ch = 4; kh = 3; kw = 3; stride = 1; pad = 0; act = Relu };
+        Maxpool { size = 2; stride = 2 };
+        Flatten;
+        Dense { out = 10; act = Sigmoid };
+      ]
+  in
+  Format.printf "%a@." Network.pp_summary net;
+  let graph = Network.build_graph ~seed:5 net in
+  let options =
+    { Puma_compiler.Compile.default_options with wrap_batch_loop = true }
+  in
+  let session = Puma.Session.create ~options graph in
+
+  (match Puma.Session.compile_result session with
+  | Some r ->
+      print_endline "static instruction mix (Figure 4 classification):";
+      Format.printf "%a@." Puma_isa.Usage.pp (Puma_compiler.Compile.usage r)
+  | None -> ());
+
+  let rng = Puma_util.Rng.create 9 in
+  let image = Tensor.vec_rand rng 100 0.8 in
+  let got = List.assoc "y" (Puma.Session.infer session [ ("x", image) ]) in
+  let want = List.assoc "y" (Puma.reference graph [ ("x", image) ]) in
+  Printf.printf "max |error| vs float reference: %.5f\n"
+    (Tensor.vec_max_abs_diff want got);
+  let m = Puma.Session.metrics session in
+  Printf.printf "inference: %.2f us, %.2f uJ across %d tiles\n"
+    m.Puma_sim.Metrics.latency_us m.Puma_sim.Metrics.energy_uj
+    m.Puma_sim.Metrics.tiles_used

@@ -1,0 +1,53 @@
+(* Digit recognition with an MLP (the paper's Section 2.1 motivating
+   workload).
+
+   A synthetic 10-class task stands in for MNIST (see DESIGN.md
+   substitutions): class prototypes are random vectors and inputs are
+   noisy prototypes. The float-reference model's predictions define the
+   labels; we then run the same inputs through the compiled fixed-point
+   PUMA program and report agreement plus latency/energy per inference.
+
+     dune exec examples/digit_recognition.exe *)
+
+module Models = Puma_nn.Models
+module Network = Puma_nn.Network
+module Tensor = Puma_util.Tensor
+module Rng = Puma_util.Rng
+module Stats = Puma_util.Stats
+
+let num_samples = 40
+
+let () =
+  let net = Models.mini_mlp in
+  Format.printf "%a@." Network.pp_summary net;
+  let graph = Network.build_graph net in
+  let session = Puma.Session.create graph in
+
+  (* Synthetic task: 10 prototypes in the 64-d input space; samples are
+     prototypes plus noise. *)
+  let rng = Rng.create 7 in
+  let prototypes = Array.init 10 (fun _ -> Tensor.vec_rand rng 64 1.0) in
+  let sample () =
+    let cls = Rng.int rng 10 in
+    let v =
+      Array.map (fun x -> x +. Rng.gaussian_scaled rng ~mean:0.0 ~sigma:0.15)
+        prototypes.(cls)
+    in
+    v
+  in
+
+  let agree = ref 0 in
+  for _ = 1 to num_samples do
+    let x = sample () in
+    let want = List.assoc "y" (Puma.reference graph [ ("x", x) ]) in
+    let got = List.assoc "y" (Puma.Session.infer session [ ("x", x) ]) in
+    if Stats.argmax want = Stats.argmax got then incr agree
+  done;
+  Printf.printf "PUMA fixed-point inference agrees with the float model on %d/%d samples\n"
+    !agree num_samples;
+
+  let m = Puma.Session.metrics session in
+  Printf.printf "per-inference: %.2f us, %.2f uJ (%d instructions retired over %d runs)\n"
+    (m.Puma_sim.Metrics.latency_us /. Float.of_int num_samples)
+    (m.Puma_sim.Metrics.energy_uj /. Float.of_int num_samples)
+    m.Puma_sim.Metrics.retired_instructions num_samples

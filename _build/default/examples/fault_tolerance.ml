@@ -1,0 +1,60 @@
+(* Fault tolerance of crossbar inference.
+
+   The paper's reliability discussion (Section 7.6, citing coding schemes
+   for reliable memristor computation) asks how inference behaves when
+   devices fail. This example compiles the digit-recognition MLP, loads
+   it onto a node with physical (materialized) crossbars, injects
+   stuck-at faults at increasing rates, and measures the output
+   perturbation against the fault-free float reference.
+
+   An untrained network's top-1 margins are hairline, so argmax agreement
+   is a degenerate metric here; the mean output perturbation is the
+   honest one (the Figure 13 experiment handles classification accuracy
+   with a margin-filtered task).
+
+     dune exec examples/fault_tolerance.exe *)
+
+module Models = Puma_nn.Models
+module Network = Puma_nn.Network
+module Tensor = Puma_util.Tensor
+module Rng = Puma_util.Rng
+
+let samples = 30
+
+let () =
+  let graph = Network.build_graph Models.mini_mlp in
+  let result = Puma.compile graph in
+  (* A vanishing write-noise sigma materializes the physical device arrays
+     (the exact fast path has nothing to fault) without perturbing them. *)
+  let program =
+    {
+      result.Puma_compiler.Compile.program with
+      config =
+        {
+          result.Puma_compiler.Compile.program.config with
+          write_noise_sigma = 1e-12;
+        };
+    }
+  in
+  let run_with_faults rate =
+    let node = Puma_sim.Node.create ~noise_seed:13 program in
+    let frng = Rng.create 41 in
+    let faults = ref 0 in
+    Puma_sim.Node.iter_mvmus node (fun mvmu ->
+        faults := !faults + Puma_xbar.Mvmu.inject_stuck mvmu frng ~rate);
+    let err = ref 0.0 in
+    let srng = Rng.create 7 in
+    for _ = 1 to samples do
+      let x = Tensor.vec_rand srng 64 1.0 in
+      let want = List.assoc "y" (Puma.reference graph [ ("x", x) ]) in
+      let got = List.assoc "y" (Puma_sim.Node.run node ~inputs:[ ("x", x) ]) in
+      err := !err +. Tensor.vec_max_abs_diff want got
+    done;
+    (!faults, !err /. Float.of_int samples)
+  in
+  Printf.printf "%-12s %-8s %s\n" "fault rate" "faults" "mean |output error|";
+  List.iter
+    (fun rate ->
+      let faults, err = run_with_faults rate in
+      Printf.printf "%-12.4f %-8d %.4f\n" rate faults err)
+    [ 0.0; 0.0005; 0.002; 0.01; 0.05 ]

@@ -1,0 +1,49 @@
+(* Generality demonstration (Table 7).
+
+   ISAAC-class accelerators run CNNs; PUMA's claim is that one ISA and one
+   compiler cover the whole Section 2.4 spectrum. This example compiles
+   and simulates every workload class on the same configuration and
+   validates each against the float reference.
+
+     dune exec examples/generality.exe *)
+
+module Tensor = Puma_util.Tensor
+module G = Puma_graph.Graph
+
+let () =
+  Printf.printf "%-20s %8s %8s %7s %10s %10s  %s\n" "Workload" "instrs"
+    "mvmus" "tiles" "cycles" "energy uJ" "max |err|";
+  List.iter
+    (fun (label, graph) ->
+      let session = Puma.Session.create graph in
+      let rng = Puma_util.Rng.create 31 in
+      let inputs =
+        List.map
+          (fun (n : G.node) ->
+            match n.op with
+            | G.Input name -> (name, Tensor.vec_rand rng n.len 0.8)
+            | _ -> assert false)
+          (G.inputs graph)
+      in
+      let got = Puma.Session.infer session inputs in
+      let want = Puma.reference graph inputs in
+      let err =
+        List.fold_left
+          (fun acc (name, w) ->
+            Float.max acc (Tensor.vec_max_abs_diff w (List.assoc name got)))
+          0.0 want
+      in
+      let m = Puma.Session.metrics session in
+      let stats =
+        match Puma.Session.compile_result session with
+        | Some r ->
+            Printf.sprintf "%8d %8d %7d"
+              r.Puma_compiler.Compile.codegen_stats.total_instructions
+              r.mvmus_used r.tiles_used
+        | None -> ""
+      in
+      Printf.printf "%-20s %s %10d %10.2f  %.5f\n" label stats
+        m.Puma_sim.Metrics.cycles m.Puma_sim.Metrics.energy_uj err;
+      assert (err < 0.05))
+    Puma.Nn.Models.generality_workloads;
+  print_endline "all workload classes compiled, simulated and validated"

@@ -1,0 +1,50 @@
+(* Quickstart: the paper's Figure 7 example.
+
+   Builds z = tanh(A*x + B*y) with the runtime model builder, compiles it
+   to PUMA ISA, runs it on the simulated node, and checks the result
+   against the float reference. Run with:
+
+     dune exec examples/quickstart.exe *)
+
+module B = Puma.Builder
+module Tensor = Puma_util.Tensor
+
+let () =
+  let rng = Puma_util.Rng.create 42 in
+  let m_dim = 128 and n_dim = 128 in
+
+  (* 01-12 of Figure 7, in OCaml. *)
+  let m = B.create "example" in
+  let x = B.input m ~name:"x" ~len:m_dim in
+  let y = B.input m ~name:"y" ~len:m_dim in
+  let a = B.const_matrix m ~name:"A" (Tensor.mat_rand rng n_dim m_dim 0.08) in
+  let b = B.const_matrix m ~name:"B" (Tensor.mat_rand rng n_dim m_dim 0.08) in
+  let z = B.tanh m (B.add m (B.mvm m a x) (B.mvm m b y)) in
+  B.output m ~name:"z" z;
+  let graph = B.finish m in
+
+  (* Compile: tiling, partitioning, scheduling, register allocation. *)
+  let session = Puma.Session.create graph in
+  (match Puma.Session.compile_result session with
+  | Some r ->
+      Printf.printf
+        "compiled to %d instructions on %d tiles / %d cores (%d MVMUs, %d MVM \
+         instructions after coalescing)\n"
+        r.codegen_stats.total_instructions r.tiles_used r.cores_used
+        r.mvmus_used r.num_mvm_instructions
+  | None -> ());
+
+  (* One inference. *)
+  let xv = Tensor.vec_rand rng m_dim 1.0 in
+  let yv = Tensor.vec_rand rng m_dim 1.0 in
+  let inputs = [ ("x", xv); ("y", yv) ] in
+  let outputs = Puma.Session.infer session inputs in
+  let zv = List.assoc "z" outputs in
+
+  (* Validate against the float reference. *)
+  let expected = List.assoc "z" (Puma.reference graph inputs) in
+  Printf.printf "max |error| vs float reference: %.5f\n"
+    (Tensor.vec_max_abs_diff expected zv);
+
+  let metrics = Puma.Session.metrics session in
+  Format.printf "%a@." Puma_sim.Metrics.pp metrics

@@ -1,0 +1,1 @@
+lib/arch/core.ml: Array Puma_hwmodel Puma_isa Puma_util Puma_xbar Regfile Sfu Vfu

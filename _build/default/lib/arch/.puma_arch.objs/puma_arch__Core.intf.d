@@ -1,0 +1,1 @@
+lib/arch/core.mli: Puma_hwmodel Puma_isa Puma_util Puma_xbar Regfile

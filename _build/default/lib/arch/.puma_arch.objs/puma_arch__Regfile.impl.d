@@ -1,0 +1,1 @@
+lib/arch/regfile.ml: Array Printf Puma_isa Puma_xbar

@@ -1,0 +1,1 @@
+lib/arch/regfile.mli: Puma_isa Puma_xbar

@@ -1,0 +1,1 @@
+lib/arch/rom_lut.ml: Array Float Hashtbl Puma_isa Puma_util

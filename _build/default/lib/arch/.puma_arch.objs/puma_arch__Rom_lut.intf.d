@@ -1,0 +1,1 @@
+lib/arch/rom_lut.mli: Puma_isa Puma_util

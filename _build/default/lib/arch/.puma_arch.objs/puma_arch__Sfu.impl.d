@@ -1,0 +1,1 @@
+lib/arch/sfu.ml: Puma_isa

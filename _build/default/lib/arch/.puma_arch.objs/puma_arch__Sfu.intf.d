@@ -1,0 +1,1 @@
+lib/arch/sfu.mli: Puma_isa

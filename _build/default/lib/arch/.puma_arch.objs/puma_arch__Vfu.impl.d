@@ -1,0 +1,1 @@
+lib/arch/vfu.ml: Puma_isa Puma_util Rom_lut

@@ -1,0 +1,1 @@
+lib/arch/vfu.mli: Puma_isa Puma_util

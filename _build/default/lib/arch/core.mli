@@ -1,0 +1,59 @@
+(** The PUMA core: three-stage in-order pipeline executing the core ISA
+    against the MVMUs, VFU, SFU, register file and the tile's shared
+    memory (Figure 1).
+
+    The simulator drives a core with {!step}; each call executes (at most)
+    one instruction and reports its latency in cycles. Loads and stores
+    interact with the tile shared memory through a {!mem_iface}, whose
+    operations may refuse (return [None] / [false]) to model the blocking
+    valid/count synchronization of Section 4.1.1; a refused access leaves
+    the core blocked with its PC unchanged. *)
+
+type mem_iface = {
+  load : addr:int -> width:int -> int array option;
+      (** Read [width] consecutive words; [None] if any word is not yet
+          valid (consumer blocks). A successful load decrements consumer
+          counts. *)
+  store : addr:int -> values:int array -> count:int -> bool;
+      (** Write words with the given consumer count; [false] if any
+          target word is still valid with pending consumers (producer
+          blocks). *)
+}
+
+type step_result =
+  | Retired of { cycles : int; instr : Puma_isa.Instr.t }
+      (** One instruction completed, occupying the core for [cycles]. *)
+  | Blocked  (** Waiting on shared memory; PC unchanged. *)
+  | Halted  (** Executed [Halt] or ran off the end of the stream. *)
+
+type t
+
+val create :
+  Puma_hwmodel.Config.t ->
+  ?seed:int ->
+  energy:Puma_hwmodel.Energy.t ->
+  Puma_isa.Instr.t array ->
+  t
+(** A core with unprogrammed MVMUs executing the given stream. [seed]
+    feeds the Rand vector op. *)
+
+val config : t -> Puma_hwmodel.Config.t
+val regfile : t -> Regfile.t
+val mvmu : t -> int -> Puma_xbar.Mvmu.t
+val pc : t -> int
+val halted : t -> bool
+val retired : t -> int
+(** Number of retired instructions. *)
+
+val busy_cycles : t -> int
+(** Total cycles spent executing retired instructions. *)
+
+val program_mvmu :
+  t -> index:int -> ?rng:Puma_util.Rng.t -> Puma_util.Tensor.mat -> unit
+
+val step : t -> mem:mem_iface -> step_result
+(** Execute the next instruction. Raises [Invalid_argument] on a tile
+    instruction (send/receive) in a core stream. *)
+
+val reset : t -> unit
+(** Rewind PC and halted state (register contents are preserved). *)

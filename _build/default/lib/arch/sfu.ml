@@ -1,0 +1,14 @@
+let apply (op : Puma_isa.Instr.alu_int_op) a b =
+  match op with
+  | Iadd -> a + b
+  | Isub -> a - b
+  | Ieq -> if a = b then 1 else 0
+  | Ine -> if a <> b then 1 else 0
+  | Igt -> if a > b then 1 else 0
+
+let branch_taken (op : Puma_isa.Instr.brn_op) a b =
+  match op with
+  | Beq -> a = b
+  | Bne -> a <> b
+  | Blt -> a < b
+  | Bge -> a >= b

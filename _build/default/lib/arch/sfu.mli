@@ -1,0 +1,7 @@
+(** Scalar Functional Unit: integer operations on scalar registers
+    supporting control flow (Section 3.1). *)
+
+val apply : Puma_isa.Instr.alu_int_op -> int -> int -> int
+(** [Iadd]/[Isub] are plain integer arithmetic; comparisons return 1/0. *)
+
+val branch_taken : Puma_isa.Instr.brn_op -> int -> int -> bool

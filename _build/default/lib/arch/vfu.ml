@@ -1,0 +1,39 @@
+module Fixed = Puma_util.Fixed
+
+let is_lut_op = Puma_isa.Instr.alu_op_is_transcendental
+
+let apply_unary (op : Puma_isa.Instr.alu_op) ~rng raw =
+  let x = Fixed.of_raw raw in
+  let r =
+    match op with
+    | Invert -> Fixed.lognot x
+    | Relu -> Fixed.max Fixed.zero x
+    | Sigmoid | Tanh | Log | Exp -> Rom_lut.eval op x
+    | Rand -> Fixed.of_float (Puma_util.Rng.float rng 1.0)
+    | Add | Sub | Mul | Div | Shl | Shr | And | Or | Subsample | Min | Max ->
+        invalid_arg "Vfu.apply_unary: binary op"
+  in
+  Fixed.to_raw r
+
+let apply_binary (op : Puma_isa.Instr.alu_op) raw1 raw2 =
+  let a = Fixed.of_raw raw1 and b = Fixed.of_raw raw2 in
+  let shift_amount () =
+    let n = Fixed.to_raw b asr Fixed.frac_bits in
+    if n < 0 then 0 else if n > 15 then 15 else n
+  in
+  let r =
+    match op with
+    | Add -> Fixed.add a b
+    | Sub -> Fixed.sub a b
+    | Mul -> Fixed.mul a b
+    | Div -> Fixed.div a b
+    | Shl -> Fixed.shift_left a (shift_amount ())
+    | Shr -> Fixed.shift_right a (shift_amount ())
+    | And -> Fixed.logand a b
+    | Or -> Fixed.logor a b
+    | Min -> Fixed.min a b
+    | Max -> Fixed.max a b
+    | Invert | Relu | Sigmoid | Tanh | Log | Exp | Rand | Subsample ->
+        invalid_arg "Vfu.apply_binary: unary op"
+  in
+  Fixed.to_raw r

@@ -1,0 +1,20 @@
+(** Vector Functional Unit semantics (Section 3.3).
+
+    The VFU executes linear and nonlinear element operations; wide vectors
+    are processed temporally over [ceil (width / lanes)] cycles (timing is
+    accounted by the simulator via {!Puma_hwmodel.Latency}; this module
+    defines value semantics only). All values are raw 16-bit fixed-point
+    patterns. *)
+
+val apply_unary : Puma_isa.Instr.alu_op -> rng:Puma_util.Rng.t -> int -> int
+(** Unary ops: [Invert], [Relu], transcendental LUT ops, [Rand] (ignores
+    its argument and draws uniformly from [0, 1)). Raises
+    [Invalid_argument] for binary ops or [Subsample]. *)
+
+val apply_binary : Puma_isa.Instr.alu_op -> int -> int -> int
+(** Binary ops: [Add], [Sub], [Mul], [Div], [Shl], [Shr], [And], [Or],
+    [Min], [Max]. Shift amounts come from the integer part of the second
+    operand. Raises [Invalid_argument] for unary ops. *)
+
+val is_lut_op : Puma_isa.Instr.alu_op -> bool
+(** True when evaluation goes through the ROM-Embedded RAM. *)

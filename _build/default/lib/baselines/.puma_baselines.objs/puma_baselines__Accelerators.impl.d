@@ -1,0 +1,1 @@
+lib/baselines/accelerators.ml: Float Option Puma_hwmodel Puma_nn

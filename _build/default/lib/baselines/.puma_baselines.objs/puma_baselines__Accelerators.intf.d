@@ -1,0 +1,1 @@
+lib/baselines/accelerators.mli: Puma_hwmodel Puma_nn

@@ -1,0 +1,1 @@
+lib/baselines/platform.mli: Workload

@@ -1,0 +1,1 @@
+lib/baselines/puma_model.ml: Float List Puma_hwmodel Workload

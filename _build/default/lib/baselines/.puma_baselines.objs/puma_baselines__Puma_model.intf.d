@@ -1,0 +1,1 @@
+lib/baselines/puma_model.mli: Puma_hwmodel Workload

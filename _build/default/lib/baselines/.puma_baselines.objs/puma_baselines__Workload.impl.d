@@ -1,0 +1,1 @@
+lib/baselines/workload.ml: Float List Option Puma_nn

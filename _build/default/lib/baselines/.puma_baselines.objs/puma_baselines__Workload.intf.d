@@ -1,0 +1,1 @@
+lib/baselines/workload.mli: Puma_nn

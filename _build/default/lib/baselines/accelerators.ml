@@ -1,0 +1,132 @@
+module Network = Puma_nn.Network
+
+type accel = {
+  name : string;
+  year : int;
+  technology : string;
+  clock_mhz : float;
+  precision : string;
+  area_mm2 : float;
+  power_w : float;
+  peak_tops : float;
+}
+
+let tpu =
+  {
+    name = "TPU";
+    year = 2017;
+    technology = "CMOS (28nm)";
+    clock_mhz = 700.0;
+    precision = "16-bit fixed point";
+    area_mm2 = 330.0;
+    power_w = 45.0;
+    (* 92 TOPS at 8 bits scaled by 4 for 16-bit arithmetic (Table 6). *)
+    peak_tops = 23.0;
+  }
+
+let isaac =
+  {
+    name = "ISAAC";
+    year = 2016;
+    technology = "CMOS (32nm) - Memristive";
+    clock_mhz = 1200.0;
+    precision = "16-bit fixed point";
+    area_mm2 = 85.4;
+    power_w = 65.8;
+    peak_tops = 69.53;
+  }
+
+let puma_accel config =
+  {
+    name = "PUMA";
+    year = 2018;
+    technology = "CMOS (32nm) - Memristive";
+    clock_mhz = config.Puma_hwmodel.Config.frequency_ghz *. 1000.0;
+    precision = "16-bit fixed point";
+    area_mm2 = Puma_hwmodel.Table3.node_area_mm2 config;
+    power_w = Puma_hwmodel.Table3.node_power_w config;
+    peak_tops = Puma_hwmodel.Table3.peak_tops config;
+  }
+
+(* Utilization of peak throughput at the best batch size per workload
+   class. TPU values follow its published rooflines (MLP/LSTM are starved
+   by weight bandwidth; CNNs run near peak); crossbar accelerators do not
+   depend on reuse, so utilization is flat. *)
+let utilization a (kind : Network.kind) =
+  match a.name with
+  | "TPU" -> (
+      match kind with
+      | Mlp | Boltzmann -> Some 0.13
+      | Deep_lstm | Wide_lstm | Rnn_net -> Some 0.043
+      | Cnn -> Some 0.86)
+  | "ISAAC" -> ( match kind with Cnn -> Some 1.0 | _ -> None)
+  | _ -> Some 1.0
+
+let area_efficiency a kind =
+  let base = a.peak_tops /. a.area_mm2 in
+  match kind with
+  | None -> Some base
+  | Some k -> Option.map (fun u -> base *. u) (utilization a k)
+
+let power_efficiency a kind =
+  let base = a.peak_tops /. a.power_w in
+  match kind with
+  | None -> Some base
+  | Some k -> Option.map (fun u -> base *. u) (utilization a k)
+
+(* ---- Digital MVMU comparison (Section 7.4.3). ----
+   A memristive 128x128 MVMU performs 16,384 MACs in 2,304 ns consuming
+   43.97 nJ. A digital equivalent at the same latency needs ~7.2
+   MACs/cycle: a 16-bit MAC array plus a 32 KB SRAM weight buffer, at
+   standard 32nm costs (~11 pJ and ~0.0135 mm^2 per MAC lane with its
+   SRAM share). *)
+type digital_comparison = {
+  mvmu_area_ratio : float;
+  mvmu_energy_ratio : float;
+  chip_area_ratio : float;
+  chip_energy_ratio : float;
+}
+
+let digital_mvmu config =
+  let c : Puma_hwmodel.Config.t = config in
+  let macs = Float.of_int (c.mvmu_dim * c.mvmu_dim) in
+  let cycles = Float.of_int (Puma_hwmodel.Latency.mvm c) in
+  let lanes = Float.ceil (macs /. cycles) in
+  (* 32nm digital costs: a pipelined 16-bit MAC lane ~0.0032 mm^2 and
+     2.2 pJ/MAC; SRAM weight storage ~0.45 mm^2 and 9 pJ/access per MAC
+     (each MAC reads a fresh weight). *)
+  let digital_area = (lanes *. 0.0032) +. 0.0845 in
+  let digital_energy_pj = macs *. (2.2 +. 9.0) in
+  let mem_area = Puma_hwmodel.Scaling.mvmu_area_mm2 c in
+  let mem_energy = Puma_hwmodel.Scaling.mvm_energy_pj c in
+  let mvmu_area_ratio = digital_area /. mem_area in
+  let mvmu_energy_ratio = digital_energy_pj /. mem_energy in
+  (* Whole chip: MVMUs are ~55% of node area; data movement energy grows
+     superlinearly with area (wire length and capacitance both grow). *)
+  let mvmu_area_fraction = 0.55 in
+  let chip_area_ratio =
+    1.0 +. (mvmu_area_fraction *. (mvmu_area_ratio -. 1.0))
+  in
+  let mvmu_energy_fraction = 0.62 in
+  let movement_growth = chip_area_ratio ** 1.4 in
+  let chip_energy_ratio =
+    (mvmu_energy_fraction *. mvmu_energy_ratio)
+    +. ((1.0 -. mvmu_energy_fraction) *. movement_growth)
+  in
+  { mvmu_area_ratio; mvmu_energy_ratio; chip_area_ratio; chip_energy_ratio }
+
+let programmability_rows =
+  [
+    ( "Architecture",
+      "Instruction execution pipeline, flexible inter-core synchronization",
+      "Application-specific state machine" );
+    ( "Function units",
+      "Vector Functional Unit, ROM-Embedded RAM",
+      "Sigmoid unit" );
+    ( "Programmability",
+      "Compiler-generated instructions (per tile & core)",
+      "Manually configured state machine (per tile)" );
+    ( "Workloads",
+      "CNN, MLP, LSTM, RNN, GAN, BM, RBM, SVM, Linear/Logistic Regression",
+      "CNN" );
+  ]

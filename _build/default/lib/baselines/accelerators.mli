@@ -1,0 +1,51 @@
+(** ML accelerator comparison models (Table 6, Table 7, Section 7.4).
+
+    TPU [61] and ISAAC [95] are described by their published peak
+    characteristics plus per-workload-class utilization factors (derived
+    from the TPU paper's measured rooflines; ISAAC is CNN-only). The
+    digital-MVMU comparison (Section 7.4.3) contrasts the memristive MVMU
+    with a digital 16-bit MAC array of equal throughput built from
+    standard 32nm cell characteristics. *)
+
+type accel = {
+  name : string;
+  year : int;
+  technology : string;
+  clock_mhz : float;
+  precision : string;
+  area_mm2 : float;
+  power_w : float;
+  peak_tops : float;  (** 16-bit tera-ops/s (MAC = 2 ops). *)
+}
+
+val tpu : accel
+val isaac : accel
+val puma_accel : Puma_hwmodel.Config.t -> accel
+
+val utilization : accel -> Puma_nn.Network.kind -> float option
+(** Fraction of peak throughput achieved on a workload class at the best
+    batch size ([None] when the accelerator does not support the class —
+    ISAAC outside CNNs). PUMA's crossbars do not rely on data reuse, so
+    its utilization is constant across classes. *)
+
+val area_efficiency : accel -> Puma_nn.Network.kind option -> float option
+(** TOPS/s/mm^2; [None] workload = peak. *)
+
+val power_efficiency : accel -> Puma_nn.Network.kind option -> float option
+(** TOPS/s/W. *)
+
+(** {1 Digital MVMU comparison (Section 7.4.3)} *)
+
+type digital_comparison = {
+  mvmu_area_ratio : float;  (** Digital / memristive MVMU area (~8.97x). *)
+  mvmu_energy_ratio : float;  (** (~4.17x). *)
+  chip_area_ratio : float;  (** Whole accelerator (~4.93x). *)
+  chip_energy_ratio : float;  (** With data-movement growth (~6.76x). *)
+}
+
+val digital_mvmu : Puma_hwmodel.Config.t -> digital_comparison
+
+(** {1 Programmability comparison (Table 7)} *)
+
+val programmability_rows : (string * string * string) list
+(** [(aspect, PUMA, ISAAC)] rows of Table 7. *)

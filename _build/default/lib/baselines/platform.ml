@@ -1,0 +1,117 @@
+type spec = {
+  name : string;
+  peak_gflops : float;
+  flop_efficiency : float;
+  mem_bw_gbs : float;
+  bw_efficiency : float;
+  llc_bytes : float;
+  board_power_w : float;
+  launch_overhead_s : float;
+  bytes_per_weight : float;
+}
+
+(* Public specifications of the Table 4 machines. Launch overheads reflect
+   framework dispatch cost per kernel (Torch7-era, batch 1). *)
+let haswell =
+  {
+    name = "Haswell";
+    peak_gflops = 1472.0; (* 2 sockets x 10 cores x 2.3 GHz x 32 flops *)
+    flop_efficiency = 0.70;
+    mem_bw_gbs = 136.0;
+    bw_efficiency = 0.65;
+    llc_bytes = 50.0e6;
+    board_power_w = 240.0;
+    launch_overhead_s = 2.0e-6;
+    bytes_per_weight = 4.0;
+  }
+
+let skylake =
+  {
+    name = "Skylake";
+    peak_gflops = 8960.0; (* 2 x 28 cores x 2.5 GHz x 64 flops (AVX-512) *)
+    flop_efficiency = 0.55;
+    mem_bw_gbs = 255.0;
+    bw_efficiency = 0.65;
+    llc_bytes = 77.0e6;
+    board_power_w = 410.0;
+    launch_overhead_s = 2.0e-6;
+    bytes_per_weight = 4.0;
+  }
+
+let kepler =
+  {
+    name = "Kepler";
+    peak_gflops = 2800.0; (* one GK210 of the K80 *)
+    flop_efficiency = 0.55;
+    mem_bw_gbs = 240.0;
+    bw_efficiency = 0.50;
+    llc_bytes = 1.5e6;
+    board_power_w = 150.0;
+    launch_overhead_s = 6.0e-6;
+    bytes_per_weight = 4.0;
+  }
+
+let maxwell =
+  {
+    name = "Maxwell";
+    peak_gflops = 6700.0;
+    flop_efficiency = 0.60;
+    mem_bw_gbs = 336.0;
+    bw_efficiency = 0.55;
+    llc_bytes = 3.0e6;
+    board_power_w = 250.0;
+    launch_overhead_s = 5.0e-6;
+    bytes_per_weight = 4.0;
+  }
+
+let pascal =
+  {
+    name = "Pascal";
+    peak_gflops = 10600.0;
+    flop_efficiency = 0.60;
+    mem_bw_gbs = 732.0;
+    bw_efficiency = 0.55;
+    llc_bytes = 4.0e6;
+    board_power_w = 250.0;
+    launch_overhead_s = 5.0e-6;
+    bytes_per_weight = 4.0;
+  }
+
+let all = [ haswell; skylake; kepler; maxwell; pascal ]
+
+type estimate = {
+  latency_s : float;
+  energy_j : float;
+  throughput_inf_s : float;
+}
+
+let layer_time spec ~batch (l : Workload.layer_info) =
+  let b = Float.of_int batch in
+  let weight_bytes = Float.of_int l.params *. spec.bytes_per_weight in
+  (* Weights stream from DRAM on every execution; the cache-resident slice
+     (up to the LLC size) is served on-chip. Activations move once per
+     batch element. *)
+  let weight_traffic = Float.max 0.0 (weight_bytes -. spec.llc_bytes) in
+  let act_bytes =
+    b *. Float.of_int (l.in_words + l.out_words) *. spec.bytes_per_weight
+  in
+  let flops = 2.0 *. b *. Float.of_int l.macs in
+  let compute = flops /. (spec.peak_gflops *. 1.0e9 *. spec.flop_efficiency) in
+  let memory =
+    (weight_traffic +. act_bytes) /. (spec.mem_bw_gbs *. 1.0e9 *. spec.bw_efficiency)
+  in
+  let launch = Float.of_int l.kernels_per_exec *. spec.launch_overhead_s in
+  Float.max compute memory +. launch
+
+let estimate spec (w : Workload.t) ~batch =
+  let latency =
+    List.fold_left
+      (fun acc (l : Workload.layer_info) ->
+        acc +. (Float.of_int l.steps *. layer_time spec ~batch l))
+      0.0 w.layers
+  in
+  {
+    latency_s = latency;
+    energy_j = latency *. spec.board_power_w;
+    throughput_inf_s = Float.of_int batch /. latency;
+  }

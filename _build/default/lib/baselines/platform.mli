@@ -1,0 +1,38 @@
+(** CPU / GPU analytical baselines (Table 4 platforms).
+
+    The paper measured real machines (board power x wall time via BMC /
+    nvidia-smi). We substitute a per-layer roofline: each layer execution
+    is bound by either compute ([2 * macs / achievable FLOP/s]) or memory
+    ([weight + activation bytes / achievable bandwidth]) plus a per-kernel
+    launch overhead. Weights are streamed from DRAM on every execution
+    when they exceed the last-level cache (no on-chip persistence at batch
+    size 1 — the mechanism behind the paper's MLP/LSTM results) and are
+    amortized over the batch otherwise. Energy is board power times
+    latency, matching the paper's measurement method. *)
+
+type spec = {
+  name : string;
+  peak_gflops : float;  (** FP32 peak. *)
+  flop_efficiency : float;  (** Achievable fraction on dense kernels. *)
+  mem_bw_gbs : float;
+  bw_efficiency : float;  (** Achievable fraction on batch-1 GEMV. *)
+  llc_bytes : float;  (** Last-level cache (weights persist if smaller). *)
+  board_power_w : float;
+  launch_overhead_s : float;  (** Per kernel launch. *)
+  bytes_per_weight : float;  (** 4 for FP32 frameworks. *)
+}
+
+val haswell : spec
+val skylake : spec
+val kepler : spec
+val maxwell : spec
+val pascal : spec
+val all : spec list
+
+type estimate = {
+  latency_s : float;  (** Whole-batch latency. *)
+  energy_j : float;  (** Whole-batch energy. *)
+  throughput_inf_s : float;
+}
+
+val estimate : spec -> Workload.t -> batch:int -> estimate

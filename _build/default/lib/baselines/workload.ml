@@ -1,0 +1,121 @@
+module Layer = Puma_nn.Layer
+module Network = Puma_nn.Network
+
+type layer_info = {
+  label : string;
+  steps : int;
+  macs : int;
+  params : int;
+  in_words : int;
+  out_words : int;
+  slots : int;
+  row_blocks : int;
+  col_blocks : int;
+  waves : int;
+  vector_elems : int;
+  transcendental : bool;
+  kernels_per_exec : int;
+}
+
+type t = {
+  name : string;
+  kind : Network.kind;
+  seq_len : int;
+  layers : layer_info list;
+  total_macs : int;
+  total_params : int;
+  weight_bytes_16 : int;
+  pipeline_stages : int;
+}
+
+let ceil_div a b = (a + b - 1) / b
+
+let layer_info ~dim (net : Network.t) shape (l : Layer.t) =
+  let steps = Network.layer_steps net l in
+  let out = Layer.out_shape shape l in
+  let macs = Layer.macs shape l in
+  let params = Layer.params shape l in
+  let in_words = Layer.shape_len shape in
+  let out_words = Layer.shape_len out in
+  let blocks rows cols = ceil_div rows dim * ceil_div cols dim in
+  let slots, rb, cb, waves, transcendental, kernels =
+    match l with
+    | Dense { out = o; act } ->
+        ( blocks o in_words,
+          ceil_div o dim,
+          ceil_div in_words dim,
+          1,
+          (match act with Sigmoid | Tanh | Log_softmax -> true | No_act | Relu -> false),
+          2 )
+    | Lstm { cell; proj } ->
+        let hidden = Option.value proj ~default:cell in
+        let gate_slots = blocks (4 * cell) (in_words + hidden) in
+        let proj_slots = match proj with Some p -> blocks p cell | None -> 0 in
+        ( gate_slots + proj_slots,
+          ceil_div (4 * cell) dim,
+          ceil_div (in_words + hidden) dim,
+          1,
+          true,
+          8 )
+    | Rnn { hidden } ->
+        ( blocks hidden (in_words + hidden),
+          ceil_div hidden dim,
+          ceil_div (in_words + hidden) dim,
+          1,
+          true,
+          3 )
+    | Conv { out_ch; kh; kw; _ } ->
+        let c = match shape with Layer.Img { c; _ } -> c | Vec _ -> 0 in
+        let oh, ow =
+          match out with Layer.Img { h; w; _ } -> (h, w) | Vec _ -> (1, 1)
+        in
+        ( blocks out_ch (kh * kw * c),
+          ceil_div out_ch dim,
+          ceil_div (kh * kw * c) dim,
+          oh * ow,
+          false,
+          2 )
+    | Maxpool _ -> (0, 0, 0, 0, false, 1)
+    | Flatten -> (0, 0, 0, 0, false, 0)
+  in
+  {
+    label = Layer.describe shape l;
+    steps;
+    macs;
+    params;
+    in_words;
+    out_words;
+    slots;
+    row_blocks = rb;
+    col_blocks = cb;
+    waves;
+    vector_elems = Layer.vector_elems shape l;
+    transcendental;
+    kernels_per_exec = kernels;
+  }
+
+let of_network ~dim (net : Network.t) =
+  let rec go shape = function
+    | [] -> []
+    | l :: rest -> layer_info ~dim net shape l :: go (Layer.out_shape shape l) rest
+  in
+  let layers = go net.input net.layers in
+  let pipeline_stages =
+    List.length
+      (List.filter (fun li -> li.steps > 1 || li.waves > 1) layers)
+  in
+  {
+    name = net.name;
+    kind = net.kind;
+    seq_len = net.seq_len;
+    layers;
+    total_macs = Network.total_macs net;
+    total_params = Network.total_params net;
+    weight_bytes_16 = Network.weight_bytes net;
+    pipeline_stages = max 1 pipeline_stages;
+  }
+
+let total_mvm_executions t =
+  List.fold_left (fun acc l -> acc + (l.steps * l.waves * l.slots)) 0 t.layers
+
+let flops t = 2.0 *. Float.of_int t.total_macs

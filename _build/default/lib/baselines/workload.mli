@@ -1,0 +1,48 @@
+(** Analytical workload descriptors derived from networks.
+
+    Every layer of a {!Puma_nn.Network.t} is flattened into the quantities
+    the performance models need: MACs, weight footprint, activation
+    traffic, crossbar slot counts (with tiling padding), MVM waves
+    (convolution windows), and vector-operation volumes. *)
+
+type layer_info = {
+  label : string;
+  steps : int;  (** Executions per inference (time-steps for recurrent). *)
+  macs : int;  (** Per execution. *)
+  params : int;
+  in_words : int;  (** Input activation words per execution. *)
+  out_words : int;  (** Output activation words per execution. *)
+  slots : int;  (** MVMU-sized weight blocks after tiling (0 for pool). *)
+  row_blocks : int;  (** Output-dimension blocks of the main matrix. *)
+  col_blocks : int;  (** Input-dimension blocks (partials to reduce). *)
+  waves : int;
+      (** MVM waves per execution: sliding-window applications of the
+          weight block set (convolution windows; 1 for dense/LSTM). *)
+  vector_elems : int;  (** Elements of non-MVM vector work per execution. *)
+  transcendental : bool;  (** Uses sigmoid/tanh/softmax. *)
+  kernels_per_exec : int;
+      (** Kernel launches a CPU/GPU implementation issues per execution
+          (unfused LSTM cells launch several). *)
+}
+
+type t = {
+  name : string;
+  kind : Puma_nn.Network.kind;
+  seq_len : int;
+  layers : layer_info list;
+  total_macs : int;
+  total_params : int;
+  weight_bytes_16 : int;
+  pipeline_stages : int;
+      (** Layers that can overlap in a spatial pipeline (recurrent layers
+          across time-steps, conv layers across windows). *)
+}
+
+val of_network : dim:int -> Puma_nn.Network.t -> t
+(** [dim] is the crossbar dimension used for slot/padding accounting. *)
+
+val total_mvm_executions : t -> int
+(** Crossbar MVM firings per inference: [sum steps * waves * slots]. *)
+
+val flops : t -> float
+(** 2 * MACs per inference. *)

@@ -1,0 +1,1 @@
+lib/compiler/codegen.ml: Array Float Hashtbl Lgraph List Partition Printf Puma_graph Puma_hwmodel Puma_isa Puma_util Regalloc Schedule

@@ -1,0 +1,1 @@
+lib/compiler/codegen.mli: Lgraph Partition Puma_graph Puma_hwmodel Puma_isa Schedule

@@ -1,0 +1,1 @@
+lib/compiler/compile.ml: Array Codegen Lgraph Optimize Partition Puma_graph Puma_hwmodel Puma_isa Schedule Tiling

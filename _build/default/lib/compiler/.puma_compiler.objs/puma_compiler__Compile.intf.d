@@ -1,0 +1,1 @@
+lib/compiler/compile.mli: Codegen Optimize Partition Puma_graph Puma_hwmodel Puma_isa

@@ -1,0 +1,1 @@
+lib/compiler/lgraph.ml: Array Hashtbl List Printf Puma_graph Puma_util

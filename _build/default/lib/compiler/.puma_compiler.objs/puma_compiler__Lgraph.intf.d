@@ -1,0 +1,1 @@
+lib/compiler/lgraph.mli: Puma_graph Puma_util

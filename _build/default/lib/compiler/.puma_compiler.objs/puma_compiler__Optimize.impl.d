@@ -1,0 +1,1 @@
+lib/compiler/optimize.ml: Array Hashtbl List Puma_graph

@@ -1,0 +1,1 @@
+lib/compiler/partition.ml: Array Hashtbl Lgraph Option Printf Puma_hwmodel Puma_util

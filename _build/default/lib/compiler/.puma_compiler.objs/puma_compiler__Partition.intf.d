@@ -1,0 +1,1 @@
+lib/compiler/partition.mli: Lgraph Puma_hwmodel

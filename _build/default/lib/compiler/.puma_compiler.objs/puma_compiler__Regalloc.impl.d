@@ -1,0 +1,1 @@
+lib/compiler/regalloc.ml: Float Hashtbl List Option Printf Puma_isa

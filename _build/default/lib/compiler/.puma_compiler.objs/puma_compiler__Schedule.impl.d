@@ -1,0 +1,1 @@
+lib/compiler/schedule.ml: Array Hashtbl Lgraph List Partition

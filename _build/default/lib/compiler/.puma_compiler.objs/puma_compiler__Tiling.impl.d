@@ -1,0 +1,1 @@
+lib/compiler/tiling.ml: Array Lgraph List Option Puma_graph Puma_util

@@ -1,0 +1,71 @@
+type options = {
+  partition_strategy : Partition.strategy;
+  coalesce_mvms : bool;
+  wrap_batch_loop : bool;
+  optimize_graph : bool;
+}
+
+let default_options =
+  {
+    partition_strategy = Locality;
+    coalesce_mvms = true;
+    wrap_batch_loop = false;
+    optimize_graph = true;
+  }
+
+type result = {
+  program : Puma_isa.Program.t;
+  codegen_stats : Codegen.stats;
+  optimize_stats : Optimize.stats option;
+  edge_stats : Partition.edge_stats;
+  num_mvm_nodes : int;
+  num_mvm_instructions : int;
+  tiles_used : int;
+  cores_used : int;
+  mvmus_used : int;
+}
+
+let compile ?(options = default_options) (config : Puma_hwmodel.Config.t) g =
+  (match Puma_graph.Graph.validate g with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("Compile.compile: invalid graph: " ^ e));
+  let g, optimize_stats =
+    if options.optimize_graph then begin
+      let g', s = Optimize.run g in
+      (match Puma_graph.Graph.validate g' with
+      | Ok () -> ()
+      | Error e -> failwith ("Compile.compile: optimizer produced an invalid graph: " ^ e));
+      (g', Some s)
+    end
+    else (g, None)
+  in
+  let lg = Tiling.lower ~dim:config.mvmu_dim g in
+  let part = Partition.partition config options.partition_strategy lg in
+  let sched = Schedule.build ~coalesce:options.coalesce_mvms lg part in
+  let program, codegen_stats =
+    Codegen.generate config ~wrap_batch_loop:options.wrap_batch_loop g lg part
+      sched
+  in
+  let num_mvm_nodes =
+    Array.fold_left
+      (fun acc (n : Lgraph.lnode) ->
+        match n.op with
+        | L_mvm _ -> acc + 1
+        | L_input _ | L_const _ | L_binop _ | L_unop _ | L_immop _
+        | L_gather _ | L_output _ ->
+            acc)
+      0 (Lgraph.nodes lg)
+  in
+  {
+    program;
+    codegen_stats;
+    optimize_stats;
+    edge_stats = Partition.edge_stats part lg;
+    num_mvm_nodes;
+    num_mvm_instructions = Schedule.num_mvm_instructions sched;
+    tiles_used = part.Partition.tiles_used;
+    cores_used = part.Partition.cores_used;
+    mvmus_used = Lgraph.num_slots lg;
+  }
+
+let usage result = Puma_isa.Usage.of_program result.program

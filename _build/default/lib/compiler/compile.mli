@@ -1,0 +1,36 @@
+(** Compiler driver: high-level graph to PUMA program (Section 5).
+
+    Runs tiling, hierarchical partitioning, global scheduling with MVM
+    coalescing, and code generation with register allocation. Options
+    toggle the individual optimizations so the Table 8 ablations can
+    compare against the naive baselines. *)
+
+type options = {
+  partition_strategy : Partition.strategy;
+  coalesce_mvms : bool;
+  wrap_batch_loop : bool;
+      (** Wrap each core stream in SFU-driven batch control flow (used for
+          CNN workloads). *)
+  optimize_graph : bool;
+      (** Run {!Optimize} (CSE + DCE) before tiling (default on). *)
+}
+
+val default_options : options
+
+type result = {
+  program : Puma_isa.Program.t;
+  codegen_stats : Codegen.stats;
+  optimize_stats : Optimize.stats option;
+  edge_stats : Partition.edge_stats;
+  num_mvm_nodes : int;  (** MVM operations before coalescing. *)
+  num_mvm_instructions : int;  (** After coalescing. *)
+  tiles_used : int;
+  cores_used : int;
+  mvmus_used : int;
+}
+
+val compile :
+  ?options:options -> Puma_hwmodel.Config.t -> Puma_graph.Graph.t -> result
+
+val usage : result -> Puma_isa.Usage.t
+(** Static instruction mix of the compiled program (Figure 4). *)

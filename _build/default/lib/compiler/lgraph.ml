@@ -1,0 +1,133 @@
+type lop =
+  | L_input of { name : string; offset : int }
+  | L_const of float array
+  | L_mvm of { slot : int }
+  | L_binop of Puma_graph.Graph.binop
+  | L_unop of Puma_graph.Graph.unop
+  | L_immop of Puma_graph.Graph.immop
+  | L_gather of piece array
+  | L_output of { name : string; offset : int }
+
+and piece = { src : int; src_off : int; piece_len : int; dst_off : int }
+
+type lnode = { id : int; op : lop; preds : int array; len : int }
+
+type slot = {
+  slot_id : int;
+  matrix : int;
+  row_block : int;
+  col_block : int;
+  block : Puma_util.Tensor.mat;
+}
+
+type t = {
+  dim : int;
+  mutable node_list : lnode list;  (* reverse *)
+  mutable node_count : int;
+  mutable slot_list : slot list;  (* reverse *)
+  mutable slot_count : int;
+  slot_index : (int * int * int, int) Hashtbl.t;
+  mutable nodes_cache : lnode array option;
+  mutable slots_cache : slot array option;
+}
+
+let create ~dim =
+  {
+    dim;
+    node_list = [];
+    node_count = 0;
+    slot_list = [];
+    slot_count = 0;
+    slot_index = Hashtbl.create 64;
+    nodes_cache = None;
+    slots_cache = None;
+  }
+
+let dim t = t.dim
+
+let add_slot t ~matrix ~row_block ~col_block ~block =
+  let key = (matrix, row_block, col_block) in
+  match Hashtbl.find_opt t.slot_index key with
+  | Some id -> id
+  | None ->
+      let id = t.slot_count in
+      t.slot_list <- { slot_id = id; matrix; row_block; col_block; block } :: t.slot_list;
+      t.slot_count <- id + 1;
+      t.slots_cache <- None;
+      Hashtbl.add t.slot_index key id;
+      id
+
+let add_node t ~op ~preds ~len =
+  Array.iter
+    (fun p ->
+      if p < 0 || p >= t.node_count then
+        invalid_arg (Printf.sprintf "Lgraph.add_node: pred %d undefined" p))
+    preds;
+  if len <= 0 || len > t.dim then
+    invalid_arg (Printf.sprintf "Lgraph.add_node: segment length %d not in 1..%d" len t.dim);
+  let id = t.node_count in
+  t.node_list <- { id; op; preds; len } :: t.node_list;
+  t.node_count <- id + 1;
+  t.nodes_cache <- None;
+  id
+
+let nodes t =
+  match t.nodes_cache with
+  | Some a -> a
+  | None ->
+      let a = Array.of_list (List.rev t.node_list) in
+      t.nodes_cache <- Some a;
+      a
+
+let slots t =
+  match t.slots_cache with
+  | Some a -> a
+  | None ->
+      let a = Array.of_list (List.rev t.slot_list) in
+      t.slots_cache <- Some a;
+      a
+
+let node t id = (nodes t).(id)
+let num_nodes t = t.node_count
+let slot t id = (slots t).(id)
+let num_slots t = t.slot_count
+
+let consumers t =
+  let cons = Array.make t.node_count [] in
+  Array.iter
+    (fun (n : lnode) ->
+      Array.iter (fun p -> cons.(p) <- n.id :: cons.(p)) n.preds)
+    (nodes t);
+  Array.map (fun l -> Array.of_list (List.rev l)) cons
+
+let levels t =
+  let ns = nodes t in
+  let lev = Array.make t.node_count 0 in
+  Array.iter
+    (fun (n : lnode) ->
+      let m = Array.fold_left (fun acc p -> max acc (lev.(p) + 1)) 0 n.preds in
+      lev.(n.id) <- m)
+    ns;
+  lev
+
+let reverse_postorder t =
+  let ns = nodes t in
+  let visited = Array.make t.node_count false in
+  let order = ref [] in
+  let rec visit id =
+    if not visited.(id) then begin
+      visited.(id) <- true;
+      Array.iter visit ns.(id).preds;
+      order := id :: !order
+    end
+  in
+  (* Depth-first from each sink in reverse creation order: values feeding a
+     sink are fully consumed before unrelated producers start. *)
+  let cons = consumers t in
+  for id = t.node_count - 1 downto 0 do
+    if Array.length cons.(id) = 0 then visit id
+  done;
+  for id = 0 to t.node_count - 1 do
+    visit id
+  done;
+  Array.of_list (List.rev !order)

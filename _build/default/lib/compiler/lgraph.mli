@@ -1,0 +1,64 @@
+(** The lowered (tiled) graph: the compiler's working IR.
+
+    Section 5.2 first step: tensors are divided into 2D tiles the size of
+    one MVMU and vectors/operations are divided accordingly. Every lowered
+    node produces a vector {e segment} of length at most the crossbar
+    dimension. MVM nodes reference {e slots} — one slot per (matrix,
+    row-block, column-block), each occupying exactly one physical MVMU;
+    several MVM nodes may reference the same slot (weight reuse across
+    time-steps executes serially on the same crossbars). *)
+
+type lop =
+  | L_input of { name : string; offset : int }
+      (** Segment [offset, offset+len) of a network input. *)
+  | L_const of float array  (** Constant segment, preloaded by the host. *)
+  | L_mvm of { slot : int }  (** Single pred: the column input segment. *)
+  | L_binop of Puma_graph.Graph.binop
+  | L_unop of Puma_graph.Graph.unop
+  | L_immop of Puma_graph.Graph.immop
+  | L_gather of piece array
+      (** Assemble a segment from pieces of predecessor segments; [preds]
+          lists the distinct sources indexed by [piece.src]. *)
+  | L_output of { name : string; offset : int }
+
+and piece = { src : int; src_off : int; piece_len : int; dst_off : int }
+(** [src] indexes into the node's [preds] array. *)
+
+type lnode = { id : int; op : lop; preds : int array; len : int }
+
+type slot = {
+  slot_id : int;
+  matrix : int;  (** Graph matrix id. *)
+  row_block : int;
+  col_block : int;
+  block : Puma_util.Tensor.mat;  (** dim x dim, zero-padded. *)
+}
+
+type t
+
+val create : dim:int -> t
+val dim : t -> int
+val add_slot :
+  t -> matrix:int -> row_block:int -> col_block:int -> block:Puma_util.Tensor.mat -> int
+(** Returns the existing slot id if (matrix, row, col) was already added. *)
+
+val add_node : t -> op:lop -> preds:int array -> len:int -> int
+val nodes : t -> lnode array
+val node : t -> int -> lnode
+val num_nodes : t -> int
+val slots : t -> slot array
+val slot : t -> int -> slot
+val num_slots : t -> int
+
+val consumers : t -> int array array
+
+val levels : t -> int array
+(** Longest-path depth of each node from the sources. Nodes with equal
+    level are guaranteed independent — the conservative independence test
+    used by MVM coalescing. *)
+
+val reverse_postorder : t -> int array
+(** Global linearization order (Section 5.3): a reverse postorder that
+    consumes values soon after production, computed over the whole graph
+    at once so per-core subsequences are globally consistent (deadlock
+    avoidance, Section 5.3.3). *)

@@ -1,0 +1,85 @@
+module G = Puma_graph.Graph
+
+type stats = {
+  nodes_before : int;
+  nodes_after : int;
+  merged : int;
+  dead : int;
+  matrices_before : int;
+  matrices_after : int;
+}
+
+let run (g : G.t) =
+  let ns = G.nodes g in
+  let n = Array.length ns in
+  (* ---- CSE: map every node to its canonical representative. Processing
+     in creation (topological) order with predecessor canonicalization
+     reaches the fixed point in one pass. All graph operations are pure. *)
+  let mapping = Array.make n (-1) in
+  (* The key must include the length: e.g. two [Slice] nodes can share an
+     offset and a predecessor while taking different widths. *)
+  let table : (G.op * int array * int, int) Hashtbl.t = Hashtbl.create (2 * n) in
+  Array.iter
+    (fun (node : G.node) ->
+      let preds = Array.map (fun p -> mapping.(p)) node.preds in
+      let key = (node.op, preds, node.len) in
+      match Hashtbl.find_opt table key with
+      | Some canonical -> mapping.(node.id) <- canonical
+      | None ->
+          Hashtbl.add table key node.id;
+          mapping.(node.id) <- node.id)
+    ns;
+  let merged = Array.fold_left (fun acc (nd : G.node) ->
+      if mapping.(nd.id) <> nd.id then acc + 1 else acc) 0 ns in
+  (* ---- DCE: mark the canonical cone of the outputs. *)
+  let live = Array.make n false in
+  let rec mark id =
+    let id = mapping.(id) in
+    if not live.(id) then begin
+      live.(id) <- true;
+      Array.iter mark ns.(id).preds
+    end
+  in
+  List.iter (fun (o : G.node) -> mark o.id) (G.outputs g);
+  let dead =
+    Array.fold_left
+      (fun acc (nd : G.node) ->
+        if mapping.(nd.id) = nd.id && not live.(nd.id) then acc + 1 else acc)
+      0 ns
+  in
+  (* ---- Rebuild with dense ids, keeping only referenced matrices. *)
+  let out = G.create (G.name g) in
+  let new_mat = Array.make (Array.length (G.matrices g)) (-1) in
+  let matrix_of old =
+    if new_mat.(old) = -1 then begin
+      let m = G.matrix g old in
+      new_mat.(old) <- G.add_matrix out ~name:m.G.mat_name m.G.data
+    end;
+    new_mat.(old)
+  in
+  let new_id = Array.make n (-1) in
+  Array.iter
+    (fun (node : G.node) ->
+      if mapping.(node.id) = node.id && live.(node.id) then begin
+        let preds = Array.map (fun p -> new_id.(mapping.(p))) node.preds in
+        let op =
+          match node.op with
+          | G.Mvm { matrix } -> G.Mvm { matrix = matrix_of matrix }
+          | ( G.Input _ | G.Const_vec _ | G.Binop _ | G.Unop _ | G.Immop _
+            | G.Concat | G.Slice _ | G.Output _ ) as op ->
+              op
+        in
+        new_id.(node.id) <- G.add_node out ~op ~preds ~len:node.len
+      end)
+    ns;
+  let stats =
+    {
+      nodes_before = n;
+      nodes_after = G.num_nodes out;
+      merged;
+      dead;
+      matrices_before = Array.length (G.matrices g);
+      matrices_after = Array.length (G.matrices out);
+    }
+  in
+  (out, stats)

@@ -1,0 +1,26 @@
+(** Graph-level optimization passes, run before tiling.
+
+    - {b Common-subexpression elimination}: structurally identical nodes
+      (same operation, same predecessors) are merged. Window-based
+      lowering produces many duplicates — shared padding segments,
+      repeated slices of the same feature-map rows — that would otherwise
+      each burn registers and instructions.
+    - {b Dead-code elimination}: nodes that cannot reach an output are
+      dropped (along with weight matrices no surviving MVM references,
+      which would otherwise occupy crossbars).
+
+    Both passes preserve reference-executor semantics exactly; the
+    integration tests compile optimized and unoptimized graphs and check
+    the simulated outputs agree bit-for-bit. *)
+
+type stats = {
+  nodes_before : int;
+  nodes_after : int;
+  merged : int;  (** Nodes eliminated by CSE. *)
+  dead : int;  (** Nodes eliminated by DCE. *)
+  matrices_before : int;
+  matrices_after : int;
+}
+
+val run : Puma_graph.Graph.t -> Puma_graph.Graph.t * stats
+(** CSE to a fixed point, then DCE. *)

@@ -1,0 +1,144 @@
+type strategy = Locality | Random of int
+
+type place = { tile : int; core : int }
+
+type t = {
+  config : Puma_hwmodel.Config.t;
+  slot_mvmu : (int * int * int) array;
+  node_place : place array;
+  tiles_used : int;
+  cores_used : int;
+}
+
+let partition (config : Puma_hwmodel.Config.t) strategy lg =
+  let num_slots = Lgraph.num_slots lg in
+  let mvmus_per_core = config.mvmus_per_core in
+  let cores_per_tile = config.cores_per_tile in
+  let capacity = Puma_hwmodel.Config.mvmus_per_node config in
+  (* Models larger than one node spill onto further nodes (Section 3.2.5);
+     tiles beyond [tiles_per_node] belong to node 1, 2, ... A hard cap
+     catches runaway models that would swamp the functional simulator. *)
+  let max_nodes = 64 in
+  if num_slots > capacity * max_nodes then
+    failwith
+      (Printf.sprintf
+         "Partition: model needs %d MVMUs but at most %d nodes (%d MVMUs) \
+          are supported by the functional path"
+         num_slots max_nodes (capacity * max_nodes));
+  (* Order slots, then pack sequentially into MVMUs -> cores -> tiles. *)
+  let order = Array.init num_slots (fun i -> i) in
+  (match strategy with
+  | Locality ->
+      (* Slots were created in (matrix, row-block, col-block) order by the
+         tiler; sort to make the invariant explicit. *)
+      let key i =
+        let s = Lgraph.slot lg i in
+        (s.Lgraph.matrix, s.Lgraph.row_block, s.Lgraph.col_block)
+      in
+      Array.sort (fun a b -> compare (key a) (key b)) order
+  | Random seed ->
+      let rng = Puma_util.Rng.create seed in
+      Puma_util.Rng.shuffle rng order);
+  let slot_mvmu = Array.make num_slots (0, 0, 0) in
+  Array.iteri
+    (fun pos slot ->
+      let core_linear = pos / mvmus_per_core in
+      let mvmu = pos mod mvmus_per_core in
+      let tile = core_linear / cores_per_tile in
+      let core = core_linear mod cores_per_tile in
+      slot_mvmu.(slot) <- (tile, core, mvmu))
+    order;
+  (* Place non-MVM nodes by demand, in reverse topological order. *)
+  let ns = Lgraph.nodes lg in
+  let cons = Lgraph.consumers lg in
+  let node_place = Array.make (Array.length ns) { tile = 0; core = 0 } in
+  let assigned = Array.make (Array.length ns) false in
+  let place_of_slot s =
+    let tile, core, _ = slot_mvmu.(s) in
+    { tile; core }
+  in
+  (* First pass: MVM nodes are pinned to their slot's core. *)
+  Array.iter
+    (fun (n : Lgraph.lnode) ->
+      match n.op with
+      | L_mvm { slot } ->
+          node_place.(n.id) <- place_of_slot slot;
+          assigned.(n.id) <- true
+      | L_input _ | L_const _ | L_binop _ | L_unop _ | L_immop _ | L_gather _
+      | L_output _ ->
+          ())
+    ns;
+  (* Reverse topological: consumers are placed before their producers. *)
+  for id = Array.length ns - 1 downto 0 do
+    if not assigned.(id) then begin
+      let consumer =
+        Array.fold_left
+          (fun acc c ->
+            match acc with
+            | Some _ -> acc
+            | None -> if assigned.(c) then Some node_place.(c) else None)
+          None cons.(id)
+      in
+      match consumer with
+      | Some p ->
+          node_place.(id) <- p;
+          assigned.(id) <- true
+      | None -> ()
+    end
+  done;
+  (* Forward fallback: anything left follows its first placed predecessor
+     (e.g. outputs of a graph with no MVMs at all). *)
+  Array.iter
+    (fun (n : Lgraph.lnode) ->
+      if not assigned.(n.id) then begin
+        let pred =
+          Array.fold_left
+            (fun acc p ->
+              match acc with
+              | Some _ -> acc
+              | None -> if assigned.(p) then Some node_place.(p) else None)
+            None n.preds
+        in
+        node_place.(n.id) <- Option.value ~default:{ tile = 0; core = 0 } pred;
+        assigned.(n.id) <- true
+      end)
+    ns;
+  let tiles_used =
+    Array.fold_left (fun acc p -> max acc (p.tile + 1)) 1 node_place
+  in
+  let cores_used =
+    let seen = Hashtbl.create 32 in
+    Array.iter (fun p -> Hashtbl.replace seen (p.tile, p.core) ()) node_place;
+    Hashtbl.length seen
+  in
+  { config; slot_mvmu; node_place; tiles_used; cores_used }
+
+let slot_place t s =
+  let tile, core, _ = t.slot_mvmu.(s) in
+  { tile; core }
+
+let mvmu_of_slot t s =
+  let _, _, m = t.slot_mvmu.(s) in
+  m
+
+type edge_stats = { intra_core : int; cross_core : int; cross_tile : int }
+
+let edge_stats t lg =
+  let ns = Lgraph.nodes lg in
+  let stats = ref { intra_core = 0; cross_core = 0; cross_tile = 0 } in
+  Array.iter
+    (fun (n : Lgraph.lnode) ->
+      let dst = t.node_place.(n.id) in
+      Array.iter
+        (fun p ->
+          let src = t.node_place.(p) in
+          let s = !stats in
+          stats :=
+            (if src.tile <> dst.tile then
+               { s with cross_tile = s.cross_tile + 1 }
+             else if src.core <> dst.core then
+               { s with cross_core = s.cross_core + 1 }
+             else { s with intra_core = s.intra_core + 1 }))
+        n.preds)
+    ns;
+  !stats

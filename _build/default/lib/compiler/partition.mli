@@ -1,0 +1,44 @@
+(** Hierarchical graph partitioning (Section 5.2).
+
+    Assigns every MVMU slot to a physical (tile, core, MVMU) and every
+    non-MVM lowered node to a (tile, core). The locality strategy follows
+    the paper's priority: slots feeding the same outputs (same matrix and
+    row block) are packed together first, then slots reading the same
+    inputs (same column block), then producer-consumer neighbours —
+    realized by packing slots in (matrix, row-block, column-block) order.
+    The random strategy (the Table 8 baseline) shuffles slots before
+    packing. Non-MVM nodes are placed by demand: each node goes to the
+    core of its first consumer (computed in reverse topological order), so
+    values are produced where they are used. *)
+
+type strategy = Locality | Random of int  (** Random carries a seed. *)
+
+type place = { tile : int; core : int }
+
+type t = {
+  config : Puma_hwmodel.Config.t;
+  slot_mvmu : (int * int * int) array;
+      (** Per slot: (tile, core, mvmu-within-core). *)
+  node_place : place array;  (** Per lowered node. *)
+  tiles_used : int;
+  cores_used : int;
+}
+
+val partition : Puma_hwmodel.Config.t -> strategy -> Lgraph.t -> t
+(** Models larger than one node spill onto further nodes (tiles beyond
+    [tiles_per_node] belong to the next node); raises [Failure] beyond a
+    64-node sanity cap. *)
+
+val slot_place : t -> int -> place
+val mvmu_of_slot : t -> int -> int
+(** MVMU index within its core. *)
+
+type edge_stats = {
+  intra_core : int;  (** Producer-consumer edges within one core. *)
+  cross_core : int;  (** Edges crossing cores within a tile. *)
+  cross_tile : int;  (** Edges crossing tiles. *)
+}
+
+val edge_stats : t -> Lgraph.t -> edge_stats
+(** Communication footprint of a placement (the Table 8 graph-partitioning
+    metric: fewer loads/stores/sends/receives). *)

@@ -1,0 +1,1 @@
+lib/core/puma.mli: Puma_accuracy Puma_compiler Puma_graph Puma_hwmodel Puma_isa Puma_nn Puma_sim

@@ -1,0 +1,1 @@
+lib/core/puma_accuracy.ml: Array Float List Puma_compiler Puma_graph Puma_hwmodel Puma_nn Puma_sim Puma_util

@@ -1,0 +1,1 @@
+lib/core/puma_accuracy.mli:

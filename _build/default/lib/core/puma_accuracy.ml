@@ -1,0 +1,55 @@
+module Config = Puma_hwmodel.Config
+module Network = Puma_nn.Network
+module Stats = Puma_util.Stats
+module Tensor = Puma_util.Tensor
+
+let task_net =
+  Network.make ~name:"fig13-mlp" ~kind:Mlp ~input:(Vec 32)
+    [
+      Puma_nn.Layer.Dense { out = 24; act = Sigmoid };
+      Puma_nn.Layer.Dense { out = 10; act = No_act };
+    ]
+
+let synthetic_classification ?(bits_per_cell = 2) ?(sigma = 0.0) ?(samples = 20)
+    ?(seed = 17) () =
+  let config =
+    {
+      Config.default with
+      mvmu_dim = 32;
+      vfu_width = 4;
+      bits_per_cell;
+      write_noise_sigma = sigma;
+    }
+  in
+  let graph = Network.build_graph ~seed:2024 task_net in
+  let result = Puma_compiler.Compile.compile config graph in
+  (* Average over several independent crossbar programmings: a single
+     noisy write of a small network has high variance. *)
+  let programmings = if sigma = 0.0 then 1 else 10 in
+  let agree = ref 0 and total = ref 0 in
+  (* Like a trained classifier's test set, samples are confidently
+     classified by the reference model (a clear top-1 margin); random
+     logit ties would make accuracy degrade under any perturbation. *)
+  let margin_ok y =
+    let top = Stats.argmax y in
+    let second = ref neg_infinity in
+    Array.iteri (fun i v -> if i <> top && v > !second then second := v) y;
+    y.(top) -. !second >= 0.12
+  in
+  for p = 0 to programmings - 1 do
+    let node = Puma_sim.Node.create ~noise_seed:(seed + (101 * p)) result.program in
+    let rng = Puma_util.Rng.create (seed + p) in
+    let used = ref 0 and tries = ref 0 in
+    while !used < samples && !tries < samples * 20 do
+      incr tries;
+      let x = Tensor.vec_rand rng 32 1.0 in
+      let want = List.assoc "y" (Puma_graph.Ref_exec.run graph [ ("x", x) ]) in
+      if margin_ok want then begin
+        incr used;
+        let got = List.assoc "y" (Puma_sim.Node.run node ~inputs:[ ("x", x) ]) in
+        incr total;
+        if Stats.argmax want = Stats.argmax got then incr agree
+      end
+    done
+  done;
+  if !total = 0 then 0.0 else Float.of_int !agree /. Float.of_int !total

@@ -1,0 +1,22 @@
+(** The Figure 13 accuracy experiment: inference accuracy of the full
+    bit-serial analog pipeline as a function of memristor precision
+    (bits per cell) and programming noise (sigma_N).
+
+    Paper setup substituted per DESIGN.md: a synthetic 10-class task whose
+    ground truth is the float-reference prediction of the same network, so
+    accuracy isolates exactly the quantization/ADC/write-noise mechanisms
+    being swept. A noise-free 2-bit configuration classifies (nearly)
+    perfectly; accuracy degrades as bits per cell grow at fixed noise
+    because the noise margin between adjacent conductance levels shrinks. *)
+
+val synthetic_classification :
+  ?bits_per_cell:int ->
+  ?sigma:float ->
+  ?samples:int ->
+  ?seed:int ->
+  unit ->
+  float
+(** Agreement fraction between the simulated PUMA inference (with the
+    given device precision and write noise) and the float reference, over
+    [samples] random inputs of a fixed small MLP. Defaults: 2 bits,
+    sigma 0, 20 samples. *)

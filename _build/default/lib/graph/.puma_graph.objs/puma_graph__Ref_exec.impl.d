@@ -1,0 +1,1 @@
+lib/graph/ref_exec.ml: Array Float Graph List Printf Puma_util Stdlib

@@ -1,0 +1,1 @@
+lib/graph/ref_exec.mli: Graph

@@ -1,0 +1,75 @@
+module Tensor = Puma_util.Tensor
+
+type env = (string * float array) list
+
+let eval_all g env =
+  let ns = Graph.nodes g in
+  let values = Array.make (Array.length ns) [||] in
+  let value id = values.(id) in
+  Array.iter
+    (fun (n : Graph.node) ->
+      let v =
+        match n.op with
+        | Graph.Input name -> (
+            match List.assoc_opt name env with
+            | Some v ->
+                if Array.length v <> n.len then
+                  invalid_arg
+                    (Printf.sprintf "Ref_exec: input %s has length %d, expected %d"
+                       name (Array.length v) n.len)
+                else Array.copy v
+            | None -> invalid_arg (Printf.sprintf "Ref_exec: missing input %s" name))
+        | Const_vec v -> Array.copy v
+        | Mvm { matrix } ->
+            Tensor.mvm (Graph.matrix g matrix).data (value n.preds.(0))
+        | Binop op ->
+            let a = value n.preds.(0) and b = value n.preds.(1) in
+            let f =
+              match op with
+              | Add -> ( +. )
+              | Sub -> ( -. )
+              | Mul -> ( *. )
+              | Div -> ( /. )
+              | Min -> Float.min
+              | Max -> Float.max
+            in
+            Array.init n.len (fun i -> f a.(i) b.(i))
+        | Unop op ->
+            let a = value n.preds.(0) in
+            let f =
+              match op with
+              | Relu -> fun x -> Float.max 0.0 x
+              | Sigmoid -> fun x -> 1.0 /. (1.0 +. Stdlib.exp (-.x))
+              | Tanh -> Stdlib.tanh
+              | Exp -> Stdlib.exp
+              | Log -> Stdlib.log
+            in
+            Array.map f a
+        | Immop op ->
+            let a = value n.preds.(0) in
+            let f =
+              match op with
+              | Add_imm c -> fun x -> x +. c
+              | Mul_imm c -> fun x -> x *. c
+            in
+            Array.map f a
+        | Concat ->
+            Array.concat (Array.to_list (Array.map value n.preds))
+        | Slice { offset } -> Array.sub (value n.preds.(0)) offset n.len
+        | Output _ -> Array.copy (value n.preds.(0))
+      in
+      values.(n.id) <- v)
+    ns;
+  values
+
+let run g env =
+  let values = eval_all g env in
+  Graph.outputs g
+  |> List.map (fun (n : Graph.node) ->
+         match n.op with
+         | Graph.Output name -> (name, values.(n.id))
+         | _ -> assert false)
+
+let run_node g env id =
+  let values = eval_all g env in
+  values.(id)

@@ -1,0 +1,16 @@
+(** Reference float executor: the numerical oracle.
+
+    Evaluates a graph in IEEE double precision. The compiled fixed-point
+    program running on the simulator must agree with this executor within
+    quantization tolerance — the correctness contract enforced by the
+    integration tests. *)
+
+type env = (string * float array) list
+(** Input name to value binding. *)
+
+val run : Graph.t -> env -> (string * float array) list
+(** Evaluate all outputs. Raises [Invalid_argument] on a missing or
+    wrongly-sized input. *)
+
+val run_node : Graph.t -> env -> int -> float array
+(** Value of an arbitrary node (for debugging partial graphs). *)

@@ -1,0 +1,1 @@
+lib/hwmodel/config.ml: Float Format

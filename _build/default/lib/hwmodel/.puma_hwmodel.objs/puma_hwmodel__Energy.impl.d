@@ -1,0 +1,1 @@
+lib/hwmodel/energy.ml: Array Config Float Format List Scaling Table3

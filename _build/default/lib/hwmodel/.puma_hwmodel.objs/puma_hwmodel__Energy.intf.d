@@ -1,0 +1,1 @@
+lib/hwmodel/energy.mli: Config Format

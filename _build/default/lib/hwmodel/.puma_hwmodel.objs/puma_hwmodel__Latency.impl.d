@@ -1,0 +1,1 @@
+lib/hwmodel/latency.ml: Config Float Scaling

@@ -1,0 +1,1 @@
+lib/hwmodel/latency.mli: Config

@@ -1,0 +1,1 @@
+lib/hwmodel/scaling.ml: Config Float Puma_util

@@ -1,0 +1,1 @@
+lib/hwmodel/scaling.mli: Config

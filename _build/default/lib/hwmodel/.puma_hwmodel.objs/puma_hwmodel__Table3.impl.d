@@ -1,0 +1,1 @@
+lib/hwmodel/table3.ml: Config Float List Printf Scaling

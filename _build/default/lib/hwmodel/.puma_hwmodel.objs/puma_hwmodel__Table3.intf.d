@@ -1,0 +1,1 @@
+lib/hwmodel/table3.mli: Config

@@ -1,0 +1,83 @@
+type t = {
+  mvmu_dim : int;
+  mvmus_per_core : int;
+  cores_per_tile : int;
+  tiles_per_node : int;
+  vfu_width : int;
+  rf_multiplier : float;
+  bits_per_cell : int;
+  write_noise_sigma : float;
+  frequency_ghz : float;
+  num_fifos : int;
+  fifo_depth : int;
+  smem_bytes : int;
+  imem_core_bytes : int;
+  imem_tile_bytes : int;
+}
+
+let default =
+  {
+    mvmu_dim = 128;
+    mvmus_per_core = 2;
+    cores_per_tile = 8;
+    tiles_per_node = 138;
+    vfu_width = 1;
+    rf_multiplier = 1.0;
+    bits_per_cell = 2;
+    write_noise_sigma = 0.0;
+    frequency_ghz = 1.0;
+    num_fifos = 16;
+    fifo_depth = 2;
+    smem_bytes = 64 * 1024;
+    imem_core_bytes = 4 * 1024;
+    imem_tile_bytes = 8 * 1024;
+  }
+
+let sweetspot = { default with vfu_width = 4 }
+let weight_bits = 16
+(* Signed weights use a differential pair of magnitude stacks, so the
+   slices only need to cover the 15 magnitude bits. *)
+let slices c = (weight_bits - 1 + c.bits_per_cell - 1) / c.bits_per_cell
+
+let rf_words c =
+  let base = 2 * c.mvmu_dim * c.mvmus_per_core in
+  max 1 (Float.to_int (c.rf_multiplier *. Float.of_int base))
+
+let xbar_in_words c = c.mvmu_dim * c.mvmus_per_core
+let xbar_out_words c = c.mvmu_dim * c.mvmus_per_core
+let cores_per_node c = c.cores_per_tile * c.tiles_per_node
+let mvmus_per_node c = c.mvmus_per_core * cores_per_node c
+
+let node_weight_bytes c =
+  (* Each MVMU stores a full mvmu_dim x mvmu_dim matrix of 16-bit weights
+     (spread over its bit-sliced physical crossbars). *)
+  mvmus_per_node c * c.mvmu_dim * c.mvmu_dim * weight_bits / 8
+
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+let validate c =
+  let check cond msg acc = if cond then acc else Error msg in
+  Ok c
+  |> check (c.mvmu_dim > 0 && is_power_of_two c.mvmu_dim)
+       "mvmu_dim must be a positive power of two"
+  |> check (c.mvmus_per_core > 0) "mvmus_per_core must be positive"
+  |> check (c.cores_per_tile > 0) "cores_per_tile must be positive"
+  |> check (c.tiles_per_node > 0) "tiles_per_node must be positive"
+  |> check (c.vfu_width > 0) "vfu_width must be positive"
+  |> check (c.rf_multiplier > 0.0) "rf_multiplier must be positive"
+  |> check
+       (c.bits_per_cell >= 1 && c.bits_per_cell <= 8)
+       "bits_per_cell must be in 1..8"
+  |> check (c.write_noise_sigma >= 0.0) "write_noise_sigma must be >= 0"
+  |> check (c.frequency_ghz > 0.0) "frequency_ghz must be positive"
+  |> check (c.num_fifos > 0) "num_fifos must be positive"
+  |> check (c.fifo_depth > 0) "fifo_depth must be positive"
+  |> check (c.smem_bytes > 0) "smem_bytes must be positive"
+
+let pp fmt c =
+  Format.fprintf fmt
+    "@[<v>PUMA config:@ mvmu_dim=%d mvmus/core=%d cores/tile=%d \
+     tiles/node=%d@ vfu_width=%d rf_words=%d bits/cell=%d sigma_N=%.2f \
+     freq=%.1fGHz@]"
+    c.mvmu_dim c.mvmus_per_core c.cores_per_tile c.tiles_per_node c.vfu_width
+    (rf_words c) c.bits_per_cell c.write_noise_sigma c.frequency_ghz

@@ -1,0 +1,68 @@
+(** PUMA design-space configuration.
+
+    One value of {!t} fixes every microarchitectural parameter swept in the
+    paper's design-space exploration (Figure 12) plus the device-level
+    parameters (bits per cell, write noise) swept in Figure 13. The
+    functional simulator, the timing/energy models and the compiler all
+    read the same configuration. *)
+
+type t = {
+  mvmu_dim : int;  (** Crossbar rows = columns (paper: 128). *)
+  mvmus_per_core : int;  (** MVMUs per core (paper: 2). *)
+  cores_per_tile : int;  (** Cores per tile (paper: 8). *)
+  tiles_per_node : int;  (** Tiles per node (paper: 138). *)
+  vfu_width : int;  (** Vector functional unit lanes (sweetspot: 4). *)
+  rf_multiplier : float;
+      (** Register file size as a multiple of the paper's provisioning rule
+          [2 * mvmu_dim * mvmus_per_core] words (Figure 12 sweeps 0.25x to
+          16x). *)
+  bits_per_cell : int;  (** Memristor precision in bits per device (2). *)
+  write_noise_sigma : float;
+      (** Relative programming noise sigma_N on stored conductance levels
+          (Figure 13 sweeps 0 to 0.3). *)
+  frequency_ghz : float;  (** Clock (1 GHz). *)
+  num_fifos : int;  (** Receive-buffer FIFOs per tile (16). *)
+  fifo_depth : int;  (** Entries per receive FIFO (2). *)
+  smem_bytes : int;  (** Tile shared (data) memory capacity (64 KB). *)
+  imem_core_bytes : int;  (** Core instruction memory (4 KB). *)
+  imem_tile_bytes : int;  (** Tile instruction memory (8 KB). *)
+}
+
+val default : t
+(** The Table 3 configuration (the paper's evaluated node). *)
+
+val sweetspot : t
+(** The Figure 12 efficiency sweetspot: [default] with [vfu_width = 4]. *)
+
+val weight_bits : int
+(** Bits of a logical weight (16). *)
+
+val slices : t -> int
+(** Number of physical crossbar slices per logical 16-bit MVMU,
+    [ceil (15 / bits_per_cell)]: signed weights are stored as differential
+    magnitude pairs, so slices cover the 15 magnitude bits (the top slice
+    may be partial, as when sweeping 1..6 bits per cell in Figure 13). *)
+
+val rf_words : t -> int
+(** General-purpose register file words per core:
+    [rf_multiplier * 2 * mvmu_dim * mvmus_per_core]. *)
+
+val xbar_in_words : t -> int
+(** XbarIn register words per core (one vector slot per MVMU). *)
+
+val xbar_out_words : t -> int
+(** XbarOut register words per core. *)
+
+val cores_per_node : t -> int
+val mvmus_per_node : t -> int
+
+val node_weight_bytes : t -> int
+(** On-node weight storage in bytes: every crossbar cell holds
+    [bits_per_cell] bits of one 16-bit weight. Paper: ~69 MB for the
+    default node. *)
+
+val validate : t -> (t, string) result
+(** Check structural invariants (positive sizes, bits per cell in 1..8,
+    power-of-two crossbar dimension). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,127 @@
+type category =
+  | Mvm
+  | Vfu
+  | Sfu
+  | Lut
+  | Rf
+  | Xbar_reg
+  | Fetch
+  | Smem
+  | Bus
+  | Attr
+  | Fifo
+  | Noc
+  | Offchip
+  | Static
+
+let all_categories =
+  [ Mvm; Vfu; Sfu; Lut; Rf; Xbar_reg; Fetch; Smem; Bus; Attr; Fifo; Noc; Offchip; Static ]
+
+let category_name = function
+  | Mvm -> "mvm"
+  | Vfu -> "vfu"
+  | Sfu -> "sfu"
+  | Lut -> "lut"
+  | Rf -> "rf"
+  | Xbar_reg -> "xbar-reg"
+  | Fetch -> "fetch"
+  | Smem -> "smem"
+  | Bus -> "bus"
+  | Attr -> "attr"
+  | Fifo -> "fifo"
+  | Noc -> "noc"
+  | Offchip -> "offchip"
+  | Static -> "static"
+
+let index = function
+  | Mvm -> 0
+  | Vfu -> 1
+  | Sfu -> 2
+  | Lut -> 3
+  | Rf -> 4
+  | Xbar_reg -> 5
+  | Fetch -> 6
+  | Smem -> 7
+  | Bus -> 8
+  | Attr -> 9
+  | Fifo -> 10
+  | Noc -> 11
+  | Offchip -> 12
+  | Static -> 13
+
+let num_categories = 14
+
+(* Per-event dynamic energies in pJ, derived from the Table 3 power budgets
+   at 1 GHz full utilization (power_mW / freq_GHz = pJ/cycle) and the NoC /
+   off-chip link models of Section 6.1. *)
+let per_event_pj (c : Config.t) = function
+  | Mvm -> Scaling.mvm_energy_pj c
+  | Vfu -> 1.9
+  | Sfu -> 0.1
+  | Lut -> 1.0
+  | Rf -> 0.5
+  | Xbar_reg -> 0.4
+  | Fetch -> 1.5
+  | Smem -> 15.0
+  | Bus -> 2.0
+  | Attr -> 1.0
+  | Fifo -> 2.0
+  | Noc -> 12.0 (* per 16-bit word per hop; 32-bit flits at ~24 pJ/hop *)
+  | Offchip -> 320.0 (* 20 pJ/bit chip-to-chip *)
+  | Static -> 0.0
+
+type t = {
+  cfg : Config.t;
+  counts : int array;
+  energies : float array;
+}
+
+let create cfg =
+  { cfg; counts = Array.make num_categories 0; energies = Array.make num_categories 0.0 }
+
+let config t = t.cfg
+
+let add t cat n =
+  let i = index cat in
+  t.counts.(i) <- t.counts.(i) + n;
+  t.energies.(i) <- t.energies.(i) +. (Float.of_int n *. per_event_pj t.cfg cat)
+
+let add_pj t cat pj =
+  let i = index cat in
+  t.energies.(i) <- t.energies.(i) +. pj
+
+(* Static share of a tile: 20% of its power budget is charged for the time
+   the workload occupies it regardless of activity. *)
+let static_fraction = 0.2
+
+let add_static t ~tiles ~cycles =
+  let tile_pw_mw = Table3.tile_power_mw t.cfg in
+  let pj_per_cycle_per_tile = tile_pw_mw *. static_fraction /. t.cfg.frequency_ghz in
+  add_pj t Static (Float.of_int tiles *. cycles *. pj_per_cycle_per_tile)
+
+let count t cat = t.counts.(index cat)
+let energy_pj t cat = t.energies.(index cat)
+let total_pj t = Array.fold_left ( +. ) 0.0 t.energies
+let total_uj t = total_pj t /. 1.0e6
+
+let merge_into ~dst ~src =
+  for i = 0 to num_categories - 1 do
+    dst.counts.(i) <- dst.counts.(i) + src.counts.(i);
+    dst.energies.(i) <- dst.energies.(i) +. src.energies.(i)
+  done
+
+let breakdown t =
+  all_categories
+  |> List.filter_map (fun cat ->
+         let e = energy_pj t cat in
+         if e > 0.0 then Some (cat, e) else None)
+  |> List.sort (fun (_, a) (_, b) -> Float.compare b a)
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>total %.3f uJ@," (total_uj t);
+  List.iter
+    (fun (cat, e) ->
+      Format.fprintf fmt "  %-9s %12.1f pJ (%d events)@," (category_name cat) e
+        (count t cat))
+    (breakdown t);
+  Format.fprintf fmt "@]"

@@ -1,0 +1,57 @@
+(** Per-event energy model and energy accounting ledger.
+
+    Dynamic energy is accumulated per event category; static (leakage +
+    clock) energy of the tiles a workload actually occupies is added over
+    the execution latency, mirroring how PUMAsim charges a workload only
+    for the resources it maps to. All values in picojoules unless noted. *)
+
+type category =
+  | Mvm  (** Full 16-bit crossbar MVM (all slices, DAC/ADC). *)
+  | Vfu  (** One vector lane-operation. *)
+  | Sfu  (** One scalar ALU operation. *)
+  | Lut  (** One ROM-Embedded-RAM transcendental lookup. *)
+  | Rf  (** One register-file word access. *)
+  | Xbar_reg  (** One XbarIn/XbarOut word access. *)
+  | Fetch  (** One instruction fetch + decode. *)
+  | Smem  (** One shared-memory word access. *)
+  | Bus  (** One word over the tile memory bus. *)
+  | Attr  (** One attribute-buffer check/update. *)
+  | Fifo  (** One word pushed/popped in the receive buffer. *)
+  | Noc  (** One word over one on-chip network hop. *)
+  | Offchip  (** One word over the chip-to-chip link. *)
+  | Static  (** Leakage/clock energy of occupied tiles over runtime. *)
+
+val all_categories : category list
+val category_name : category -> string
+
+val per_event_pj : Config.t -> category -> float
+(** Energy of a single event of the category ({!Static} returns 0; use
+    {!add_static}). *)
+
+(** {1 Ledger} *)
+
+type t
+
+val create : Config.t -> t
+val config : t -> Config.t
+
+val add : t -> category -> int -> unit
+(** [add t cat n] records [n] events of category [cat]. *)
+
+val add_pj : t -> category -> float -> unit
+(** Record raw picojoules against a category (used for {!Static}). *)
+
+val add_static : t -> tiles:int -> cycles:float -> unit
+(** Charge static energy for [tiles] occupied tiles over [cycles] clock
+    cycles. A tile's static share is modelled as 20% of its Table 3 power
+    budget. *)
+
+val count : t -> category -> int
+val energy_pj : t -> category -> float
+val total_pj : t -> float
+val total_uj : t -> float
+val merge_into : dst:t -> src:t -> unit
+val breakdown : t -> (category * float) list
+(** Nonzero categories with their energy, sorted descending. *)
+
+val pp : Format.formatter -> t -> unit

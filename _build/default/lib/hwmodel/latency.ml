@@ -1,0 +1,29 @@
+let mvm = Scaling.mvm_latency_cycles
+
+let mvm_initiation (c : Config.t) =
+  max 1 (Float.to_int (0.6 *. Float.of_int (Scaling.mvm_latency_cycles c)))
+
+let ceil_div a b = (a + b - 1) / b
+
+let alu (c : Config.t) ~vec_width = 1 + ceil_div (max 1 vec_width) c.vfu_width
+let alu_int = 1
+let set = 1
+let copy (c : Config.t) ~vec_width = 1 + ceil_div (max 1 vec_width) c.vfu_width
+
+let smem_access = 4
+let bus_words_per_cycle = 24
+
+let load (_c : Config.t) ~vec_width =
+  smem_access + ceil_div (max 1 vec_width) bus_words_per_cycle
+
+let store (_c : Config.t) ~vec_width =
+  smem_access + ceil_div (max 1 vec_width) bus_words_per_cycle
+
+let send_occupancy (_c : Config.t) ~vec_width =
+  2 + ceil_div (max 1 vec_width) bus_words_per_cycle
+
+let receive_occupancy (_c : Config.t) ~vec_width =
+  2 + ceil_div (max 1 vec_width) bus_words_per_cycle
+
+let jump = 1
+let branch = 1

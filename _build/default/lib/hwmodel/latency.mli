@@ -1,0 +1,45 @@
+(** Per-operation latency model (in core clock cycles).
+
+    These latencies drive both the cycle-approximate functional simulator
+    and the analytical estimator. The MVM latency is anchored to the
+    paper's 2304 ns (Section 7.4.3); vector operations use the temporal
+    SIMD model of Section 3.3 (a wide vector executes over
+    [ceil (length / vfu_width)] cycles). *)
+
+val mvm : Config.t -> int
+(** Full 16-bit MVM over all bit slices. *)
+
+val mvm_initiation : Config.t -> int
+(** Pipelined MVMU initiation interval (used for peak throughput and
+    spatial pipelining). *)
+
+val alu : Config.t -> vec_width:int -> int
+(** Vector ALU (linear or nonlinear) over [vec_width] elements. *)
+
+val alu_int : int
+(** Scalar functional unit operation. *)
+
+val set : int
+val copy : Config.t -> vec_width:int -> int
+
+val load : Config.t -> vec_width:int -> int
+(** Tile shared-memory load: eDRAM access latency plus bus transfer of
+    [vec_width] 16-bit words over the 384-bit bus. *)
+
+val store : Config.t -> vec_width:int -> int
+
+val send_occupancy : Config.t -> vec_width:int -> int
+(** Cycles the sending tile's control unit is busy issuing a send. *)
+
+val receive_occupancy : Config.t -> vec_width:int -> int
+(** Cycles to drain a matching packet from the receive buffer into shared
+    memory (excludes blocking time waiting for the packet). *)
+
+val jump : int
+val branch : int
+
+val smem_access : int
+(** Raw eDRAM access latency component of load/store. *)
+
+val bus_words_per_cycle : int
+(** 384-bit bus moves 24 16-bit words per cycle. *)

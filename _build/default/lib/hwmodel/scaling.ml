@@ -1,0 +1,80 @@
+let log2i n = Puma_util.Bits.bits_required n
+
+let adc_resolution ~dim ~bits_per_cell = log2i dim + bits_per_cell
+
+(* Reference ADC: the default PUMA MVMU uses resolution 9 (log2 128 + 2).
+   SAR ADC energy/conversion roughly doubles per extra bit; power is
+   energy * sample rate. Constants are chosen so that the default MVMU
+   (crossbar + DACs + ADC) lands on its Table 3 budget of 19.09 mW. *)
+let ref_resolution = 9
+let ref_adc_power_mw = 12.0
+let ref_samples_per_sec = 1.0e9
+
+let pow2f n = Float.of_int (1 lsl max 0 n)
+
+let adc_power_mw ~resolution ~samples_per_sec =
+  ref_adc_power_mw
+  *. (pow2f resolution /. pow2f ref_resolution)
+  *. (samples_per_sec /. ref_samples_per_sec)
+
+let adc_area_mm2 ~resolution = 0.0012 *. (pow2f resolution /. pow2f ref_resolution)
+
+(* Per-MVMU component budgets at the default configuration (mW / mm^2):
+   8 bit-sliced 128x128 crossbar arrays + integrators ~ 2.4 mW, the shared
+   128-wide DAC array ~ 4.7 mW, shared ADCs ~ 12 mW -> 19.09 mW total. *)
+let ref_dim = 128.0
+let ref_slices = 8.0
+let xbar_power_per_ref = 2.39
+let dac_power_per_ref = 4.7
+let xbar_area_per_ref = 0.0022
+let dac_area_per_ref = 0.0086
+
+let mvmu_power_mw (c : Config.t) =
+  let dim = Float.of_int c.mvmu_dim in
+  let slices = Float.of_int (Config.slices c) in
+  let freq = c.frequency_ghz in
+  let res = adc_resolution ~dim:c.mvmu_dim ~bits_per_cell:c.bits_per_cell in
+  let xbar = xbar_power_per_ref *. (dim /. ref_dim) ** 2.0 *. (slices /. ref_slices) in
+  let dac = dac_power_per_ref *. (dim /. ref_dim) in
+  let adc = adc_power_mw ~resolution:res ~samples_per_sec:(freq *. 1.0e9) in
+  (xbar +. dac +. adc) *. freq
+
+let mvmu_area_mm2 (c : Config.t) =
+  let dim = Float.of_int c.mvmu_dim in
+  let slices = Float.of_int (Config.slices c) in
+  let res = adc_resolution ~dim:c.mvmu_dim ~bits_per_cell:c.bits_per_cell in
+  let xbar = xbar_area_per_ref *. (dim /. ref_dim) ** 2.0 *. (slices /. ref_slices) in
+  let dac = dac_area_per_ref *. (dim /. ref_dim) in
+  xbar +. dac +. adc_area_mm2 ~resolution:res
+
+(* 2304 cycles at 128x128: inputs are streamed one bit per cycle over 16
+   cycles per input-vector pass, and the shared ADC serializes over columns;
+   latency grows linearly with dimension. *)
+let mvm_latency_cycles (c : Config.t) =
+  max 1 (18 * c.mvmu_dim)
+
+let mvm_energy_pj (c : Config.t) =
+  let dim = Float.of_int c.mvmu_dim in
+  let slices = Float.of_int (Config.slices c) in
+  let res = adc_resolution ~dim:c.mvmu_dim ~bits_per_cell:c.bits_per_cell in
+  (* Split the 43.97 nJ reference: ~60% ADC, ~25% array, ~15% DAC. *)
+  let adc = 26382.0 *. (dim /. ref_dim) *. (pow2f res /. pow2f ref_resolution) in
+  let array = 10992.0 *. (dim /. ref_dim) ** 2.0 *. (slices /. ref_slices) in
+  let dac = 6596.0 *. (dim /. ref_dim) in
+  adc +. array +. dac
+
+let node_steps from_nm to_nm =
+  (* Standard node sequence; steps between adjacent entries. *)
+  let seq = [ 45; 32; 28; 22; 16; 12; 7; 5 ] in
+  let idx n =
+    let rec go i = function
+      | [] -> i - 1
+      | x :: rest -> if x <= n then i else go (i + 1) rest
+    in
+    go 0 seq
+  in
+  idx to_nm - idx from_nm
+
+let tech_power_scale ~from_nm ~to_nm =
+  let steps = node_steps from_nm to_nm in
+  0.6 ** Float.of_int steps

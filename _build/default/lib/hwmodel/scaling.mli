@@ -1,0 +1,45 @@
+(** Analytical scaling laws for crossbar peripherals and technology nodes.
+
+    The paper's MVMU power/area model is adapted from ISAAC [95] with
+    SAR-ADC numbers from Murmann's ADC survey [77, 107]. We reproduce the
+    two scaling behaviours the design-space exploration (Figure 12) relies
+    on:
+
+    - crossbar cell count grows quadratically with dimension while
+      peripherals (DAC array, drivers) grow linearly, and
+    - the ADC resolution needed grows with [log2 dim + bits_per_cell], and
+      SAR ADC power/area grow superlinearly (~2^bits) with resolution,
+      counterbalancing the quadratic amortization for large crossbars. *)
+
+val adc_resolution : dim:int -> bits_per_cell:int -> int
+(** Output resolution required to capture a full-precision column sum:
+    [log2 dim + bits_per_cell] bits (1-bit streamed DAC inputs). *)
+
+val adc_power_mw : resolution:int -> samples_per_sec:float -> float
+(** SAR ADC power at the given resolution and sample rate, anchored so that
+    the default PUMA MVMU (128x128, 2-bit cells, 1 GHz node) matches its
+    Table 3 budget. *)
+
+val adc_area_mm2 : resolution:int -> float
+
+val mvmu_power_mw : Config.t -> float
+(** Total MVMU power: crossbar array + DAC array + shared ADCs, anchored to
+    19.09 mW for the default configuration. *)
+
+val mvmu_area_mm2 : Config.t -> float
+(** Anchored to 0.012 mm^2 for the default configuration. *)
+
+val mvm_latency_cycles : Config.t -> int
+(** Latency in cycles of a full 16-bit MVM (all bit slices, input bit
+    streaming, ADC conversions). Anchored to the paper's 2304 ns at
+    128x128 / 1 GHz (Section 7.4.3) and scales linearly with dimension
+    (input bits are streamed serially; columns share ADCs). *)
+
+val mvm_energy_pj : Config.t -> float
+(** Energy of a full 16-bit MVM. Anchored to 43.97 nJ for the default
+    configuration (Section 7.4.3); scales with the number of cells and the
+    ADC resolution. *)
+
+val tech_power_scale : from_nm:int -> to_nm:int -> float
+(** Dynamic-power scaling factor between technology nodes (~40% power
+    reduction per node step, Section 7.4.1). *)

@@ -1,0 +1,227 @@
+type component = {
+  name : string;
+  power_mw : float;
+  area_mm2 : float;
+  parameter : string;
+  specification : string;
+}
+
+(* Published per-component budgets (Table 3, 32nm, 1 GHz). Components whose
+   size is swept by the design-space exploration are rescaled from these
+   anchors. *)
+let control_power = 0.25
+let control_area = 0.0033
+let imem_power = 1.52
+let imem_area = 0.0031
+let rf_power_ref = 0.477
+let rf_area_ref = 0.00192
+let vfu_power_per_lane = 1.90
+let vfu_area_per_lane = 0.004
+let sfu_power = 0.055
+let sfu_area = 0.0006
+let tcu_power = 0.5
+let tcu_area = 0.00145
+let tile_imem_power = 1.91
+let tile_imem_area = 0.0054
+let smem_power_ref = 17.66
+let smem_area_ref = 0.086
+let bus_power = 7.0
+let bus_area = 0.090
+let attr_power = 2.77
+let attr_area = 0.012
+let recv_power_ref = 9.14
+let recv_area_ref = 0.0044
+let noc_power = 570.63
+let noc_area = 1.622
+let offchip_power_w = 10.4
+let offchip_area = 22.88
+
+let fi = Float.of_int
+
+let rf_scale (c : Config.t) =
+  fi (Config.rf_words c) /. fi (2 * 128 * 2)
+
+let smem_scale (c : Config.t) = fi c.smem_bytes /. fi (64 * 1024)
+
+let recv_scale (c : Config.t) =
+  fi (c.num_fifos * c.fifo_depth) /. fi (16 * 2)
+
+let core_components (c : Config.t) =
+  [
+    {
+      name = "Control Pipeline";
+      power_mw = control_power;
+      area_mm2 = control_area;
+      parameter = "# stages";
+      specification = "3";
+    };
+    {
+      name = "Instruction Memory";
+      power_mw = imem_power;
+      area_mm2 = imem_area;
+      parameter = "capacity";
+      specification = Printf.sprintf "%dKB" (c.imem_core_bytes / 1024);
+    };
+    {
+      name = "Register File";
+      power_mw = rf_power_ref *. rf_scale c;
+      area_mm2 = rf_area_ref *. rf_scale c;
+      parameter = "capacity";
+      specification = Printf.sprintf "%dB" (Config.rf_words c * 2);
+    };
+    {
+      name = "MVMU";
+      power_mw = Scaling.mvmu_power_mw c;
+      area_mm2 = Scaling.mvmu_area_mm2 c;
+      parameter = "# per core / dim";
+      specification =
+        Printf.sprintf "%d / %dx%d" c.mvmus_per_core c.mvmu_dim c.mvmu_dim;
+    };
+    {
+      name = "VFU";
+      power_mw = vfu_power_per_lane *. fi c.vfu_width;
+      area_mm2 = vfu_area_per_lane *. fi c.vfu_width;
+      parameter = "width";
+      specification = string_of_int c.vfu_width;
+    };
+    {
+      name = "SFU";
+      power_mw = sfu_power;
+      area_mm2 = sfu_area;
+      parameter = "-";
+      specification = "-";
+    };
+  ]
+
+let sum_power comps = List.fold_left (fun a c -> a +. c.power_mw) 0.0 comps
+let sum_area comps = List.fold_left (fun a c -> a +. c.area_mm2) 0.0 comps
+
+let core_power_mw c =
+  let comps = core_components c in
+  sum_power comps +. (fi (c.mvmus_per_core - 1) *. Scaling.mvmu_power_mw c)
+
+let core_area_mm2 c =
+  let comps = core_components c in
+  sum_area comps +. (fi (c.mvmus_per_core - 1) *. Scaling.mvmu_area_mm2 c)
+
+let tile_components (c : Config.t) =
+  [
+    {
+      name = "Core";
+      power_mw = core_power_mw c;
+      area_mm2 = core_area_mm2 c;
+      parameter = "# per tile";
+      specification = string_of_int c.cores_per_tile;
+    };
+    {
+      name = "Tile Control Unit";
+      power_mw = tcu_power;
+      area_mm2 = tcu_area;
+      parameter = "-";
+      specification = "-";
+    };
+    {
+      name = "Tile Instruction Memory";
+      power_mw = tile_imem_power;
+      area_mm2 = tile_imem_area;
+      parameter = "capacity";
+      specification = Printf.sprintf "%dKB" (c.imem_tile_bytes / 1024);
+    };
+    {
+      name = "Tile Data Memory";
+      power_mw = smem_power_ref *. smem_scale c;
+      area_mm2 = smem_area_ref *. smem_scale c;
+      parameter = "capacity";
+      specification = Printf.sprintf "%dKB eDRAM" (c.smem_bytes / 1024);
+    };
+    {
+      name = "Tile Memory Bus";
+      power_mw = bus_power;
+      area_mm2 = bus_area;
+      parameter = "width";
+      specification = "384 bits";
+    };
+    {
+      name = "Tile Attribute Memory";
+      power_mw = attr_power;
+      area_mm2 = attr_area;
+      parameter = "# entries";
+      specification = "32K eDRAM";
+    };
+    {
+      name = "Tile Receive Buffer";
+      power_mw = recv_power_ref *. recv_scale c;
+      area_mm2 = recv_area_ref *. recv_scale c;
+      parameter = "# fifos x depth";
+      specification = Printf.sprintf "%d x %d" c.num_fifos c.fifo_depth;
+    };
+  ]
+
+let tile_power_mw c =
+  let comps = tile_components c in
+  sum_power comps +. (fi (c.cores_per_tile - 1) *. core_power_mw c)
+
+let tile_area_mm2 c =
+  let comps = tile_components c in
+  sum_area comps +. (fi (c.cores_per_tile - 1) *. core_area_mm2 c)
+
+let node_power_w (c : Config.t) =
+  ((fi c.tiles_per_node *. tile_power_mw c) +. noc_power) /. 1000.0
+  +. offchip_power_w
+
+let node_area_mm2 (c : Config.t) =
+  (fi c.tiles_per_node *. tile_area_mm2 c) +. noc_area +. offchip_area
+
+let all (c : Config.t) =
+  core_components c
+  @ tile_components c
+  @ [
+      {
+        name = "Tile";
+        power_mw = tile_power_mw c;
+        area_mm2 = tile_area_mm2 c;
+        parameter = "# per node";
+        specification = string_of_int c.tiles_per_node;
+      };
+      {
+        name = "On-chip Network";
+        power_mw = noc_power;
+        area_mm2 = noc_area;
+        parameter = "flit size / ports";
+        specification = "32 / 4";
+      };
+      {
+        name = "Node";
+        power_mw = node_power_w c *. 1000.0;
+        area_mm2 = node_area_mm2 c;
+        parameter = "-";
+        specification = "-";
+      };
+      {
+        name = "Off-chip Network";
+        power_mw = offchip_power_w *. 1000.0;
+        area_mm2 = offchip_area;
+        parameter = "type / link bw";
+        specification = "HyperTransport / 6.4 GB/s";
+      };
+    ]
+
+(* The MVMU is pipelined (Figure 1): input bit-streaming of the next
+   vector overlaps ADC serialization of the previous one, so throughput is
+   set by an initiation interval shorter than the full latency. The 0.6
+   overlap factor anchors the default node to its published 52.31 TOPS/s
+   peak. *)
+let mvm_initiation_cycles (c : Config.t) =
+  max 1 (Float.to_int (0.6 *. fi (Scaling.mvm_latency_cycles c)))
+
+let peak_ops_per_cycle (c : Config.t) =
+  let mvm_ops = 2.0 *. fi (c.mvmu_dim * c.mvmu_dim) in
+  let per_mvmu = mvm_ops /. fi (mvm_initiation_cycles c) in
+  let mvmu_total = fi (Config.mvmus_per_node c) *. per_mvmu in
+  let vfu_total = fi (Config.cores_per_node c * c.vfu_width) in
+  mvmu_total +. vfu_total
+
+let peak_tops c = peak_ops_per_cycle c *. c.frequency_ghz /. 1000.0
+
+let peak_area_efficiency c = peak_tops c /. node_area_mm2 c
+let peak_power_efficiency c = peak_tops c /. node_power_w c

@@ -1,0 +1,46 @@
+(** The Table 3 component inventory: per-component power, area and
+    parameters for a given configuration.
+
+    For the default configuration the numbers are the paper's published
+    ones; non-default configurations (Figure 12 sweeps) rescale each
+    component with the laws in {!Scaling}. *)
+
+type component = {
+  name : string;
+  power_mw : float;
+  area_mm2 : float;
+  parameter : string;  (** Human-readable parameter column. *)
+  specification : string;  (** Human-readable specification column. *)
+}
+
+val core_components : Config.t -> component list
+(** Control pipeline, instruction memory, register file, MVMU, VFU, SFU. *)
+
+val tile_components : Config.t -> component list
+(** Core (aggregate), tile control unit, instruction/data memories, bus,
+    attribute memory, receive buffer. *)
+
+val core_power_mw : Config.t -> float
+val core_area_mm2 : Config.t -> float
+val tile_power_mw : Config.t -> float
+val tile_area_mm2 : Config.t -> float
+val node_power_w : Config.t -> float
+val node_area_mm2 : Config.t -> float
+
+val all : Config.t -> component list
+(** Full table: core components, tile components, tile/network/node rows. *)
+
+val peak_ops_per_cycle : Config.t -> float
+(** Peak 16-bit operations per cycle of a node (multiply and add counted
+    separately, as in Table 6): MVMs contribute
+    [2 * dim^2 / mvm_latency] per MVMU plus VFU lanes. *)
+
+val peak_tops : Config.t -> float
+(** Peak throughput in tera-operations per second (Table 6: 52.31 for the
+    default node). *)
+
+val peak_area_efficiency : Config.t -> float
+(** TOPS/s/mm^2 (Table 6: 0.58). *)
+
+val peak_power_efficiency : Config.t -> float
+(** TOPS/s/W (Table 6: 0.84). *)

@@ -1,0 +1,1 @@
+lib/isa/asm.ml: Array Buffer Format Instr List Operand Printf Result String

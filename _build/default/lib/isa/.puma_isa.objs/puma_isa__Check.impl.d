@@ -1,0 +1,1 @@
+lib/isa/check.ml: Array Buffer Encode Format Instr List Operand Printf Program Puma_util

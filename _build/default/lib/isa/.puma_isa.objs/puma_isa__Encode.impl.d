@@ -1,0 +1,1 @@
+lib/isa/encode.ml: Array Bytes Char Instr Printf Puma_util

@@ -1,0 +1,1 @@
+lib/isa/program.ml: Array Encode Instr List Puma_hwmodel Puma_util

@@ -1,0 +1,1 @@
+lib/isa/program.mli: Instr Puma_hwmodel Puma_util

@@ -1,0 +1,1 @@
+lib/isa/program_io.ml: Array Buffer Bytes Char Encode Fun Int64 List Printf Program Puma_hwmodel Puma_util String

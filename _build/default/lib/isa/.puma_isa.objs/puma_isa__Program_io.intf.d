@@ -1,0 +1,1 @@
+lib/isa/program_io.mli: Program

@@ -1,0 +1,1 @@
+lib/isa/usage.ml: Float Format Hashtbl Instr List Option Program

@@ -1,0 +1,1 @@
+lib/isa/usage.mli: Format Instr Program

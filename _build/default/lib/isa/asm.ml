@@ -1,0 +1,294 @@
+let reg l idx = Format.asprintf "%a" (Operand.pp_reg l) idx
+
+let addr = function
+  | Instr.Imm_addr a -> Printf.sprintf "@%d" a
+  | Instr.Sreg_addr s -> Printf.sprintf "@[s%d]" s
+
+let instr_to_string l (i : Instr.t) =
+  match i with
+  | Mvm { mask; filter; stride } ->
+      Printf.sprintf "mvm mask=0x%02x filter=%d stride=%d" mask filter stride
+  | Alu { op; dest; src1; src2; vec_width } ->
+      if Instr.alu_op_arity op = 1 then
+        Printf.sprintf "alu.%s %s, %s, w=%d" (Instr.alu_op_name op) (reg l dest)
+          (reg l src1) vec_width
+      else
+        Printf.sprintf "alu.%s %s, %s, %s, w=%d" (Instr.alu_op_name op)
+          (reg l dest) (reg l src1) (reg l src2) vec_width
+  | Alui { op; dest; src1; imm; vec_width } ->
+      Printf.sprintf "alui.%s %s, %s, #%d, w=%d" (Instr.alu_op_name op)
+        (reg l dest) (reg l src1) imm vec_width
+  | Alu_int { op; dest; src1; src2 } ->
+      Printf.sprintf "aluint.%s s%d, s%d, s%d" (Instr.alu_int_op_name op) dest
+        src1 src2
+  | Set { dest; imm } -> Printf.sprintf "set %s, #%d" (reg l dest) imm
+  | Set_sreg { dest; imm } -> Printf.sprintf "set s%d, #%d" dest imm
+  | Copy { dest; src; vec_width } ->
+      Printf.sprintf "copy %s, %s, w=%d" (reg l dest) (reg l src) vec_width
+  | Load { dest; addr = a; vec_width } ->
+      Printf.sprintf "load %s, %s, w=%d" (reg l dest) (addr a) vec_width
+  | Store { src; addr = a; count; vec_width } ->
+      Printf.sprintf "store %s, %s, count=%d, w=%d" (addr a) (reg l src) count
+        vec_width
+  | Send { mem_addr; fifo_id; target; vec_width } ->
+      Printf.sprintf "send @%d -> tile%d fifo%d, w=%d" mem_addr target fifo_id
+        vec_width
+  | Receive { mem_addr; fifo_id; count; vec_width } ->
+      Printf.sprintf "receive fifo%d -> @%d, count=%d, w=%d" fifo_id mem_addr
+        count vec_width
+  | Jmp { pc } -> Printf.sprintf "jmp %d" pc
+  | Brn { op; src1; src2; pc } ->
+      Printf.sprintf "brn.%s s%d, s%d, %d" (Instr.brn_op_name op) src1 src2 pc
+  | Halt -> "halt"
+
+let program_to_string l instrs =
+  let buf = Buffer.create 1024 in
+  Array.iteri
+    (fun pc i ->
+      Buffer.add_string buf (Printf.sprintf "%4d: %s\n" pc (instr_to_string l i)))
+    instrs;
+  Buffer.contents buf
+
+(* ---- Parsing ---- *)
+
+let ( let* ) = Result.bind
+
+let fail fmt = Printf.ksprintf (fun s -> Error s) fmt
+
+let split_tokens line =
+  (* Break on whitespace and commas; keep punctuation inside tokens. *)
+  String.split_on_char ' ' line
+  |> List.concat_map (String.split_on_char ',')
+  |> List.filter (fun s -> s <> "")
+
+let parse_int s =
+  match int_of_string_opt s with
+  | Some v -> Ok v
+  | None -> fail "expected an integer, got %S" s
+
+let parse_field ~name s =
+  (* "name=value" *)
+  match String.index_opt s '=' with
+  | Some i when String.sub s 0 i = name ->
+      Ok (String.sub s (i + 1) (String.length s - i - 1))
+  | Some _ | None -> fail "expected %s=<value>, got %S" name s
+
+let parse_field_int ~name s =
+  let* v = parse_field ~name s in
+  parse_int v
+
+let parse_imm s =
+  if String.length s > 1 && s.[0] = '#' then
+    parse_int (String.sub s 1 (String.length s - 1))
+  else fail "expected #immediate, got %S" s
+
+let parse_reg (l : Operand.layout) s =
+  let bracketed prefix =
+    (* "<prefix>N[M]" *)
+    let plen = String.length prefix in
+    if String.length s > plen && String.sub s 0 plen = prefix then
+      match (String.index_opt s '[', String.index_opt s ']') with
+      | Some bo, Some bc when bo > plen && bc = String.length s - 1 ->
+          let unit_s = String.sub s plen (bo - plen) in
+          let elem_s = String.sub s (bo + 1) (bc - bo - 1) in
+          Some (int_of_string_opt unit_s, int_of_string_opt elem_s)
+      | _ -> Some (None, None)
+    else None
+  in
+  match bracketed "xin" with
+  | Some (Some mvmu, Some elem) -> Ok (Operand.xbar_in l ~mvmu ~elem)
+  | Some _ -> fail "malformed xin register %S" s
+  | None -> (
+      match bracketed "xout" with
+      | Some (Some mvmu, Some elem) -> Ok (Operand.xbar_out l ~mvmu ~elem)
+      | Some _ -> fail "malformed xout register %S" s
+      | None ->
+          if String.length s > 1 && s.[0] = 'r' then
+            let* n = parse_int (String.sub s 1 (String.length s - 1)) in
+            Ok (Operand.gpr l n)
+          else fail "expected a register, got %S" s)
+
+let parse_sreg s =
+  if String.length s > 1 && s.[0] = 's' then
+    parse_int (String.sub s 1 (String.length s - 1))
+  else fail "expected a scalar register, got %S" s
+
+let parse_addr s =
+  if String.length s > 1 && s.[0] = '@' then
+    let body = String.sub s 1 (String.length s - 1) in
+    if String.length body > 2 && body.[0] = '[' && body.[String.length body - 1] = ']'
+    then
+      let* sr = parse_sreg (String.sub body 1 (String.length body - 2)) in
+      Ok (Instr.Sreg_addr sr)
+    else
+      let* a = parse_int body in
+      Ok (Instr.Imm_addr a)
+  else fail "expected an address, got %S" s
+
+let alu_op_of_name name =
+  let all =
+    [
+      Instr.Add; Sub; Mul; Div; Shl; Shr; And; Or; Invert; Relu; Sigmoid;
+      Tanh; Log; Exp; Rand; Subsample; Min; Max;
+    ]
+  in
+  match List.find_opt (fun op -> Instr.alu_op_name op = name) all with
+  | Some op -> Ok op
+  | None -> fail "unknown alu op %S" name
+
+let alu_int_op_of_name name =
+  let all = [ Instr.Iadd; Isub; Ieq; Ine; Igt ] in
+  match List.find_opt (fun op -> Instr.alu_int_op_name op = name) all with
+  | Some op -> Ok op
+  | None -> fail "unknown aluint op %S" name
+
+let brn_op_of_name name =
+  let all = [ Instr.Beq; Bne; Blt; Bge ] in
+  match List.find_opt (fun op -> Instr.brn_op_name op = name) all with
+  | Some op -> Ok op
+  | None -> fail "unknown brn op %S" name
+
+let split_mnemonic m =
+  match String.index_opt m '.' with
+  | Some i ->
+      (String.sub m 0 i, Some (String.sub m (i + 1) (String.length m - i - 1)))
+  | None -> (m, None)
+
+let parse_instr (l : Operand.layout) line : (Instr.t, string) result =
+  match split_tokens (String.trim line) with
+  | [] -> fail "empty line"
+  | mnemonic :: args -> (
+      let head, sub = split_mnemonic mnemonic in
+      match (head, sub, args) with
+      | "halt", None, [] -> Ok Instr.Halt
+      | "jmp", None, [ pc ] ->
+          let* pc = parse_int pc in
+          Ok (Instr.Jmp { pc })
+      | "mvm", None, [ m; f; st ] ->
+          let* mask_s = parse_field ~name:"mask" m in
+          let* mask = parse_int mask_s in
+          let* filter = parse_field_int ~name:"filter" f in
+          let* stride = parse_field_int ~name:"stride" st in
+          Ok (Instr.Mvm { mask; filter; stride })
+      | "alu", Some op, [ dest; src1; w ] ->
+          let* op = alu_op_of_name op in
+          let* dest = parse_reg l dest in
+          let* src1 = parse_reg l src1 in
+          let* vec_width = parse_field_int ~name:"w" w in
+          Ok (Instr.Alu { op; dest; src1; src2 = src1; vec_width })
+      | "alu", Some op, [ dest; src1; src2; w ] ->
+          let* op = alu_op_of_name op in
+          let* dest = parse_reg l dest in
+          let* src1 = parse_reg l src1 in
+          let* src2 = parse_reg l src2 in
+          let* vec_width = parse_field_int ~name:"w" w in
+          Ok (Instr.Alu { op; dest; src1; src2; vec_width })
+      | "alui", Some op, [ dest; src1; imm; w ] ->
+          let* op = alu_op_of_name op in
+          let* dest = parse_reg l dest in
+          let* src1 = parse_reg l src1 in
+          let* imm = parse_imm imm in
+          let* vec_width = parse_field_int ~name:"w" w in
+          Ok (Instr.Alui { op; dest; src1; imm; vec_width })
+      | "aluint", Some op, [ dest; src1; src2 ] ->
+          let* op = alu_int_op_of_name op in
+          let* dest = parse_sreg dest in
+          let* src1 = parse_sreg src1 in
+          let* src2 = parse_sreg src2 in
+          Ok (Instr.Alu_int { op; dest; src1; src2 })
+      | "set", None, [ dest; imm ] when String.length dest > 0 && dest.[0] = 's'
+        ->
+          let* dest = parse_sreg dest in
+          let* imm = parse_imm imm in
+          Ok (Instr.Set_sreg { dest; imm })
+      | "set", None, [ dest; imm ] ->
+          let* dest = parse_reg l dest in
+          let* imm = parse_imm imm in
+          Ok (Instr.Set { dest; imm })
+      | "copy", None, [ dest; src; w ] ->
+          let* dest = parse_reg l dest in
+          let* src = parse_reg l src in
+          let* vec_width = parse_field_int ~name:"w" w in
+          Ok (Instr.Copy { dest; src; vec_width })
+      | "load", None, [ dest; a; w ] ->
+          let* dest = parse_reg l dest in
+          let* addr = parse_addr a in
+          let* vec_width = parse_field_int ~name:"w" w in
+          Ok (Instr.Load { dest; addr; vec_width })
+      | "store", None, [ a; src; c; w ] ->
+          let* addr = parse_addr a in
+          let* src = parse_reg l src in
+          let* count = parse_field_int ~name:"count" c in
+          let* vec_width = parse_field_int ~name:"w" w in
+          Ok (Instr.Store { src; addr; count; vec_width })
+      | "send", None, [ a; "->"; target; fifo; w ] ->
+          let* addr = parse_addr a in
+          let* mem_addr =
+            match addr with
+            | Instr.Imm_addr v -> Ok v
+            | Instr.Sreg_addr _ -> fail "send needs an immediate address"
+          in
+          let* target =
+            if String.length target > 4 && String.sub target 0 4 = "tile" then
+              parse_int (String.sub target 4 (String.length target - 4))
+            else fail "expected tileN, got %S" target
+          in
+          let* fifo_id =
+            if String.length fifo > 4 && String.sub fifo 0 4 = "fifo" then
+              parse_int (String.sub fifo 4 (String.length fifo - 4))
+            else fail "expected fifoN, got %S" fifo
+          in
+          let* vec_width = parse_field_int ~name:"w" w in
+          Ok (Instr.Send { mem_addr; fifo_id; target; vec_width })
+      | "receive", None, [ fifo; "->"; a; c; w ] ->
+          let* fifo_id =
+            if String.length fifo > 4 && String.sub fifo 0 4 = "fifo" then
+              parse_int (String.sub fifo 4 (String.length fifo - 4))
+            else fail "expected fifoN, got %S" fifo
+          in
+          let* addr = parse_addr a in
+          let* mem_addr =
+            match addr with
+            | Instr.Imm_addr v -> Ok v
+            | Instr.Sreg_addr _ -> fail "receive needs an immediate address"
+          in
+          let* count = parse_field_int ~name:"count" c in
+          let* vec_width = parse_field_int ~name:"w" w in
+          Ok (Instr.Receive { mem_addr; fifo_id; count; vec_width })
+      | "brn", Some op, [ src1; src2; pc ] ->
+          let* op = brn_op_of_name op in
+          let* src1 = parse_sreg src1 in
+          let* src2 = parse_sreg src2 in
+          let* pc = parse_int pc in
+          Ok (Instr.Brn { op; src1; src2; pc })
+      | _ -> fail "cannot parse instruction %S" line)
+
+let strip_pc_prefix line =
+  match String.index_opt line ':' with
+  | Some i
+    when i < String.length line - 1
+         && String.for_all
+              (fun c -> c = ' ' || (c >= '0' && c <= '9'))
+              (String.sub line 0 i) ->
+      String.sub line (i + 1) (String.length line - i - 1)
+  | Some _ | None -> line
+
+let strip_comment line =
+  match String.index_opt line ';' with
+  | Some i -> String.sub line 0 i
+  | None -> line
+
+let parse_program l text =
+  let lines = String.split_on_char '\n' text in
+  let rec go acc lineno = function
+    | [] -> Ok (Array.of_list (List.rev acc))
+    | line :: rest ->
+        let body = String.trim (strip_pc_prefix (strip_comment line)) in
+        if body = "" then go acc (lineno + 1) rest
+        else begin
+          match parse_instr l body with
+          | Ok i -> go (i :: acc) (lineno + 1) rest
+          | Error e -> fail "line %d: %s" lineno e
+        end
+  in
+  go [] 1 lines

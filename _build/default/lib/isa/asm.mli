@@ -1,0 +1,16 @@
+(** Textual assembly: rendering and parsing of PUMA programs (debugging,
+    examples, golden tests and the command-line disassembler). The parser
+    accepts exactly the printer's syntax; [parse_instr] and
+    {!instr_to_string} round-trip. *)
+
+val instr_to_string : Operand.layout -> Instr.t -> string
+
+val program_to_string : Operand.layout -> Instr.t array -> string
+(** One instruction per line, prefixed with its PC. *)
+
+val parse_instr : Operand.layout -> string -> (Instr.t, string) result
+(** Parse one instruction (without the PC prefix). *)
+
+val parse_program : Operand.layout -> string -> (Instr.t array, string) result
+(** Parse a whole listing; lines may carry the printer's "NNNN:" PC
+    prefix, [;] starts a comment, and blank lines are skipped. *)

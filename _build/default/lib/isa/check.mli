@@ -1,0 +1,31 @@
+(** Static validation of compiled programs.
+
+    A structural lint run over a {!Program.t}: every violation that would
+    make the simulator (or hardware) misbehave is reported with its
+    location. The compiler's output is checked in the integration tests;
+    hand-written programs and the CLI assembler use it as a front line. *)
+
+type violation = {
+  where : string;  (** e.g. "tile 2 core 1 pc 14". *)
+  what : string;
+}
+
+val check : Program.t -> violation list
+(** Empty when the program is well-formed. Verified properties:
+
+    - core streams contain no tile instructions and vice versa;
+    - vector register operands lie within a single register space for
+      their full [vec_width]; scalar register indices are in range;
+    - MVM masks are non-zero and only name existing MVMUs;
+    - jump and branch targets are within the stream;
+    - shared-memory addresses (including I/O and constant bindings) fit
+      the tile data memory; consumer counts fit the encoding;
+    - send targets are existing tiles and FIFO ids exist;
+    - instruction streams fit the core / tile instruction memories;
+    - crossbar images name existing cores/MVMUs and have the crossbar's
+      exact shape. *)
+
+val check_exn : Program.t -> unit
+(** Raises [Failure] with a readable report if {!check} is non-empty. *)
+
+val pp_violation : Format.formatter -> violation -> unit

@@ -1,0 +1,304 @@
+let width_bytes = 7
+
+(* Opcodes (5 bits). *)
+let op_mvm = 1
+let op_alu = 2
+let op_alui = 3
+let op_alu_int = 4
+let op_set = 5
+let op_set_sreg = 6
+let op_copy = 7
+let op_load = 8
+let op_store = 9
+let op_send = 10
+let op_receive = 11
+let op_jmp = 12
+let op_brn = 13
+let op_halt = 14
+
+(* A 56-bit word is accumulated in an OCaml int (63-bit safe). *)
+type writer = { mutable word : int; mutable pos : int }
+
+let writer () = { word = 0; pos = 0 }
+
+let put w ~bits v =
+  if v < 0 || v >= 1 lsl bits then
+    invalid_arg
+      (Printf.sprintf "Encode: value %d does not fit in %d bits" v bits);
+  w.word <- w.word lor (v lsl w.pos);
+  w.pos <- w.pos + bits;
+  assert (w.pos <= 56)
+
+type reader = { mutable rword : int; mutable rpos : int }
+
+let reader word = { rword = word; rpos = 0 }
+
+let take r ~bits =
+  let v = (r.rword lsr r.rpos) land ((1 lsl bits) - 1) in
+  r.rpos <- r.rpos + bits;
+  v
+
+let alu_op_code : Instr.alu_op -> int = function
+  | Add -> 0
+  | Sub -> 1
+  | Mul -> 2
+  | Div -> 3
+  | Shl -> 4
+  | Shr -> 5
+  | And -> 6
+  | Or -> 7
+  | Invert -> 8
+  | Relu -> 9
+  | Sigmoid -> 10
+  | Tanh -> 11
+  | Log -> 12
+  | Exp -> 13
+  | Rand -> 14
+  | Subsample -> 15
+  | Min -> 16
+  | Max -> 17
+
+let alu_op_of_code = function
+  | 0 -> Instr.Add
+  | 1 -> Sub
+  | 2 -> Mul
+  | 3 -> Div
+  | 4 -> Shl
+  | 5 -> Shr
+  | 6 -> And
+  | 7 -> Or
+  | 8 -> Invert
+  | 9 -> Relu
+  | 10 -> Sigmoid
+  | 11 -> Tanh
+  | 12 -> Log
+  | 13 -> Exp
+  | 14 -> Rand
+  | 15 -> Subsample
+  | 16 -> Min
+  | 17 -> Max
+  | n -> invalid_arg (Printf.sprintf "Encode: bad alu op code %d" n)
+
+let alu_int_op_code : Instr.alu_int_op -> int = function
+  | Iadd -> 0
+  | Isub -> 1
+  | Ieq -> 2
+  | Ine -> 3
+  | Igt -> 4
+
+let alu_int_op_of_code = function
+  | 0 -> Instr.Iadd
+  | 1 -> Isub
+  | 2 -> Ieq
+  | 3 -> Ine
+  | 4 -> Igt
+  | n -> invalid_arg (Printf.sprintf "Encode: bad alu-int op code %d" n)
+
+let brn_op_code : Instr.brn_op -> int = function
+  | Beq -> 0
+  | Bne -> 1
+  | Blt -> 2
+  | Bge -> 3
+
+let brn_op_of_code = function
+  | 0 -> Instr.Beq
+  | 1 -> Bne
+  | 2 -> Blt
+  | 3 -> Bge
+  | n -> invalid_arg (Printf.sprintf "Encode: bad brn op code %d" n)
+
+let imm16 v = Puma_util.Bits.to_unsigned ~width:16 v
+let of_imm16 p = Puma_util.Bits.of_unsigned ~width:16 p
+
+let put_addr w = function
+  | Instr.Imm_addr a ->
+      put w ~bits:1 0;
+      put w ~bits:16 a
+  | Instr.Sreg_addr s ->
+      put w ~bits:1 1;
+      put w ~bits:16 s
+
+let take_addr r =
+  let mode = take r ~bits:1 in
+  let v = take r ~bits:16 in
+  if mode = 0 then Instr.Imm_addr v else Instr.Sreg_addr v
+
+let to_word (i : Instr.t) =
+  let w = writer () in
+  (match i with
+  | Mvm { mask; filter; stride } ->
+      put w ~bits:5 op_mvm;
+      put w ~bits:8 mask;
+      put w ~bits:8 filter;
+      put w ~bits:8 stride
+  | Alu { op; dest; src1; src2; vec_width } ->
+      put w ~bits:5 op_alu;
+      put w ~bits:5 (alu_op_code op);
+      put w ~bits:11 dest;
+      put w ~bits:11 src1;
+      put w ~bits:11 src2;
+      put w ~bits:13 vec_width
+  | Alui { op; dest; src1; imm; vec_width } ->
+      put w ~bits:5 op_alui;
+      put w ~bits:5 (alu_op_code op);
+      put w ~bits:11 dest;
+      put w ~bits:11 src1;
+      put w ~bits:16 (imm16 imm);
+      put w ~bits:8 vec_width
+  | Alu_int { op; dest; src1; src2 } ->
+      put w ~bits:5 op_alu_int;
+      put w ~bits:5 (alu_int_op_code op);
+      put w ~bits:4 dest;
+      put w ~bits:4 src1;
+      put w ~bits:4 src2
+  | Set { dest; imm } ->
+      put w ~bits:5 op_set;
+      put w ~bits:11 dest;
+      put w ~bits:16 (imm16 imm)
+  | Set_sreg { dest; imm } ->
+      put w ~bits:5 op_set_sreg;
+      put w ~bits:4 dest;
+      put w ~bits:16 (imm16 imm)
+  | Copy { dest; src; vec_width } ->
+      put w ~bits:5 op_copy;
+      put w ~bits:11 dest;
+      put w ~bits:11 src;
+      put w ~bits:13 vec_width
+  | Load { dest; addr; vec_width } ->
+      put w ~bits:5 op_load;
+      put w ~bits:11 dest;
+      put_addr w addr;
+      put w ~bits:13 vec_width
+  | Store { src; addr; count; vec_width } ->
+      put w ~bits:5 op_store;
+      put w ~bits:11 src;
+      put_addr w addr;
+      put w ~bits:8 count;
+      put w ~bits:13 vec_width
+  | Send { mem_addr; fifo_id; target; vec_width } ->
+      put w ~bits:5 op_send;
+      put w ~bits:16 mem_addr;
+      put w ~bits:5 fifo_id;
+      put w ~bits:9 target;
+      put w ~bits:13 vec_width
+  | Receive { mem_addr; fifo_id; count; vec_width } ->
+      put w ~bits:5 op_receive;
+      put w ~bits:16 mem_addr;
+      put w ~bits:5 fifo_id;
+      put w ~bits:9 count;
+      put w ~bits:13 vec_width
+  | Jmp { pc } ->
+      put w ~bits:5 op_jmp;
+      put w ~bits:16 pc
+  | Brn { op; src1; src2; pc } ->
+      put w ~bits:5 op_brn;
+      put w ~bits:5 (brn_op_code op);
+      put w ~bits:4 src1;
+      put w ~bits:4 src2;
+      put w ~bits:16 pc
+  | Halt -> put w ~bits:5 op_halt);
+  w.word
+
+let of_word word : Instr.t =
+  let r = reader word in
+  let opcode = take r ~bits:5 in
+  if opcode = op_mvm then
+    let mask = take r ~bits:8 in
+    let filter = take r ~bits:8 in
+    let stride = take r ~bits:8 in
+    Mvm { mask; filter; stride }
+  else if opcode = op_alu then
+    let op = alu_op_of_code (take r ~bits:5) in
+    let dest = take r ~bits:11 in
+    let src1 = take r ~bits:11 in
+    let src2 = take r ~bits:11 in
+    let vec_width = take r ~bits:13 in
+    Alu { op; dest; src1; src2; vec_width }
+  else if opcode = op_alui then
+    let op = alu_op_of_code (take r ~bits:5) in
+    let dest = take r ~bits:11 in
+    let src1 = take r ~bits:11 in
+    let imm = of_imm16 (take r ~bits:16) in
+    let vec_width = take r ~bits:8 in
+    Alui { op; dest; src1; imm; vec_width }
+  else if opcode = op_alu_int then
+    let op = alu_int_op_of_code (take r ~bits:5) in
+    let dest = take r ~bits:4 in
+    let src1 = take r ~bits:4 in
+    let src2 = take r ~bits:4 in
+    Alu_int { op; dest; src1; src2 }
+  else if opcode = op_set then
+    let dest = take r ~bits:11 in
+    let imm = of_imm16 (take r ~bits:16) in
+    Set { dest; imm }
+  else if opcode = op_set_sreg then
+    let dest = take r ~bits:4 in
+    let imm = of_imm16 (take r ~bits:16) in
+    Set_sreg { dest; imm }
+  else if opcode = op_copy then
+    let dest = take r ~bits:11 in
+    let src = take r ~bits:11 in
+    let vec_width = take r ~bits:13 in
+    Copy { dest; src; vec_width }
+  else if opcode = op_load then
+    let dest = take r ~bits:11 in
+    let addr = take_addr r in
+    let vec_width = take r ~bits:13 in
+    Load { dest; addr; vec_width }
+  else if opcode = op_store then
+    let src = take r ~bits:11 in
+    let addr = take_addr r in
+    let count = take r ~bits:8 in
+    let vec_width = take r ~bits:13 in
+    Store { src; addr; count; vec_width }
+  else if opcode = op_send then
+    let mem_addr = take r ~bits:16 in
+    let fifo_id = take r ~bits:5 in
+    let target = take r ~bits:9 in
+    let vec_width = take r ~bits:13 in
+    Send { mem_addr; fifo_id; target; vec_width }
+  else if opcode = op_receive then
+    let mem_addr = take r ~bits:16 in
+    let fifo_id = take r ~bits:5 in
+    let count = take r ~bits:9 in
+    let vec_width = take r ~bits:13 in
+    Receive { mem_addr; fifo_id; count; vec_width }
+  else if opcode = op_jmp then Jmp { pc = take r ~bits:16 }
+  else if opcode = op_brn then
+    let op = brn_op_of_code (take r ~bits:5) in
+    let src1 = take r ~bits:4 in
+    let src2 = take r ~bits:4 in
+    let pc = take r ~bits:16 in
+    Brn { op; src1; src2; pc }
+  else if opcode = op_halt then Halt
+  else invalid_arg (Printf.sprintf "Encode.decode: bad opcode %d" opcode)
+
+let encode i =
+  let word = to_word i in
+  let b = Bytes.create width_bytes in
+  for k = 0 to width_bytes - 1 do
+    Bytes.set b k (Char.chr ((word lsr (8 * k)) land 0xFF))
+  done;
+  b
+
+let decode b =
+  if Bytes.length b <> width_bytes then
+    invalid_arg "Encode.decode: buffer must be 7 bytes";
+  let word = ref 0 in
+  for k = width_bytes - 1 downto 0 do
+    word := (!word lsl 8) lor Char.code (Bytes.get b k)
+  done;
+  of_word !word
+
+let encode_program instrs =
+  let b = Bytes.create (width_bytes * Array.length instrs) in
+  Array.iteri (fun i ins -> Bytes.blit (encode ins) 0 b (i * width_bytes) width_bytes) instrs;
+  b
+
+let decode_program b =
+  let n = Bytes.length b / width_bytes in
+  if Bytes.length b mod width_bytes <> 0 then
+    invalid_arg "Encode.decode_program: size not a multiple of 7";
+  Array.init n (fun i -> decode (Bytes.sub b (i * width_bytes) width_bytes))
+
+let program_bytes instrs = width_bytes * Array.length instrs

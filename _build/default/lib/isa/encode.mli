@@ -1,0 +1,28 @@
+(** Binary instruction encoding.
+
+    Every instruction encodes to exactly {!width_bytes} = 7 bytes (the
+    paper's wide-instruction design, Section 3.1: wide instructions carry
+    the long register operands required by the large register file and the
+    [vec-width] operand required by temporal SIMD).
+
+    Field widths (bits): opcode 5; ALU sub-opcode 5; vector register
+    operand 11; scalar register operand 4; immediate / memory address / pc
+    16; vec-width 13 (8 for [Alui]); MVMU mask, filter, stride 8 each;
+    FIFO id 5; target tile 9. [encode] raises [Invalid_argument] if an
+    operand exceeds its field. *)
+
+val width_bytes : int
+
+val encode : Instr.t -> bytes
+(** 7-byte little-endian-packed encoding. *)
+
+val decode : bytes -> Instr.t
+(** Inverse of {!encode}; raises [Invalid_argument] on an unknown opcode
+    or wrong buffer size. *)
+
+val encode_program : Instr.t array -> bytes
+val decode_program : bytes -> Instr.t array
+
+val program_bytes : Instr.t array -> int
+(** Static code size: [7 * Array.length]. Used to check programs against
+    the 4 KB core / 8 KB tile instruction memories. *)

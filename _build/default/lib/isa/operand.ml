@@ -1,0 +1,64 @@
+type space = Xbar_in | Xbar_out | Gpr
+
+let space_name = function
+  | Xbar_in -> "xbar-in"
+  | Xbar_out -> "xbar-out"
+  | Gpr -> "gpr"
+
+type layout = {
+  mvmu_dim : int;
+  xbar_in_base : int;
+  xbar_out_base : int;
+  gpr_base : int;
+  total : int;
+}
+
+let layout (c : Puma_hwmodel.Config.t) =
+  let xin = Puma_hwmodel.Config.xbar_in_words c in
+  let xout = Puma_hwmodel.Config.xbar_out_words c in
+  let gpr = Puma_hwmodel.Config.rf_words c in
+  {
+    mvmu_dim = c.mvmu_dim;
+    xbar_in_base = 0;
+    xbar_out_base = xin;
+    gpr_base = xin + xout;
+    total = xin + xout + gpr;
+  }
+
+let space_of l idx =
+  if idx < 0 || idx >= l.total then
+    invalid_arg (Printf.sprintf "Operand.space_of: register %d out of range" idx)
+  else if idx < l.xbar_out_base then Xbar_in
+  else if idx < l.gpr_base then Xbar_out
+  else Gpr
+
+let base_of l = function
+  | Xbar_in -> l.xbar_in_base
+  | Xbar_out -> l.xbar_out_base
+  | Gpr -> l.gpr_base
+
+let size_of l = function
+  | Xbar_in -> l.xbar_out_base - l.xbar_in_base
+  | Xbar_out -> l.gpr_base - l.xbar_out_base
+  | Gpr -> l.total - l.gpr_base
+
+let xbar_in l ~mvmu ~elem =
+  assert (elem >= 0 && elem < l.mvmu_dim);
+  l.xbar_in_base + (mvmu * l.mvmu_dim) + elem
+
+let xbar_out l ~mvmu ~elem =
+  assert (elem >= 0 && elem < l.mvmu_dim);
+  l.xbar_out_base + (mvmu * l.mvmu_dim) + elem
+
+let gpr l i = l.gpr_base + i
+let num_scalar_regs = 16
+
+let pp_reg l fmt idx =
+  match space_of l idx with
+  | Xbar_in ->
+      let off = idx - l.xbar_in_base in
+      Format.fprintf fmt "xin%d[%d]" (off / l.mvmu_dim) (off mod l.mvmu_dim)
+  | Xbar_out ->
+      let off = idx - l.xbar_out_base in
+      Format.fprintf fmt "xout%d[%d]" (off / l.mvmu_dim) (off mod l.mvmu_dim)
+  | Gpr -> Format.fprintf fmt "r%d" (idx - l.gpr_base)

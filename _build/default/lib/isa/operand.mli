@@ -1,0 +1,43 @@
+(** Register operands and the per-core register address layout.
+
+    A core has three register spaces (Section 5.4): XbarIn (written by
+    non-MVM instructions, read by MVM), XbarOut (written by MVM, read by
+    non-MVM) and general-purpose registers. The ISA uses a single flat
+    index space per core; the layout maps flat indices to spaces. In
+    addition each core has a small scalar register file used by the SFU
+    for control flow (loop counters, addresses). *)
+
+type space = Xbar_in | Xbar_out | Gpr
+
+val space_name : space -> string
+
+type layout = {
+  mvmu_dim : int;  (** Crossbar dimension (elements per XbarIn vector). *)
+  xbar_in_base : int;  (** Always 0. *)
+  xbar_out_base : int;
+  gpr_base : int;
+  total : int;  (** One past the last valid flat index. *)
+}
+
+val layout : Puma_hwmodel.Config.t -> layout
+
+val space_of : layout -> int -> space
+(** Classify a flat register index; raises [Invalid_argument] if out of
+    range. *)
+
+val base_of : layout -> space -> int
+val size_of : layout -> space -> int
+
+val xbar_in : layout -> mvmu:int -> elem:int -> int
+(** Flat index of element [elem] of MVMU [mvmu]'s input register vector. *)
+
+val xbar_out : layout -> mvmu:int -> elem:int -> int
+
+val gpr : layout -> int -> int
+(** Flat index of general-purpose register [i]. *)
+
+val num_scalar_regs : int
+(** Scalar (SFU) registers per core (16). *)
+
+val pp_reg : layout -> Format.formatter -> int -> unit
+(** Prints e.g. "xin0[5]", "xout1[12]", "r42". *)

@@ -1,0 +1,80 @@
+type mvmu_image = {
+  core_index : int;
+  mvmu_index : int;
+  weights : Puma_util.Tensor.mat;
+}
+
+type io_binding = {
+  name : string;
+  tile : int;
+  mem_addr : int;
+  length : int;
+  offset : int;
+}
+
+type tile_program = {
+  tile_index : int;
+  core_code : Instr.t array array;
+  tile_code : Instr.t array;
+  mvmu_images : mvmu_image list;
+}
+
+type t = {
+  config : Puma_hwmodel.Config.t;
+  tiles : tile_program array;
+  inputs : io_binding list;
+  outputs : io_binding list;
+  constants : (io_binding * int array) list;
+}
+
+let num_tiles t = Array.length t.tiles
+
+let num_cores t =
+  Array.fold_left
+    (fun acc tile ->
+      acc
+      + Array.fold_left
+          (fun a code -> if Array.length code > 0 then a + 1 else a)
+          0 tile.core_code)
+    0 t.tiles
+
+let num_instrs t =
+  Array.fold_left
+    (fun acc tile ->
+      acc
+      + Array.length tile.tile_code
+      + Array.fold_left (fun a code -> a + Array.length code) 0 tile.core_code)
+    0 t.tiles
+
+let all_core_instrs t =
+  Array.fold_left
+    (fun acc tile ->
+      Array.fold_left
+        (fun a code -> Array.fold_left (fun a i -> i :: a) a code)
+        acc tile.core_code)
+    [] t.tiles
+  |> List.rev
+
+let all_tile_instrs t =
+  Array.fold_left
+    (fun acc tile -> Array.fold_left (fun a i -> i :: a) acc tile.tile_code)
+    [] t.tiles
+  |> List.rev
+
+let code_size_ok t =
+  let core_cap = t.config.imem_core_bytes in
+  let tile_cap = t.config.imem_tile_bytes in
+  Array.for_all
+    (fun tile ->
+      Encode.program_bytes tile.tile_code <= tile_cap
+      && Array.for_all
+           (fun code -> Encode.program_bytes code <= core_cap)
+           tile.core_code)
+    t.tiles
+
+let iter_instrs t f =
+  Array.iter
+    (fun tile ->
+      Array.iter (fun code -> Array.iter f code) tile.core_code;
+      Array.iter f tile.tile_code)
+    t.tiles

@@ -1,0 +1,56 @@
+(** Compiled PUMA programs: one instruction stream per core plus one per
+    tile control unit, and the constant crossbar contents.
+
+    A program is the complete artifact the compiler hands to the simulator:
+    instruction streams, the weight matrices to serially write into each
+    MVMU at configuration time (Section 3.2.5), and the addresses where the
+    host deposits network inputs / collects outputs in tile shared
+    memories. *)
+
+type mvmu_image = {
+  core_index : int;  (** Core within the tile. *)
+  mvmu_index : int;  (** MVMU within the core. *)
+  weights : Puma_util.Tensor.mat;  (** dim x dim, zero-padded. *)
+}
+
+type io_binding = {
+  name : string;  (** Graph-level vector name. *)
+  tile : int;
+  mem_addr : int;  (** Word address in the tile's shared memory. *)
+  length : int;
+  offset : int;  (** Offset of this fragment within the logical vector. *)
+}
+
+type tile_program = {
+  tile_index : int;
+  core_code : Instr.t array array;  (** Indexed by core within tile. *)
+  tile_code : Instr.t array;  (** send/receive stream. *)
+  mvmu_images : mvmu_image list;
+}
+
+type t = {
+  config : Puma_hwmodel.Config.t;
+  tiles : tile_program array;
+  inputs : io_binding list;
+  outputs : io_binding list;
+  constants : (io_binding * int array) list;
+      (** Constant vectors (raw 16-bit fixed patterns) the host deposits
+          into tile shared memories at configuration time, alongside the
+          crossbar weight writes. *)
+}
+
+val num_tiles : t -> int
+val num_cores : t -> int
+(** Total cores with a nonempty instruction stream. *)
+
+val num_instrs : t -> int
+(** Total static instructions (core + tile streams). *)
+
+val all_core_instrs : t -> Instr.t list
+val all_tile_instrs : t -> Instr.t list
+
+val code_size_ok : t -> bool
+(** All core streams fit the core instruction memory and all tile streams
+    fit the tile instruction memory (encoded at 7 bytes each). *)
+
+val iter_instrs : t -> (Instr.t -> unit) -> unit

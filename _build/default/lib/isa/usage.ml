@@ -1,0 +1,37 @@
+type t = (Instr.unit_class * int) list
+
+let of_instrs instrs =
+  let tally = Hashtbl.create 8 in
+  List.iter
+    (fun i ->
+      match i with
+      | Instr.Halt -> ()
+      | _ ->
+          let u = Instr.unit_of i in
+          let cur = Option.value ~default:0 (Hashtbl.find_opt tally u) in
+          Hashtbl.replace tally u (cur + 1))
+    instrs;
+  List.map
+    (fun u -> (u, Option.value ~default:0 (Hashtbl.find_opt tally u)))
+    Instr.all_units
+
+let of_program p =
+  of_instrs (Program.all_core_instrs p @ Program.all_tile_instrs p)
+
+let count t u = Option.value ~default:0 (List.assoc_opt u t)
+let total t = List.fold_left (fun acc (_, n) -> acc + n) 0 t
+
+let fraction t u =
+  let tot = total t in
+  if tot = 0 then 0.0 else Float.of_int (count t u) /. Float.of_int tot
+
+let to_rows t =
+  List.map (fun (u, n) -> (Instr.unit_name u, n, fraction t u)) t
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>";
+  List.iter
+    (fun (name, n, frac) ->
+      Format.fprintf fmt "%-26s %6d (%5.1f%%)@," name n (100.0 *. frac))
+    (to_rows t);
+  Format.fprintf fmt "@]"

@@ -1,0 +1,19 @@
+(** Static instruction usage breakdown (Figure 4).
+
+    Classifies the static instruction stream of a compiled program by the
+    execution unit each instruction occupies and reports per-unit fractions
+    of the static count. *)
+
+type t
+
+val of_program : Program.t -> t
+val of_instrs : Instr.t list -> t
+
+val count : t -> Instr.unit_class -> int
+val total : t -> int
+val fraction : t -> Instr.unit_class -> float
+
+val to_rows : t -> (string * int * float) list
+(** [(unit name, count, fraction)] in the Figure 4 legend order. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/nn/model_desc.ml: Buffer In_channel Layer List Network Option Printf Result String

@@ -1,0 +1,1 @@
+lib/nn/model_desc.mli: Network

@@ -1,0 +1,1 @@
+lib/nn/models.ml: Array Float Layer List Network Puma_graph Puma_util

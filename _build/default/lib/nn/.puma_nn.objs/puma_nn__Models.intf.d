@@ -1,0 +1,1 @@
+lib/nn/models.mli: Network Puma_graph

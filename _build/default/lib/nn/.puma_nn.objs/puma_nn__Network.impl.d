@@ -1,0 +1,1 @@
+lib/nn/network.ml: Array Float Format Layer List Option Printf Puma_graph Puma_util

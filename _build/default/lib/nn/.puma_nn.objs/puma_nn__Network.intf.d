@@ -1,0 +1,1 @@
+lib/nn/network.mli: Format Layer Puma_graph

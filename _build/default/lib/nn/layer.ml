@@ -1,0 +1,106 @@
+type activation = No_act | Relu | Sigmoid | Tanh | Log_softmax
+
+type shape = Vec of int | Img of { h : int; w : int; c : int }
+
+type t =
+  | Dense of { out : int; act : activation }
+  | Lstm of { cell : int; proj : int option }
+  | Rnn of { hidden : int }
+  | Conv of {
+      out_ch : int;
+      kh : int;
+      kw : int;
+      stride : int;
+      pad : int;  (* zero padding on each image border *)
+      act : activation;
+    }
+  | Maxpool of { size : int; stride : int }
+  | Flatten
+
+let shape_len = function Vec n -> n | Img { h; w; c } -> h * w * c
+
+let conv_out_dims ~h ~w ~kh ~kw ~stride ~pad =
+  let h = h + (2 * pad) and w = w + (2 * pad) in
+  if h < kh || w < kw then invalid_arg "Layer: convolution kernel larger than input";
+  (((h - kh) / stride) + 1, ((w - kw) / stride) + 1)
+
+let out_shape shape layer =
+  match (layer, shape) with
+  | Dense { out; _ }, _ -> Vec out
+  | Lstm { cell; proj }, Vec _ -> Vec (Option.value proj ~default:cell)
+  | Lstm _, Img _ -> invalid_arg "Layer: LSTM needs a vector input"
+  | Rnn { hidden }, Vec _ -> Vec hidden
+  | Rnn _, Img _ -> invalid_arg "Layer: RNN needs a vector input"
+  | Conv { out_ch; kh; kw; stride; pad; _ }, Img { h; w; c = _ } ->
+      let oh, ow = conv_out_dims ~h ~w ~kh ~kw ~stride ~pad in
+      Img { h = oh; w = ow; c = out_ch }
+  | Conv _, Vec _ -> invalid_arg "Layer: convolution needs an image input"
+  | Maxpool { size; stride }, Img { h; w; c } ->
+      let oh, ow = conv_out_dims ~h ~w ~kh:size ~kw:size ~stride ~pad:0 in
+      Img { h = oh; w = ow; c }
+  | Maxpool _, Vec _ -> invalid_arg "Layer: pooling needs an image input"
+  | Flatten, s -> Vec (shape_len s)
+
+let params shape layer =
+  match (layer, shape) with
+  | Dense { out; _ }, s -> (shape_len s * out) + out
+  | Lstm { cell; proj }, Vec inp ->
+      let hidden = Option.value proj ~default:cell in
+      let gates = 4 * cell * (inp + hidden) in
+      let proj_params = match proj with Some p -> cell * p | None -> 0 in
+      gates + (4 * cell) + proj_params
+  | Rnn { hidden }, Vec inp -> (hidden * (inp + hidden)) + hidden
+  | Conv { out_ch; kh; kw; _ }, Img { c; _ } -> (out_ch * kh * kw * c) + out_ch
+  | Maxpool _, _ | Flatten, _ -> 0
+  | Lstm _, Img _ | Rnn _, Img _ | Conv _, Vec _ ->
+      invalid_arg "Layer.params: shape mismatch"
+
+let macs shape layer =
+  match (layer, shape) with
+  | Dense { out; _ }, s -> shape_len s * out
+  | Lstm { cell; proj }, Vec inp ->
+      let hidden = Option.value proj ~default:cell in
+      (4 * cell * (inp + hidden))
+      + (match proj with Some p -> cell * p | None -> 0)
+  | Rnn { hidden }, Vec inp -> hidden * (inp + hidden)
+  | Conv { out_ch; kh; kw; stride; pad; _ }, Img { h; w; c } ->
+      let oh, ow = conv_out_dims ~h ~w ~kh ~kw ~stride ~pad in
+      oh * ow * out_ch * kh * kw * c
+  | Maxpool _, _ | Flatten, _ -> 0
+  | Lstm _, Img _ | Rnn _, Img _ | Conv _, Vec _ ->
+      invalid_arg "Layer.macs: shape mismatch"
+
+let vector_elems shape layer =
+  match (layer, shape) with
+  | Dense { out; act }, _ -> out + (match act with No_act -> 0 | _ -> out)
+  | Lstm { cell; _ }, Vec _ ->
+      (* 4 gate nonlinearities + 3 element-wise products + 1 add + tanh. *)
+      9 * cell
+  | Rnn { hidden }, Vec _ -> 2 * hidden
+  | Conv { out_ch; kh; kw; stride; pad; act }, Img { h; w; c = _ } ->
+      let oh, ow = conv_out_dims ~h ~w ~kh ~kw ~stride ~pad in
+      let n = oh * ow * out_ch in
+      n + (match act with No_act -> 0 | _ -> n)
+  | Maxpool { size; stride }, Img { h; w; c } ->
+      let oh, ow = conv_out_dims ~h ~w ~kh:size ~kw:size ~stride ~pad:0 in
+      oh * ow * c * ((size * size) - 1)
+  | Flatten, _ -> 0
+  | Lstm _, Img _ | Rnn _, Img _ | Conv _, Vec _ | Maxpool _, Vec _ ->
+      invalid_arg "Layer.vector_elems: shape mismatch"
+
+let describe shape layer =
+  let shp = function
+    | Vec n -> Printf.sprintf "%d" n
+    | Img { h; w; c } -> Printf.sprintf "%dx%dx%d" h w c
+  in
+  match layer with
+  | Dense { out; _ } -> Printf.sprintf "dense %s -> %d" (shp shape) out
+  | Lstm { cell; proj } ->
+      Printf.sprintf "lstm %s cell=%d proj=%s" (shp shape) cell
+        (match proj with Some p -> string_of_int p | None -> "-")
+  | Rnn { hidden } -> Printf.sprintf "rnn %s -> %d" (shp shape) hidden
+  | Conv { out_ch; kh; kw; stride; _ } ->
+      Printf.sprintf "conv %s k=%dx%d s=%d -> %d ch" (shp shape) kh kw stride out_ch
+  | Maxpool { size; stride } ->
+      Printf.sprintf "maxpool %s %dx%d s=%d" (shp shape) size size stride
+  | Flatten -> Printf.sprintf "flatten %s" (shp shape)

@@ -1,0 +1,49 @@
+(** Neural-network layer descriptors.
+
+    Layers describe shape transformations only; weights are synthesized
+    from a seeded RNG at graph-build time (the paper's evaluation metrics
+    depend on layer shapes and dataflow, not on learned weight values —
+    see DESIGN.md substitutions). *)
+
+type activation = No_act | Relu | Sigmoid | Tanh | Log_softmax
+
+type shape = Vec of int | Img of { h : int; w : int; c : int }
+(** Feature-map tensors are flattened row-major in HWC order, so [Img]
+    and [Vec (h*w*c)] describe the same wire layout. *)
+
+type t =
+  | Dense of { out : int; act : activation }
+  | Lstm of { cell : int; proj : int option }
+      (** One LSTM layer processing the whole input sequence; weights are
+          a single stacked 4*cell x (input + hidden) matrix (reused across
+          time-steps on the same crossbars) plus an optional projection. *)
+  | Rnn of { hidden : int }  (** Vanilla tanh recurrence. *)
+  | Conv of {
+      out_ch : int;
+      kh : int;
+      kw : int;
+      stride : int;
+      pad : int;  (* zero padding on each image border *)
+      act : activation;
+    }
+  | Maxpool of { size : int; stride : int }
+  | Flatten
+
+val shape_len : shape -> int
+
+val out_shape : shape -> t -> shape
+(** Output shape of a layer (for [Lstm]/[Rnn] the per-time-step output);
+    raises [Invalid_argument] on a shape mismatch. *)
+
+val params : shape -> t -> int
+(** Weight (and bias) parameter count. *)
+
+val macs : shape -> t -> int
+(** Multiply-accumulates for one application (one time-step for
+    recurrent layers, the full feature map for convolutions). *)
+
+val vector_elems : shape -> t -> int
+(** Elements produced by non-MVM vector operations (activations,
+    element-wise gates, pooling comparisons). *)
+
+val describe : shape -> t -> string

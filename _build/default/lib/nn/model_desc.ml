@@ -1,0 +1,193 @@
+let ( let* ) = Result.bind
+let fail fmt = Printf.ksprintf (fun s -> Error s) fmt
+
+let activation_of_name = function
+  | "none" -> Ok Layer.No_act
+  | "relu" -> Ok Layer.Relu
+  | "sigmoid" -> Ok Layer.Sigmoid
+  | "tanh" -> Ok Layer.Tanh
+  | "log-softmax" -> Ok Layer.Log_softmax
+  | s -> fail "unknown activation %S" s
+
+let activation_name = function
+  | Layer.No_act -> "none"
+  | Layer.Relu -> "relu"
+  | Layer.Sigmoid -> "sigmoid"
+  | Layer.Tanh -> "tanh"
+  | Layer.Log_softmax -> "log-softmax"
+
+let kind_of_name = function
+  | "mlp" -> Ok Network.Mlp
+  | "deep-lstm" -> Ok Network.Deep_lstm
+  | "wide-lstm" -> Ok Network.Wide_lstm
+  | "cnn" -> Ok Network.Cnn
+  | "rnn" -> Ok Network.Rnn_net
+  | "boltzmann" -> Ok Network.Boltzmann
+  | s -> fail "unknown kind %S" s
+
+let kind_name = function
+  | Network.Mlp -> "mlp"
+  | Network.Deep_lstm -> "deep-lstm"
+  | Network.Wide_lstm -> "wide-lstm"
+  | Network.Cnn -> "cnn"
+  | Network.Rnn_net -> "rnn"
+  | Network.Boltzmann -> "boltzmann"
+
+let int_arg s =
+  match int_of_string_opt s with
+  | Some v when v > 0 -> Ok v
+  | Some v -> fail "expected a positive integer, got %d" v
+  | None -> fail "expected an integer, got %S" s
+
+let parse_layer tokens : (Layer.t, string) result =
+  match tokens with
+  | [ "dense"; out; act ] ->
+      let* out = int_arg out in
+      let* act = activation_of_name act in
+      Ok (Layer.Dense { out; act })
+  | [ "lstm"; cells ] ->
+      let* cell = int_arg cells in
+      Ok (Layer.Lstm { cell; proj = None })
+  | [ "lstm"; cells; "proj"; p ] ->
+      let* cell = int_arg cells in
+      let* p = int_arg p in
+      Ok (Layer.Lstm { cell; proj = Some p })
+  | [ "rnn"; h ] ->
+      let* hidden = int_arg h in
+      Ok (Layer.Rnn { hidden })
+  | [ "conv"; out_ch; kh; kw; "stride"; s; "pad"; p; act ] ->
+      let* out_ch = int_arg out_ch in
+      let* kh = int_arg kh in
+      let* kw = int_arg kw in
+      let* stride = int_arg s in
+      let* pad = match int_of_string_opt p with
+        | Some v when v >= 0 -> Ok v
+        | _ -> fail "expected a non-negative pad, got %S" p
+      in
+      let* act = activation_of_name act in
+      Ok (Layer.Conv { out_ch; kh; kw; stride; pad; act })
+  | [ "maxpool"; size; stride ] ->
+      let* size = int_arg size in
+      let* stride = int_arg stride in
+      Ok (Layer.Maxpool { size; stride })
+  | [ "flatten" ] -> Ok Layer.Flatten
+  | d :: _ -> fail "unknown or malformed layer directive %S" d
+  | [] -> fail "empty layer directive"
+
+let tokens_of_line line =
+  let line =
+    match String.index_opt line '#' with
+    | Some i -> String.sub line 0 i
+    | None -> line
+  in
+  String.split_on_char ' ' line
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun s -> s <> "")
+
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  let name = ref None in
+  let input = ref None in
+  let seq = ref 1 in
+  let kind = ref None in
+  let layers = ref [] in
+  let rec go lineno = function
+    | [] -> Ok ()
+    | line :: rest -> (
+        let continue () = go (lineno + 1) rest in
+        let err e = fail "line %d: %s" lineno e in
+        match tokens_of_line line with
+        | [] -> continue ()
+        | [ "name"; n ] ->
+            name := Some n;
+            continue ()
+        | [ "input"; "vec"; n ] -> (
+            match int_arg n with
+            | Ok n ->
+                input := Some (Layer.Vec n);
+                continue ()
+            | Error e -> err e)
+        | [ "input"; "img"; h; w; c ] -> (
+            match (int_arg h, int_arg w, int_arg c) with
+            | Ok h, Ok w, Ok c ->
+                input := Some (Layer.Img { h; w; c });
+                continue ()
+            | (Error e, _, _ | _, Error e, _ | _, _, Error e) -> err e)
+        | [ "seq"; n ] -> (
+            match int_arg n with
+            | Ok n ->
+                seq := n;
+                continue ()
+            | Error e -> err e)
+        | [ "kind"; k ] -> (
+            match kind_of_name k with
+            | Ok k ->
+                kind := Some k;
+                continue ()
+            | Error e -> err e)
+        | tokens -> (
+            match parse_layer tokens with
+            | Ok l ->
+                layers := l :: !layers;
+                continue ()
+            | Error e -> err e))
+  in
+  let* () = go 1 lines in
+  let* input =
+    match !input with
+    | Some i -> Ok i
+    | None -> fail "missing 'input' directive"
+  in
+  let layers = List.rev !layers in
+  let* () = if layers = [] then fail "model has no layers" else Ok () in
+  let kind =
+    match !kind with
+    | Some k -> k
+    | None ->
+        (* Infer from structure, like the Table 1 classification. *)
+        if List.exists (function Layer.Conv _ -> true | _ -> false) layers then
+          Network.Cnn
+        else if List.exists (function Layer.Lstm _ -> true | _ -> false) layers
+        then Network.Deep_lstm
+        else if List.exists (function Layer.Rnn _ -> true | _ -> false) layers
+        then Network.Rnn_net
+        else Network.Mlp
+  in
+  let net =
+    Network.make
+      ~name:(Option.value ~default:"model" !name)
+      ~kind ~input ~seq_len:!seq layers
+  in
+  (* Shape-check the stack now so errors carry a model-level message. *)
+  match Network.shapes net with
+  | (_ : Layer.shape list) -> Ok net
+  | exception Invalid_argument e -> fail "inconsistent model: %s" e
+
+let parse_file path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | text -> parse text
+  | exception Sys_error e -> Error e
+
+let to_string (net : Network.t) =
+  let buf = Buffer.create 256 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  line "name %s" net.Network.name;
+  (match net.Network.input with
+  | Layer.Vec n -> line "input vec %d" n
+  | Layer.Img { h; w; c } -> line "input img %d %d %d" h w c);
+  if net.Network.seq_len > 1 then line "seq %d" net.Network.seq_len;
+  line "kind %s" (kind_name net.Network.kind);
+  List.iter
+    (fun (l : Layer.t) ->
+      match l with
+      | Dense { out; act } -> line "dense %d %s" out (activation_name act)
+      | Lstm { cell; proj = None } -> line "lstm %d" cell
+      | Lstm { cell; proj = Some p } -> line "lstm %d proj %d" cell p
+      | Rnn { hidden } -> line "rnn %d" hidden
+      | Conv { out_ch; kh; kw; stride; pad; act } ->
+          line "conv %d %d %d stride %d pad %d %s" out_ch kh kw stride pad
+            (activation_name act)
+      | Maxpool { size; stride } -> line "maxpool %d %d" size stride
+      | Flatten -> line "flatten")
+    net.Network.layers;
+  Buffer.contents buf

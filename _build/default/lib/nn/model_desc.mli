@@ -1,0 +1,32 @@
+(** A small textual model-description language.
+
+    The paper ships ONNX bindings so models authored in mainstream
+    frameworks can reach the PUMA compiler; this module plays that
+    interoperability role with a self-contained format (no external
+    parser dependencies). One directive per line; [#] starts a comment.
+
+    {v
+    name   my-classifier
+    input  img 28 28 1        # or: input vec 64
+    seq    1                  # optional, time-steps (default 1)
+    kind   cnn                # optional: mlp | deep-lstm | wide-lstm |
+                              #           cnn | rnn | boltzmann
+    conv    6 5 5 stride 1 pad 0 relu
+    maxpool 2 2
+    flatten
+    dense   120 relu
+    dense   10 sigmoid
+    v}
+
+    Layer directives: [dense N ACT], [lstm CELLS [proj P]], [rnn H],
+    [conv OUT KH KW stride S pad P ACT], [maxpool SIZE STRIDE],
+    [flatten]. Activations: [none relu sigmoid tanh log-softmax]. *)
+
+val parse : string -> (Network.t, string) result
+(** Parse a description; errors carry the line number. *)
+
+val parse_file : string -> (Network.t, string) result
+
+val to_string : Network.t -> string
+(** Render a network back into the language; [parse (to_string n)] yields
+    an equivalent network. *)

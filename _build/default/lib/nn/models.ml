@@ -1,0 +1,208 @@
+module B = Puma_graph.Builder
+module Tensor = Puma_util.Tensor
+open Layer
+
+(* ---- Full-size models (Table 5). Layer widths are chosen to land on the
+   published parameter counts (5M / 21M / 91M / 125M / 856M / 554M /
+   ~138M / ~144M). ---- *)
+
+let mlp_l4 =
+  Network.make ~name:"MLPL4" ~kind:Mlp ~input:(Vec 1120)
+    (List.init 4 (fun _ -> Dense { out = 1120; act = Sigmoid }))
+
+let mlp_l5 =
+  Network.make ~name:"MLPL5" ~kind:Mlp ~input:(Vec 2048)
+    (List.init 5 (fun _ -> Dense { out = 2048; act = Sigmoid }))
+
+let nmt_l3 =
+  Network.make ~name:"NMTL3" ~kind:Deep_lstm ~input:(Vec 1024) ~seq_len:50
+    (List.init 6 (fun _ -> Lstm { cell = 1024; proj = None })
+    @ [ Dense { out = 40_000; act = Log_softmax } ])
+
+let nmt_l5 =
+  Network.make ~name:"NMTL5" ~kind:Deep_lstm ~input:(Vec 1024) ~seq_len:50
+    (List.init 10 (fun _ -> Lstm { cell = 1024; proj = None })
+    @ [ Dense { out = 40_000; act = Log_softmax } ])
+
+let big_lstm =
+  Network.make ~name:"BigLSTM" ~kind:Wide_lstm ~input:(Vec 1024) ~seq_len:50
+    [
+      Lstm { cell = 8192; proj = Some 1024 };
+      Lstm { cell = 8192; proj = Some 1024 };
+      Dense { out = 688_000; act = Log_softmax };
+    ]
+
+let lstm_2048 =
+  Network.make ~name:"LSTM-2048" ~kind:Wide_lstm ~input:(Vec 1024) ~seq_len:50
+    [
+      Lstm { cell = 8192; proj = Some 2048 };
+      Dense { out = 213_000; act = Log_softmax };
+    ]
+
+let conv3 out_ch = Conv { out_ch; kh = 3; kw = 3; stride = 1; pad = 1; act = Relu }
+let pool2 = Maxpool { size = 2; stride = 2 }
+
+let vgg_tail =
+  [
+    Flatten;
+    Dense { out = 4096; act = Relu };
+    Dense { out = 4096; act = Relu };
+    Dense { out = 1000; act = Log_softmax };
+  ]
+
+let vgg16 =
+  Network.make ~name:"Vgg16" ~kind:Cnn ~input:(Img { h = 224; w = 224; c = 3 })
+    ([ conv3 64; conv3 64; pool2 ]
+    @ [ conv3 128; conv3 128; pool2 ]
+    @ [ conv3 256; conv3 256; conv3 256; pool2 ]
+    @ [ conv3 512; conv3 512; conv3 512; pool2 ]
+    @ [ conv3 512; conv3 512; conv3 512; pool2 ]
+    @ vgg_tail)
+
+let vgg19 =
+  Network.make ~name:"Vgg19" ~kind:Cnn ~input:(Img { h = 224; w = 224; c = 3 })
+    ([ conv3 64; conv3 64; pool2 ]
+    @ [ conv3 128; conv3 128; pool2 ]
+    @ [ conv3 256; conv3 256; conv3 256; conv3 256; pool2 ]
+    @ [ conv3 512; conv3 512; conv3 512; conv3 512; pool2 ]
+    @ [ conv3 512; conv3 512; conv3 512; conv3 512; pool2 ]
+    @ vgg_tail)
+
+let table5 =
+  [ mlp_l4; mlp_l5; nmt_l3; nmt_l5; big_lstm; lstm_2048; vgg16; vgg19 ]
+
+(* ---- Mini models (Figure 4 / functional simulation). ---- *)
+
+let mini_mlp =
+  Network.make ~name:"MLP-64-150-150-14" ~kind:Mlp ~input:(Vec 64)
+    [
+      Dense { out = 150; act = Sigmoid };
+      Dense { out = 150; act = Sigmoid };
+      Dense { out = 14; act = Sigmoid };
+    ]
+
+let mini_lstm =
+  Network.make ~name:"LSTM-26-120-61" ~kind:Deep_lstm ~input:(Vec 26) ~seq_len:3
+    [ Lstm { cell = 120; proj = None }; Dense { out = 61; act = Sigmoid } ]
+
+let mini_rnn =
+  Network.make ~name:"RNN-26-93-61" ~kind:Rnn_net ~input:(Vec 26) ~seq_len:3
+    [ Rnn { hidden = 93 }; Dense { out = 61; act = Sigmoid } ]
+
+let lenet5 =
+  Network.make ~name:"Lenet5" ~kind:Cnn ~input:(Img { h = 28; w = 28; c = 1 })
+    [
+      Conv { out_ch = 6; kh = 5; kw = 5; stride = 1; pad = 0; act = Relu };
+      Maxpool { size = 2; stride = 2 };
+      Conv { out_ch = 16; kh = 5; kw = 5; stride = 1; pad = 0; act = Relu };
+      Maxpool { size = 2; stride = 2 };
+      Flatten;
+      Dense { out = 120; act = Relu };
+      Dense { out = 84; act = Relu };
+      Dense { out = 10; act = Sigmoid };
+    ]
+
+let boltzmann_graph ~name ~reconstruct =
+  let rng = Puma_util.Rng.create 99 in
+  let v = 500 and h = 500 in
+  let m = B.create name in
+  let x = B.input m ~name:"x" ~len:v in
+  let w = B.const_matrix m ~name:"W" (Tensor.mat_rand rng h v (1.0 /. sqrt (Float.of_int v))) in
+  let b = B.const_vec m (Array.init h (fun _ -> Puma_util.Rng.uniform rng (-0.1) 0.1)) in
+  let hid = B.sigmoid m (B.add m (B.mvm m w x) b) in
+  if reconstruct then begin
+    let w2 =
+      B.const_matrix m ~name:"W2"
+        (Tensor.mat_rand rng v h (1.0 /. sqrt (Float.of_int h)))
+    in
+    let c = B.const_vec m (Array.init v (fun _ -> Puma_util.Rng.uniform rng (-0.1) 0.1)) in
+    let recon = B.sigmoid m (B.add m (B.mvm m w2 hid) c) in
+    B.output m ~name:"y" recon
+  end
+  else B.output m ~name:"y" hid;
+  B.finish m
+
+let mini_bm = boltzmann_graph ~name:"BM-V500-H500" ~reconstruct:false
+let mini_rbm = boltzmann_graph ~name:"RBM-V500-H500" ~reconstruct:true
+
+(* ---- Section 2.4's broader workload classes (Table 7 generality). ---- *)
+
+let weighted_sum_graph ~name ~inputs ~outputs ~act =
+  let rng = Puma_util.Rng.create 123 in
+  let m = B.create name in
+  let x = B.input m ~name:"x" ~len:inputs in
+  let w =
+    B.const_matrix m ~name:"W"
+      (Tensor.mat_rand rng outputs inputs (1.0 /. sqrt (Float.of_int inputs)))
+  in
+  let b =
+    B.const_vec m
+      (Array.init outputs (fun _ -> Puma_util.Rng.uniform rng (-0.1) 0.1))
+  in
+  let z = B.add m (B.mvm m w x) b in
+  B.output m ~name:"y" (act m z);
+  B.finish m
+
+let logistic_regression =
+  weighted_sum_graph ~name:"LogisticRegression" ~inputs:64 ~outputs:1
+    ~act:B.sigmoid
+
+let linear_regression =
+  weighted_sum_graph ~name:"LinearRegression" ~inputs:64 ~outputs:1
+    ~act:(fun _ v -> v)
+
+let svm =
+  (* Margin score: sign-like decision via tanh of the weighted sum. *)
+  weighted_sum_graph ~name:"SVM" ~inputs:128 ~outputs:1 ~act:B.tanh
+
+let recommender =
+  (* Factorized scoring: user vector -> latent factors -> item scores. *)
+  let rng = Puma_util.Rng.create 321 in
+  let users = 96 and latent = 16 and items = 60 in
+  let m = B.create "Recommender" in
+  let x = B.input m ~name:"x" ~len:users in
+  let u = B.const_matrix m ~name:"U" (Tensor.mat_rand rng latent users 0.1) in
+  let v = B.const_matrix m ~name:"V" (Tensor.mat_rand rng items latent 0.25) in
+  B.output m ~name:"y" (B.mvm m v (B.mvm m u x));
+  B.finish m
+
+let gan =
+  (* Generator (MLP) feeding a discriminator (MLP): the adversarial pair
+     of Section 2.4 evaluated as one inference pipeline. *)
+  let rng = Puma_util.Rng.create 555 in
+  let m = B.create "GAN" in
+  let z = B.input m ~name:"x" ~len:32 in
+  let g1 = B.const_matrix m ~name:"G1" (Tensor.mat_rand rng 96 32 0.17) in
+  let g2 = B.const_matrix m ~name:"G2" (Tensor.mat_rand rng 64 96 0.1) in
+  let sample = B.tanh m (B.mvm m g2 (B.relu m (B.mvm m g1 z))) in
+  B.output m ~name:"sample" sample;
+  let d1 = B.const_matrix m ~name:"D1" (Tensor.mat_rand rng 48 64 0.12) in
+  let d2 = B.const_matrix m ~name:"D2" (Tensor.mat_rand rng 1 48 0.14) in
+  let verdict = B.sigmoid m (B.mvm m d2 (B.relu m (B.mvm m d1 sample))) in
+  B.output m ~name:"real_probability" verdict;
+  B.finish m
+
+let generality_workloads =
+  [
+    ("MLP", Network.build_graph mini_mlp);
+    ("LSTM", Network.build_graph mini_lstm);
+    ("RNN", Network.build_graph mini_rnn);
+    ("CNN", Network.build_graph lenet5);
+    ("BM", mini_bm);
+    ("RBM", mini_rbm);
+    ("GAN", gan);
+    ("SVM", svm);
+    ("Linear Regression", linear_regression);
+    ("Logistic Regression", logistic_regression);
+    ("Recommender", recommender);
+  ]
+
+let figure4_workloads =
+  [
+    ("CNN (Lenet5)", Network.build_graph lenet5, true);
+    ("MLP (64-150-150-14)", Network.build_graph mini_mlp, false);
+    ("LSTM (26-120-61)", Network.build_graph mini_lstm, false);
+    ("RNN (26-93-61)", Network.build_graph mini_rnn, false);
+    ("BM (V500-H500)", mini_bm, false);
+    ("RBM (V500-H500)", mini_rbm, false);
+  ]

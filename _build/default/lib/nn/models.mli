@@ -1,0 +1,87 @@
+(** The model zoo.
+
+    {b Full-size benchmark models} (Table 5) are analytical descriptors
+    used by the estimator and the CPU/GPU/TPU/ISAAC baselines; their
+    layer dimensions are chosen to land on the paper's published
+    parameter counts (5M-856M). {b Mini models} (Figure 4's workloads,
+    plus small variants of each class) build real graphs that compile and
+    run on the functional simulator. *)
+
+(** {1 Full-size models (Table 5)} *)
+
+val mlp_l4 : Network.t
+(** 4 FC layers, ~5M parameters. *)
+
+val mlp_l5 : Network.t
+(** 5 FC layers, ~21M parameters. *)
+
+val nmt_l3 : Network.t
+(** 6 LSTM layers (1024 cells) + FC, ~91M. *)
+
+val nmt_l5 : Network.t
+(** 10 LSTM layers + FC, ~125M. *)
+
+val big_lstm : Network.t
+(** 2x (8192 cell, 1024 proj) + FC, ~856M. *)
+
+val lstm_2048 : Network.t
+(** 1x (8192 cell, 2048 proj) + FC, ~554M. *)
+
+val vgg16 : Network.t
+(** 13 conv + 3 FC, ~138M. *)
+
+val vgg19 : Network.t
+(** 16 conv + 3 FC, ~144M. *)
+
+
+val table5 : Network.t list
+(** The eight benchmark models in Table 5 order. *)
+
+(** {1 Mini models (Figure 4 and functional simulation)} *)
+
+val mini_mlp : Network.t
+(** MLP 64-150-150-14 (Figure 4). *)
+
+val mini_lstm : Network.t
+(** LSTM 26-120-61 (Figure 4). *)
+
+val mini_rnn : Network.t
+(** RNN 26-93-61 (Figure 4). *)
+
+val lenet5 : Network.t
+(** CNN Lenet5 on 28x28 (Figure 4). *)
+
+
+val mini_bm : Puma_graph.Graph.t
+(** Boltzmann machine V500-H500: weighted sums of the visible units
+    through sigmoid (Figure 4). *)
+
+val mini_rbm : Puma_graph.Graph.t
+(** Restricted Boltzmann machine V500-H500: one up-down reconstruction
+    pass (Figure 4). *)
+
+(** {1 Broader workload classes (Section 2.4, Table 7)} *)
+
+val logistic_regression : Puma_graph.Graph.t
+(** Weighted sum through a sigmoid (probability output). *)
+
+val linear_regression : Puma_graph.Graph.t
+(** Weighted sum with a continuous output. *)
+
+val svm : Puma_graph.Graph.t
+(** Margin scoring: weighted sum through a sign-like nonlinearity. *)
+
+val recommender : Puma_graph.Graph.t
+(** Factorized scoring: user vector through latent factors to item
+    scores. *)
+
+val gan : Puma_graph.Graph.t
+(** Generator MLP feeding a discriminator MLP; outputs the generated
+    sample and the discriminator's verdict. *)
+
+val generality_workloads : (string * Puma_graph.Graph.t) list
+(** Every workload class Table 7 lists for PUMA, as compilable graphs. *)
+
+val figure4_workloads : (string * Puma_graph.Graph.t * bool) list
+(** [(label, graph, is_cnn)] for the six Figure 4 bars; [is_cnn] selects
+    the batch-loop control-flow wrapper. *)

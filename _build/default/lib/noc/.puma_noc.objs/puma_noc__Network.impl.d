@@ -1,0 +1,1 @@
+lib/noc/network.ml: Array Hashtbl Obj Offchip Option Puma_hwmodel Topology

@@ -1,0 +1,1 @@
+lib/noc/offchip.ml: Float Puma_hwmodel

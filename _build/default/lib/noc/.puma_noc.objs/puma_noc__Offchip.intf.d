@@ -1,0 +1,1 @@
+lib/noc/offchip.mli: Puma_hwmodel

@@ -1,0 +1,123 @@
+type message = {
+  src_tile : int;
+  dst_tile : int;
+  fifo_id : int;
+  payload : int array;
+}
+
+(* A simple pairing of arrival time and message kept in a leftist-style
+   binary heap keyed by arrival time. *)
+module Heap = struct
+  type 'a t = { mutable arr : (int * 'a) array; mutable len : int }
+
+  let create () = { arr = Array.make 16 (0, Obj.magic 0); len = 0 }
+
+  let swap h i j =
+    let tmp = h.arr.(i) in
+    h.arr.(i) <- h.arr.(j);
+    h.arr.(j) <- tmp
+
+  let push h key v =
+    if h.len = Array.length h.arr then begin
+      let bigger = Array.make (2 * h.len) h.arr.(0) in
+      Array.blit h.arr 0 bigger 0 h.len;
+      h.arr <- bigger
+    end;
+    h.arr.(h.len) <- (key, v);
+    let i = ref h.len in
+    h.len <- h.len + 1;
+    while !i > 0 && fst h.arr.((!i - 1) / 2) > fst h.arr.(!i) do
+      swap h !i ((!i - 1) / 2);
+      i := (!i - 1) / 2
+    done
+
+  let peek h = if h.len = 0 then None else Some h.arr.(0)
+
+  let pop h =
+    if h.len = 0 then None
+    else begin
+      let top = h.arr.(0) in
+      h.len <- h.len - 1;
+      h.arr.(0) <- h.arr.(h.len);
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < h.len && fst h.arr.(l) < fst h.arr.(!smallest) then smallest := l;
+        if r < h.len && fst h.arr.(r) < fst h.arr.(!smallest) then smallest := r;
+        if !smallest <> !i then begin
+          swap h !i !smallest;
+          i := !smallest
+        end
+        else continue := false
+      done;
+      Some top
+    end
+
+  let size h = h.len
+end
+
+type t = {
+  config : Puma_hwmodel.Config.t;
+  topology : Topology.t;
+  energy : Puma_hwmodel.Energy.t;
+  pending : message Heap.t;
+  (* Wormhole routing preserves ordering between a given source and
+     destination: a later message never overtakes an earlier one. *)
+  last_arrival : (int * int, int) Hashtbl.t;
+}
+
+let create (c : Puma_hwmodel.Config.t) ~energy ~num_tiles =
+  {
+    config = c;
+    topology = Topology.create ~concentration:4 ~num_tiles ();
+    energy;
+    pending = Heap.create ();
+    last_arrival = Hashtbl.create 32;
+  }
+
+(* Tiles beyond [tiles_per_node] live on further nodes; messages between
+   nodes cross the HyperTransport-like chip-to-chip link (Section 3.2.5:
+   larger models scale to multiple nodes). *)
+let node_of t tile = tile / t.config.tiles_per_node
+let crosses_nodes t ~src ~dst = node_of t src <> node_of t dst
+
+let topology t = t.topology
+let router_latency = 4
+let words_per_flit = 2
+
+let transit_cycles t ~src ~dst ~words =
+  let hops = Topology.hops t.topology src dst in
+  let flits = (words + words_per_flit - 1) / words_per_flit in
+  let base = (hops * router_latency) + flits in
+  if crosses_nodes t ~src ~dst then
+    base + Offchip.transfer_cycles t.config ~words
+  else base
+
+let send t ~now msg =
+  let words = Array.length msg.payload in
+  let arrival =
+    now + transit_cycles t ~src:msg.src_tile ~dst:msg.dst_tile ~words
+  in
+  let key = (msg.src_tile, msg.dst_tile) in
+  let arrival =
+    match Hashtbl.find_opt t.last_arrival key with
+    | Some prev when prev >= arrival -> prev + 1
+    | Some _ | None -> arrival
+  in
+  Hashtbl.replace t.last_arrival key arrival;
+  let hops = Topology.hops t.topology msg.src_tile msg.dst_tile in
+  Puma_hwmodel.Energy.add t.energy Noc (words * max 1 hops);
+  if crosses_nodes t ~src:msg.src_tile ~dst:msg.dst_tile then
+    Puma_hwmodel.Energy.add t.energy Offchip words;
+  Heap.push t.pending arrival msg
+
+let pop_arrived t ~now =
+  match Heap.peek t.pending with
+  | Some (arrival, _) when arrival <= now -> Option.map snd (Heap.pop t.pending)
+  | Some _ | None -> None
+
+let requeue t ~now msg = Heap.push t.pending (now + 1) msg
+let in_flight t = Heap.size t.pending
+let next_arrival t = Option.map fst (Heap.peek t.pending)

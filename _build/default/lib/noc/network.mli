@@ -1,0 +1,48 @@
+(** On-chip network model (cycle-approximate, Booksim/Orion role).
+
+    Messages traverse a concentrated 2D mesh (four tiles per router,
+    Table 3) with a fixed per-router latency and per-flit serialization
+    (32-bit flits, so two 16-bit words per flit);
+    energy is charged per word per hop. Delivery is decoupled from
+    arrival: the node simulator pops arrived messages and retries ones the
+    destination FIFO cannot yet accept. *)
+
+type message = {
+  src_tile : int;
+  dst_tile : int;
+  fifo_id : int;
+  payload : int array;
+}
+
+type t
+
+val create :
+  Puma_hwmodel.Config.t -> energy:Puma_hwmodel.Energy.t -> num_tiles:int -> t
+
+val topology : t -> Topology.t
+
+val router_latency : int
+(** Cycles per router traversal (4, matching a 4-stage router at the
+    Table 3 design point). *)
+
+val words_per_flit : int
+
+val transit_cycles : t -> src:int -> dst:int -> words:int -> int
+(** Total network latency for a message. Tiles are grouped into nodes of
+    [tiles_per_node]; messages between nodes additionally cross the
+    6.4 GB/s chip-to-chip link (latency and energy). *)
+
+val send : t -> now:int -> message -> unit
+(** Inject a message; it arrives at [now + transit_cycles]. Charges NoC
+    energy. *)
+
+val pop_arrived : t -> now:int -> message option
+(** Pop one message whose arrival time has passed, if any. *)
+
+val requeue : t -> now:int -> message -> unit
+(** Destination FIFO full: retry delivery one cycle later (models
+    backpressure at the ejection port). *)
+
+val in_flight : t -> int
+val next_arrival : t -> int option
+(** Earliest pending arrival time, for simulator scheduling. *)

@@ -1,0 +1,12 @@
+(** Chip-to-chip interconnect model (HyperTransport-like, Table 3):
+    6.4 GB/s per link, used by the analytical estimator when a model spans
+    multiple nodes. *)
+
+val link_bandwidth_bytes_per_sec : float
+val energy_pj_per_word : float
+
+val transfer_cycles : Puma_hwmodel.Config.t -> words:int -> int
+(** Cycles (at the core clock) to move [words] 16-bit words across one
+    link. *)
+
+val transfer_energy_pj : words:int -> float

@@ -1,0 +1,41 @@
+type t = { num_tiles : int; concentration : int; side : int }
+
+let create ?(concentration = 1) ~num_tiles () =
+  if num_tiles <= 0 then invalid_arg "Topology.create: num_tiles must be positive";
+  if concentration <= 0 then
+    invalid_arg "Topology.create: concentration must be positive";
+  let routers = (num_tiles + concentration - 1) / concentration in
+  let side = Float.to_int (Float.ceil (sqrt (Float.of_int routers))) in
+  { num_tiles; concentration; side }
+
+let num_tiles t = t.num_tiles
+let concentration t = t.concentration
+let side t = t.side
+
+let coord t i =
+  if i < 0 || i >= t.num_tiles then
+    invalid_arg (Printf.sprintf "Topology.coord: tile %d out of range" i);
+  let router = i / t.concentration in
+  (router mod t.side, router / t.side)
+
+let hops t a b =
+  if a = b then 0
+  else
+    let xa, ya = coord t a and xb, yb = coord t b in
+    if xa = xb && ya = yb then 0 (* same router *)
+    else abs (xa - xb) + abs (ya - yb) + 1
+
+let average_hops t =
+  if t.num_tiles <= 1 then 0.0
+  else begin
+    let total = ref 0 and pairs = ref 0 in
+    for a = 0 to t.num_tiles - 1 do
+      for b = 0 to t.num_tiles - 1 do
+        if a <> b then begin
+          total := !total + hops t a b;
+          incr pairs
+        end
+      done
+    done;
+    Float.of_int !total /. Float.of_int !pairs
+  end

@@ -1,0 +1,26 @@
+(** 2D-mesh topology over the node's tiles.
+
+    Routers form the smallest square mesh that holds the tiles;
+    [concentration] tiles share each router (Table 3's [conc 4]). Routing
+    is dimension-ordered, so the hop count between two tiles is the
+    Manhattan distance of their routers plus one ejection hop (zero
+    network hops between tiles on the same router). *)
+
+type t
+
+val create : ?concentration:int -> num_tiles:int -> unit -> t
+(** Default concentration 1 (one tile per router). *)
+
+val num_tiles : t -> int
+val concentration : t -> int
+val side : t -> int
+(** Router-mesh side length. *)
+
+val coord : t -> int -> int * int
+(** Router [(x, y)] of a tile; raises [Invalid_argument] out of range. *)
+
+val hops : t -> int -> int -> int
+(** Router traversals between two tiles (0 for a tile to itself). *)
+
+val average_hops : t -> float
+(** Mean hop count over all ordered pairs of distinct tiles. *)

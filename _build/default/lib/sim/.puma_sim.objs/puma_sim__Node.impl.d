@@ -1,0 +1,1 @@
+lib/sim/node.ml: Array Buffer Float Hashtbl List Printf Puma_arch Puma_hwmodel Puma_isa Puma_noc Puma_tile Puma_util String

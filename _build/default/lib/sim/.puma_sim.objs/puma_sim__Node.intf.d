@@ -1,0 +1,1 @@
+lib/sim/node.mli: Puma_hwmodel Puma_isa Puma_xbar

@@ -1,0 +1,47 @@
+module Energy = Puma_hwmodel.Energy
+
+type t = {
+  cycles : int;
+  latency_us : float;
+  energy_uj : float;
+  ops : float;
+  gops_per_sec : float;
+  gops_per_watt : float;
+  retired_instructions : int;
+  tiles_used : int;
+}
+
+let of_node node =
+  Node.finish_energy node;
+  let config = Node.config node in
+  let energy = Node.energy node in
+  let cycles = Node.cycles node in
+  let latency_s =
+    Float.of_int cycles /. (config.frequency_ghz *. 1.0e9)
+  in
+  let dim = config.mvmu_dim in
+  let mvm_ops =
+    Float.of_int (Energy.count energy Mvm) *. 2.0 *. Float.of_int (dim * dim)
+  in
+  let vec_ops = Float.of_int (Energy.count energy Vfu + Energy.count energy Sfu) in
+  let ops = mvm_ops +. vec_ops in
+  let energy_j = Energy.total_pj energy /. 1.0e12 in
+  {
+    cycles;
+    latency_us = latency_s *. 1.0e6;
+    energy_uj = energy_j *. 1.0e6;
+    ops;
+    gops_per_sec = (if latency_s > 0.0 then ops /. latency_s /. 1.0e9 else 0.0);
+    gops_per_watt = (if energy_j > 0.0 then ops /. energy_j /. 1.0e9 else 0.0);
+    retired_instructions = Node.retired_instructions node;
+    tiles_used = Node.tiles_used node;
+  }
+
+let pp fmt t =
+  Format.fprintf fmt
+    "@[<v>cycles              %d@,latency             %.3f us@,\
+     energy              %.3f uJ@,ops                 %.3g@,\
+     throughput          %.2f GOPS/s@,efficiency          %.2f GOPS/W@,\
+     retired instrs      %d@,tiles used          %d@]"
+    t.cycles t.latency_us t.energy_uj t.ops t.gops_per_sec t.gops_per_watt
+    t.retired_instructions t.tiles_used

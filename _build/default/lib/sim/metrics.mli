@@ -1,0 +1,18 @@
+(** Aggregate performance/energy metrics of a simulation. *)
+
+type t = {
+  cycles : int;
+  latency_us : float;
+  energy_uj : float;
+  ops : float;  (** 16-bit operations executed (MACs count as 2). *)
+  gops_per_sec : float;
+  gops_per_watt : float;
+  retired_instructions : int;
+  tiles_used : int;
+}
+
+val of_node : Node.t -> t
+(** Compute metrics from a finished simulation (charges static energy via
+    {!Node.finish_energy}). *)
+
+val pp : Format.formatter -> t -> unit

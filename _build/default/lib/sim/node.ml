@@ -1,0 +1,282 @@
+module Program = Puma_isa.Program
+module Tile = Puma_tile.Tile
+module Core = Puma_arch.Core
+module Network = Puma_noc.Network
+module Energy = Puma_hwmodel.Energy
+module Fixed = Puma_util.Fixed
+
+exception Deadlock of string
+
+type t = {
+  program : Program.t;
+  config : Puma_hwmodel.Config.t;
+  energy : Energy.t;
+  tiles : Tile.t array;
+  network : Network.t;
+  core_ready : int array array;
+  tcu_ready : int array;
+  mutable now : int;
+  mutable total_cycles : int;
+  mutable retire_hook :
+    (cycle:int -> tile:int -> core:int -> Puma_isa.Instr.t -> unit) option;
+}
+
+let cycle_cap = 200_000_000
+
+let create ?(noise_seed = 42) (program : Program.t) =
+  let config = program.config in
+  let energy = Energy.create config in
+  let ntiles = Array.length program.tiles in
+  let tiles =
+    Array.map
+      (fun (tp : Program.tile_program) ->
+        Tile.create config ~index:tp.tile_index ~energy ~core_code:tp.core_code
+          ~tile_code:tp.tile_code)
+      program.tiles
+  in
+  (* Program the crossbars (serial configuration-time writes). *)
+  let rng =
+    if config.write_noise_sigma > 0.0 then
+      Some (Puma_util.Rng.create noise_seed)
+    else None
+  in
+  Array.iteri
+    (fun ti (tp : Program.tile_program) ->
+      List.iter
+        (fun (img : Program.mvmu_image) ->
+          let core = Tile.core tiles.(ti) img.core_index in
+          Core.program_mvmu core ~index:img.mvmu_index ?rng img.weights)
+        tp.mvmu_images)
+    program.tiles;
+  (* Preload constants. *)
+  List.iter
+    (fun ((b : Program.io_binding), raw) ->
+      Tile.host_write tiles.(b.tile) ~addr:b.mem_addr ~values:raw)
+    program.constants;
+  {
+    program;
+    config;
+    energy;
+    tiles;
+    network = Network.create config ~energy ~num_tiles:(max 1 ntiles);
+    core_ready = Array.init ntiles (fun _ -> Array.make config.cores_per_tile 0);
+    tcu_ready = Array.make ntiles 0;
+    now = 0;
+    total_cycles = 0;
+    retire_hook = None;
+  }
+
+let config t = t.config
+let energy t = t.energy
+let cycles t = t.total_cycles
+
+let retired_instructions t =
+  Array.fold_left
+    (fun acc tile ->
+      let per_core = ref 0 in
+      for c = 0 to Tile.num_cores tile - 1 do
+        per_core := !per_core + Core.retired (Tile.core tile c)
+      done;
+      acc + !per_core)
+    0 t.tiles
+
+let tiles_used t =
+  Array.fold_left
+    (fun acc (tp : Program.tile_program) ->
+      let busy =
+        Array.exists (fun code -> Array.length code > 0) tp.core_code
+        || Array.length tp.tile_code > 0
+      in
+      if busy then acc + 1 else acc)
+    0 t.program.tiles
+
+let inject_inputs t inputs =
+  List.iter
+    (fun (b : Program.io_binding) ->
+      match List.assoc_opt b.name inputs with
+      | None -> invalid_arg (Printf.sprintf "Node.run: missing input %s" b.name)
+      | Some data ->
+          if b.offset + b.length > Array.length data then
+            invalid_arg
+              (Printf.sprintf "Node.run: input %s too short (%d < %d)" b.name
+                 (Array.length data) (b.offset + b.length));
+          let raw =
+            Array.init b.length (fun k ->
+                Fixed.to_raw (Fixed.of_float data.(b.offset + k)))
+          in
+          Tile.host_write t.tiles.(b.tile) ~addr:b.mem_addr ~values:raw)
+    t.program.inputs
+
+let read_outputs t =
+  (* Group fragments by output name. *)
+  let by_name = Hashtbl.create 8 in
+  List.iter
+    (fun (b : Program.io_binding) ->
+      let frags =
+        match Hashtbl.find_opt by_name b.name with
+        | Some l -> l
+        | None ->
+            let l = ref [] in
+            Hashtbl.add by_name b.name l;
+            l
+      in
+      frags := b :: !frags)
+    t.program.outputs;
+  Hashtbl.fold
+    (fun name frags acc ->
+      let total =
+        List.fold_left (fun m (b : Program.io_binding) -> max m (b.offset + b.length)) 0 !frags
+      in
+      let out = Array.make total 0.0 in
+      List.iter
+        (fun (b : Program.io_binding) ->
+          match Tile.host_read t.tiles.(b.tile) ~addr:b.mem_addr ~width:b.length with
+          | None ->
+              raise
+                (Deadlock
+                   (Printf.sprintf "output %s fragment at tile %d never written"
+                      name b.tile))
+          | Some raw ->
+              Array.iteri
+                (fun k v -> out.(b.offset + k) <- Fixed.to_float (Fixed.of_raw v))
+                raw)
+        !frags;
+      (name, out) :: acc)
+    by_name []
+
+let run t ~inputs =
+  inject_inputs t inputs;
+  Array.iter Tile.reset t.tiles;
+  let ntiles = Array.length t.tiles in
+  let start = t.now in
+  let finished = ref false in
+  while not !finished do
+    if t.now - start > cycle_cap then failwith "Node.run: cycle cap exceeded";
+    let progress = ref false in
+    (* Drain tile outgoing queues into the network. *)
+    Array.iter
+      (fun tile ->
+        let rec drain () =
+          match Tile.pop_outgoing tile with
+          | None -> ()
+          | Some (o : Tile.outgoing) ->
+              Network.send t.network ~now:o.issue_cycle
+                {
+                  Network.src_tile = Tile.index tile;
+                  dst_tile = o.target_tile;
+                  fifo_id = o.fifo_id;
+                  payload = o.payload;
+                };
+              progress := true;
+              drain ()
+        in
+        drain ())
+      t.tiles;
+    (* Deliver every arrived message; a full destination FIFO pushes the
+       message back with a one-cycle retry so it stays visible to the
+       time-advance logic. *)
+    let rec deliver () =
+      match Network.pop_arrived t.network ~now:t.now with
+      | None -> ()
+      | Some msg ->
+          if
+            Tile.deliver t.tiles.(msg.Network.dst_tile) ~fifo:msg.fifo_id
+              ~src_tile:msg.src_tile ~payload:msg.payload
+          then progress := true
+          else Network.requeue t.network ~now:t.now msg;
+          deliver ()
+    in
+    deliver ();
+    (* Step ready entities. *)
+    for ti = 0 to ntiles - 1 do
+      let tile = t.tiles.(ti) in
+      if t.tcu_ready.(ti) <= t.now then begin
+        match Tile.step_tcu tile ~now:t.now with
+        | Tile.Retired { cycles } ->
+            t.tcu_ready.(ti) <- t.now + cycles;
+            progress := true
+        | Tile.Blocked | Tile.Halted -> ()
+      end;
+      for c = 0 to Tile.num_cores tile - 1 do
+        if t.core_ready.(ti).(c) <= t.now then begin
+          match Tile.step_core tile c with
+          | Core.Retired { cycles; instr } ->
+              (match t.retire_hook with
+              | Some hook -> hook ~cycle:t.now ~tile:ti ~core:c instr
+              | None -> ());
+              t.core_ready.(ti).(c) <- t.now + cycles;
+              progress := true
+          | Core.Blocked | Core.Halted -> ()
+        end
+      done
+    done;
+    (* Completion / time advance / deadlock. *)
+    let all_halted = Array.for_all Tile.all_halted t.tiles in
+    if all_halted && Network.in_flight t.network = 0 then finished := true
+    else if not !progress then begin
+      (* Advance to the next event time. *)
+      let next = ref max_int in
+      let consider time = if time > t.now && time < !next then next := time in
+      Array.iteri
+        (fun ti tile ->
+          consider t.tcu_ready.(ti);
+          ignore tile;
+          Array.iter consider t.core_ready.(ti))
+        t.tiles;
+      (match Network.next_arrival t.network with
+      | Some a -> consider a
+      | None -> ());
+      if !next = max_int then begin
+        let buf = Buffer.create 256 in
+        Buffer.add_string buf
+          (Printf.sprintf
+             "all live entities blocked at cycle %d (in flight %d, next arrival %s)\n"
+             t.now
+             (Network.in_flight t.network)
+             (match Network.next_arrival t.network with
+              | Some a -> string_of_int a
+              | None -> "none"));
+        Array.iteri
+          (fun ti tile ->
+            for c = 0 to Tile.num_cores tile - 1 do
+              let core = Tile.core tile c in
+              if not (Core.halted core) then
+                Buffer.add_string buf
+                  (Printf.sprintf "  tile %d core %d blocked at pc %d\n" ti c (Core.pc core))
+            done;
+            if not (Tile.all_halted tile) then
+              begin
+                let rb = Tile.recv_buffer tile in
+                let occ =
+                  String.concat ","
+                    (List.init (Puma_tile.Recv_buffer.num_fifos rb) (fun f ->
+                         string_of_int (Puma_tile.Recv_buffer.occupancy rb ~fifo:f)))
+                in
+                Buffer.add_string buf
+                  (Printf.sprintf "  tile %d tcu pc %d, fifo occupancy [%s]\n" ti
+                     (Tile.tcu_pc tile) occ)
+              end)
+          t.tiles;
+        raise (Deadlock (Buffer.contents buf))
+      end
+      else t.now <- !next
+    end
+  done;
+  t.total_cycles <- t.total_cycles + (t.now - start);
+  read_outputs t
+
+let finish_energy t =
+  Energy.add_static t.energy ~tiles:(tiles_used t)
+    ~cycles:(Float.of_int t.total_cycles)
+
+let set_retire_hook t hook = t.retire_hook <- hook
+
+let iter_mvmus t f =
+  Array.iteri
+    (fun ti (tp : Program.tile_program) ->
+      List.iter
+        (fun (img : Program.mvmu_image) ->
+          let core = Tile.core t.tiles.(ti) img.core_index in
+          f (Core.mvmu core img.mvmu_index))
+        tp.mvmu_images)
+    t.program.tiles

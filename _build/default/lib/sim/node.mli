@@ -1,0 +1,47 @@
+(** PUMAsim: cycle-approximate functional co-simulation of a node.
+
+    Executes a compiled {!Puma_isa.Program.t} on the tile/core/NoC models:
+    cores and tile control units advance independently, blocking on the
+    shared-memory attribute protocol and on receive FIFOs; messages
+    traverse the mesh with the {!Puma_noc.Network} latency model. The
+    simulator detects deadlock (every live entity blocked with an idle
+    network) and reports aggregate cycles and the shared energy ledger. *)
+
+exception Deadlock of string
+
+type t
+
+val create : ?noise_seed:int -> Puma_isa.Program.t -> t
+(** Instantiate tiles, program crossbars (with write noise when the
+    program's configuration has [write_noise_sigma > 0]; [noise_seed]
+    makes it reproducible) and preload constant vectors. *)
+
+val config : t -> Puma_hwmodel.Config.t
+val energy : t -> Puma_hwmodel.Energy.t
+val cycles : t -> int
+(** Cycles elapsed in completed {!run} calls. *)
+
+val run :
+  t -> inputs:(string * float array) list -> (string * float array) list
+(** Inject inputs, execute to completion, read outputs back. Raises
+    {!Deadlock} or [Failure] on a runaway program (cycle cap). The
+    instruction streams are reset between runs but register/memory
+    contents persist (as in hardware), so each [run] is one inference. *)
+
+val retired_instructions : t -> int
+val tiles_used : t -> int
+(** Tiles with at least one instruction (used for static-energy
+    accounting). *)
+
+val finish_energy : t -> unit
+(** Charge static energy for the occupied tiles over the simulated cycles
+    (call once after the last [run]). *)
+
+val iter_mvmus : t -> (Puma_xbar.Mvmu.t -> unit) -> unit
+(** Visit every MVMU that holds a programmed crossbar image (for fault
+    injection and inspection). *)
+
+val set_retire_hook :
+  t -> (cycle:int -> tile:int -> core:int -> Puma_isa.Instr.t -> unit) option -> unit
+(** Install (or clear) a callback invoked at every retired core
+    instruction — the hook behind {!Trace}. *)

@@ -1,0 +1,43 @@
+(** Execution tracing.
+
+    A trace records every retired core instruction with its cycle and
+    location — the "detailed traces of execution" PUMAsim provides
+    (Section 6.1). Traces answer the debugging questions the blocking
+    execution model raises (what ran when, which unit was busy) and feed
+    the per-unit occupancy summary. *)
+
+type entry = {
+  cycle : int;
+  tile : int;
+  core : int;
+  instr : Puma_isa.Instr.t;
+}
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** A bounded trace keeping the most recent [capacity] entries (default
+    65536). *)
+
+val attach : t -> Node.t -> unit
+(** Start recording the node's retired instructions. *)
+
+val detach : Node.t -> unit
+
+val length : t -> int
+(** Entries currently retained. *)
+
+val total_recorded : t -> int
+(** All entries ever recorded (>= {!length} once the buffer wraps). *)
+
+val entries : t -> entry list
+(** Retained entries in retirement order. *)
+
+val unit_cycles : t -> (Puma_isa.Instr.unit_class * int) list
+(** Retired-instruction counts per execution unit over the retained
+    window. *)
+
+val pp_entry : Puma_isa.Operand.layout -> Format.formatter -> entry -> unit
+
+val dump : Puma_isa.Operand.layout -> t -> string
+(** Render the retained window, one entry per line. *)

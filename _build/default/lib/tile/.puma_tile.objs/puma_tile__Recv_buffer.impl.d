@@ -1,0 +1,1 @@
+lib/tile/recv_buffer.ml: Array Printf Queue

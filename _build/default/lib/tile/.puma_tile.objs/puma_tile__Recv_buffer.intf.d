@@ -1,0 +1,1 @@
+lib/tile/recv_buffer.mli:

@@ -1,0 +1,1 @@
+lib/tile/shared_mem.ml: Array Printf

@@ -1,0 +1,1 @@
+lib/tile/tile.ml: Array Printf Puma_arch Puma_hwmodel Puma_isa Queue Recv_buffer Shared_mem

@@ -1,0 +1,1 @@
+lib/tile/tile.mli: Puma_arch Puma_hwmodel Puma_isa Recv_buffer Shared_mem

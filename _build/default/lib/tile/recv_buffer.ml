@@ -1,0 +1,39 @@
+type packet = { src_tile : int; payload : int array }
+
+type t = { depth : int; fifos : packet Queue.t array }
+
+let create ~num_fifos ~depth =
+  if num_fifos <= 0 || depth <= 0 then
+    invalid_arg "Recv_buffer.create: sizes must be positive";
+  { depth; fifos = Array.init num_fifos (fun _ -> Queue.create ()) }
+
+let num_fifos t = Array.length t.fifos
+let depth t = t.depth
+
+let check t fifo =
+  if fifo < 0 || fifo >= num_fifos t then
+    invalid_arg (Printf.sprintf "Recv_buffer: fifo %d out of range" fifo)
+
+let push t ~fifo pkt =
+  check t fifo;
+  let q = t.fifos.(fifo) in
+  if Queue.length q >= t.depth then false
+  else begin
+    Queue.add pkt q;
+    true
+  end
+
+let pop t ~fifo =
+  check t fifo;
+  Queue.take_opt t.fifos.(fifo)
+
+let peek t ~fifo =
+  check t fifo;
+  Queue.peek_opt t.fifos.(fifo)
+
+let occupancy t ~fifo =
+  check t fifo;
+  Queue.length t.fifos.(fifo)
+
+let total_occupancy t =
+  Array.fold_left (fun acc q -> acc + Queue.length q) 0 t.fifos

@@ -1,0 +1,22 @@
+(** Receive buffer: N FIFOs of M packet entries each (Section 4.2).
+
+    FIFOs preserve per-sender ordering; having several lets multiple
+    source tiles send concurrently and decouples network arrival order
+    from the program order of (blocking) receive instructions. FIFO ids
+    are virtualized by the compiler. *)
+
+type packet = { src_tile : int; payload : int array }
+
+type t
+
+val create : num_fifos:int -> depth:int -> t
+val num_fifos : t -> int
+val depth : t -> int
+
+val push : t -> fifo:int -> packet -> bool
+(** [false] when the FIFO is full (the network retries later). *)
+
+val pop : t -> fifo:int -> packet option
+val peek : t -> fifo:int -> packet option
+val occupancy : t -> fifo:int -> int
+val total_occupancy : t -> int

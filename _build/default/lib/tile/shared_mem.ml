@@ -1,0 +1,75 @@
+type t = {
+  data : int array;
+  valid : bool array;
+  count : int array;
+}
+
+let create ~words =
+  if words <= 0 then invalid_arg "Shared_mem.create: words must be positive";
+  {
+    data = Array.make words 0;
+    valid = Array.make words false;
+    count = Array.make words 0;
+  }
+
+let words t = Array.length t.data
+
+let in_range t addr width =
+  addr >= 0 && width >= 0 && addr + width <= Array.length t.data
+
+let read t ~addr ~width =
+  if not (in_range t addr width) then
+    invalid_arg (Printf.sprintf "Shared_mem.read: [%d, %d) out of range" addr (addr + width));
+  let ok = ref true in
+  for k = addr to addr + width - 1 do
+    if not t.valid.(k) then ok := false
+  done;
+  if not !ok then None
+  else begin
+    let values = Array.sub t.data addr width in
+    for k = addr to addr + width - 1 do
+      if t.count.(k) > 0 then begin
+        t.count.(k) <- t.count.(k) - 1;
+        if t.count.(k) = 0 then t.valid.(k) <- false
+      end
+    done;
+    Some values
+  end
+
+let peek t ~addr ~width =
+  if not (in_range t addr width) then
+    invalid_arg "Shared_mem.peek: out of range";
+  let ok = ref true in
+  for k = addr to addr + width - 1 do
+    if not t.valid.(k) then ok := false
+  done;
+  if !ok then Some (Array.sub t.data addr width) else None
+
+let write t ~addr ~values ~count =
+  let width = Array.length values in
+  if not (in_range t addr width) then
+    invalid_arg (Printf.sprintf "Shared_mem.write: [%d, %d) out of range" addr (addr + width));
+  if count < 0 then invalid_arg "Shared_mem.write: negative count";
+  let blocked = ref false in
+  if count > 0 then
+    for k = addr to addr + width - 1 do
+      (* A counted word still awaiting consumers must not be overwritten. *)
+      if t.valid.(k) && t.count.(k) > 0 then blocked := true
+    done;
+  if !blocked then false
+  else begin
+    Array.iteri
+      (fun i v ->
+        let k = addr + i in
+        t.data.(k) <- v;
+        t.valid.(k) <- true;
+        t.count.(k) <- count)
+      values;
+    true
+  end
+
+let host_write t ~addr ~values =
+  ignore (write t ~addr ~values ~count:0)
+
+let valid t ~addr = t.valid.(addr)
+let pending_count t ~addr = t.count.(addr)

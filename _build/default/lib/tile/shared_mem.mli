@@ -1,0 +1,32 @@
+(** Tile shared memory with the inter-core synchronization attribute
+    buffer (Section 4.1.1, Figure 6).
+
+    Every word carries two attributes: [valid] and a consumer [count].
+    A counted write ([count > 0]) publishes a value for exactly [count]
+    reads: readers block until the word is valid, each successful read
+    decrements the count, and the word invalidates when it reaches zero,
+    unblocking the next producer. A write with [count = 0] is a plain
+    ("sticky") write used for unsynchronized data (spills, host inputs):
+    it always succeeds and reads do not consume it. *)
+
+type t
+
+val create : words:int -> t
+val words : t -> int
+
+val read : t -> addr:int -> width:int -> int array option
+(** [None] if any requested word is invalid (reader must block). On
+    success, counted words are consumed as described above. *)
+
+val peek : t -> addr:int -> width:int -> int array option
+(** Like {!read} but never consumes (host-side inspection). *)
+
+val write : t -> addr:int -> values:int array -> count:int -> bool
+(** [false] if any target word is still valid with pending consumers
+    (writer must block). [count] applies to every written word. *)
+
+val host_write : t -> addr:int -> values:int array -> unit
+(** Unconditional sticky write (network input injection). *)
+
+val valid : t -> addr:int -> bool
+val pending_count : t -> addr:int -> int

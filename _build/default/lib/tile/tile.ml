@@ -1,0 +1,141 @@
+module Instr = Puma_isa.Instr
+module Core = Puma_arch.Core
+module Energy = Puma_hwmodel.Energy
+module Latency = Puma_hwmodel.Latency
+
+type outgoing = {
+  target_tile : int;
+  fifo_id : int;
+  payload : int array;
+  issue_cycle : int;
+}
+
+type step_result = Retired of { cycles : int } | Blocked | Halted
+
+type t = {
+  config : Puma_hwmodel.Config.t;
+  index : int;
+  energy : Energy.t;
+  cores : Core.t array;
+  smem : Shared_mem.t;
+  recv : Recv_buffer.t;
+  tile_code : Instr.t array;
+  outgoing : outgoing Queue.t;
+  mutable tcu_pc : int;
+  mutable tcu_halted : bool;
+}
+
+let create (config : Puma_hwmodel.Config.t) ~index ~energy ~core_code ~tile_code =
+  if Array.length core_code > config.cores_per_tile then
+    invalid_arg "Tile.create: more core streams than cores per tile";
+  let cores =
+    Array.init config.cores_per_tile (fun i ->
+        let code =
+          if i < Array.length core_code then core_code.(i) else [||]
+        in
+        Core.create config ~seed:((index * 31) + i + 1) ~energy code)
+  in
+  {
+    config;
+    index;
+    energy;
+    cores;
+    smem = Shared_mem.create ~words:(config.smem_bytes / 2);
+    recv = Recv_buffer.create ~num_fifos:config.num_fifos ~depth:config.fifo_depth;
+    tile_code;
+    outgoing = Queue.create ();
+    tcu_pc = 0;
+    tcu_halted = false;
+  }
+
+let index t = t.index
+let num_cores t = Array.length t.cores
+let core t i = t.cores.(i)
+let shared_mem t = t.smem
+let recv_buffer t = t.recv
+
+let mem_iface t : Core.mem_iface =
+  {
+    load = (fun ~addr ~width -> Shared_mem.read t.smem ~addr ~width);
+    store =
+      (fun ~addr ~values ~count -> Shared_mem.write t.smem ~addr ~values ~count);
+  }
+
+let step_core t i = Core.step t.cores.(i) ~mem:(mem_iface t)
+
+let step_tcu t ~now =
+  if t.tcu_halted then Halted
+  else if t.tcu_pc < 0 || t.tcu_pc >= Array.length t.tile_code then begin
+    t.tcu_halted <- true;
+    Halted
+  end
+  else
+    match t.tile_code.(t.tcu_pc) with
+    | Halt ->
+        t.tcu_halted <- true;
+        Halted
+    | Send { mem_addr; fifo_id; target; vec_width } -> (
+        match Shared_mem.read t.smem ~addr:mem_addr ~width:vec_width with
+        | None -> Blocked
+        | Some payload ->
+            let cycles = Latency.send_occupancy t.config ~vec_width in
+            Queue.add
+              {
+                target_tile = target;
+                fifo_id;
+                payload;
+                issue_cycle = now + cycles;
+              }
+              t.outgoing;
+            Energy.add t.energy Smem vec_width;
+            Energy.add t.energy Bus vec_width;
+            Energy.add t.energy Attr 1;
+            t.tcu_pc <- t.tcu_pc + 1;
+            Retired { cycles })
+    | Receive { mem_addr; fifo_id; count; vec_width } -> (
+        match Recv_buffer.peek t.recv ~fifo:fifo_id with
+        | None -> Blocked
+        | Some pkt ->
+            if Array.length pkt.payload <> vec_width then
+              invalid_arg
+                (Printf.sprintf
+                   "Tile.step_tcu: receive width %d but packet has %d words"
+                   vec_width (Array.length pkt.payload));
+            if Shared_mem.write t.smem ~addr:mem_addr ~values:pkt.payload ~count
+            then begin
+              ignore (Recv_buffer.pop t.recv ~fifo:fifo_id);
+              let cycles = Latency.receive_occupancy t.config ~vec_width in
+              Energy.add t.energy Fifo vec_width;
+              Energy.add t.energy Smem vec_width;
+              Energy.add t.energy Bus vec_width;
+              Energy.add t.energy Attr 1;
+              t.tcu_pc <- t.tcu_pc + 1;
+              Retired { cycles }
+            end
+            else Blocked)
+    | Mvm _ | Alu _ | Alui _ | Alu_int _ | Set _ | Set_sreg _ | Copy _
+    | Load _ | Store _ | Jmp _ | Brn _ ->
+        invalid_arg "Tile.step_tcu: core instruction in tile stream"
+
+let pop_outgoing t = Queue.take_opt t.outgoing
+
+let deliver t ~fifo ~src_tile ~payload =
+  let accepted = Recv_buffer.push t.recv ~fifo { src_tile; payload } in
+  if accepted then Energy.add t.energy Fifo (Array.length payload);
+  accepted
+
+let all_halted t =
+  t.tcu_halted && Array.for_all Core.halted t.cores
+
+let any_progress_possible t =
+  (not t.tcu_halted) || Array.exists (fun c -> not (Core.halted c)) t.cores
+
+let host_write t ~addr ~values = Shared_mem.host_write t.smem ~addr ~values
+let host_read t ~addr ~width = Shared_mem.peek t.smem ~addr ~width
+
+let tcu_pc t = t.tcu_pc
+
+let reset t =
+  t.tcu_pc <- 0;
+  t.tcu_halted <- false;
+  Array.iter Core.reset t.cores

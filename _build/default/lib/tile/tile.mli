@@ -1,0 +1,67 @@
+(** A PUMA tile: cores, shared memory, receive buffer and the tile control
+    unit executing the send/receive stream (Figure 5).
+
+    The tile exposes step functions for its control unit and each core;
+    the node simulator interleaves them. Outgoing messages are handed to
+    the node through a queue drained by the network model; incoming
+    messages are delivered into the receive buffer with {!deliver}. *)
+
+type outgoing = {
+  target_tile : int;
+  fifo_id : int;
+  payload : int array;
+  issue_cycle : int;  (** Core-clock cycle at which the send retired. *)
+}
+
+type step_result =
+  | Retired of { cycles : int }
+  | Blocked
+  | Halted
+
+type t
+
+val create :
+  Puma_hwmodel.Config.t ->
+  index:int ->
+  energy:Puma_hwmodel.Energy.t ->
+  core_code:Puma_isa.Instr.t array array ->
+  tile_code:Puma_isa.Instr.t array ->
+  t
+
+val index : t -> int
+val num_cores : t -> int
+val core : t -> int -> Puma_arch.Core.t
+val shared_mem : t -> Shared_mem.t
+val recv_buffer : t -> Recv_buffer.t
+
+val step_core : t -> int -> Puma_arch.Core.step_result
+(** Advance core [i] by one instruction (wired to this tile's shared
+    memory). *)
+
+val step_tcu : t -> now:int -> step_result
+(** Advance the tile control unit by one send/receive instruction.
+    A [send] blocks until its shared-memory operand is valid; a [receive]
+    blocks until a packet is available in its FIFO and the destination
+    words are writable. *)
+
+val pop_outgoing : t -> outgoing option
+(** Drain the next message issued by a retired [send]. *)
+
+val deliver : t -> fifo:int -> src_tile:int -> payload:int array -> bool
+(** Network delivery into the receive buffer; [false] if the FIFO is full. *)
+
+val all_halted : t -> bool
+(** Control unit and every core have halted. *)
+
+val any_progress_possible : t -> bool
+(** At least one core or the TCU is not halted. *)
+
+val host_write : t -> addr:int -> values:int array -> unit
+val host_read : t -> addr:int -> width:int -> int array option
+
+val tcu_pc : t -> int
+(** Current tile-control-unit program counter (diagnostics). *)
+
+val reset : t -> unit
+(** Rewind the control unit and every core to the start of their streams
+    (memory and register contents persist), enabling a new inference. *)

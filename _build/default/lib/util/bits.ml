@@ -1,0 +1,27 @@
+let slice ~value ~bits_per_slice ~num_slices =
+  assert (value >= 0);
+  assert (value < 1 lsl (bits_per_slice * num_slices));
+  let mask = (1 lsl bits_per_slice) - 1 in
+  Array.init num_slices (fun i -> (value lsr (i * bits_per_slice)) land mask)
+
+let unslice ~slices ~bits_per_slice =
+  let acc = ref 0 in
+  Array.iteri (fun i s -> acc := !acc lor (s lsl (i * bits_per_slice))) slices;
+  !acc
+
+let to_unsigned ~width v =
+  let mask = (1 lsl width) - 1 in
+  v land mask
+
+let of_unsigned ~width p =
+  let sign_bit = 1 lsl (width - 1) in
+  if p land sign_bit <> 0 then p - (1 lsl width) else p
+
+let bits_required n =
+  assert (n > 0);
+  let rec go acc v = if v <= 1 then acc else go (acc + 1) ((v + 1) / 2) in
+  go 0 n
+
+let popcount v =
+  let rec go acc v = if v = 0 then acc else go (acc + (v land 1)) (v lsr 1) in
+  go 0 v

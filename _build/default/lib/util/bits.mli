@@ -1,0 +1,22 @@
+(** Bit-manipulation helpers for crossbar bit-slicing and ISA encoding. *)
+
+val slice : value:int -> bits_per_slice:int -> num_slices:int -> int array
+(** [slice ~value ~bits_per_slice ~num_slices] decomposes the *unsigned*
+    pattern of [value] into [num_slices] groups of [bits_per_slice] bits,
+    least-significant slice first. [value] must be non-negative and fit in
+    [bits_per_slice * num_slices] bits. *)
+
+val unslice : slices:int array -> bits_per_slice:int -> int
+(** Inverse of {!slice}. *)
+
+val to_unsigned : width:int -> int -> int
+(** Two's complement pattern of a signed value of the given bit [width]. *)
+
+val of_unsigned : width:int -> int -> int
+(** Signed value of a two's complement pattern of the given bit [width]. *)
+
+val bits_required : int -> int
+(** [bits_required n] is the number of bits needed to represent the
+    unsigned values [0 .. n-1]; e.g. [bits_required 128 = 7]. *)
+
+val popcount : int -> int

@@ -1,0 +1,36 @@
+(** Deterministic pseudo-random number generation.
+
+    Every stochastic element of the reproduction (synthetic weights and
+    inputs, memristor write noise, random-partitioning baselines) draws from
+    an explicit generator seeded by the experiment, so that every table and
+    figure is bit-reproducible. The generator is splitmix64. *)
+
+type t
+
+val create : int -> t
+(** [create seed] makes a fresh generator. Generators are mutable. *)
+
+val split : t -> t
+(** Derive an independent child stream (for per-component noise sources). *)
+
+val next_int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound); [bound] must be positive. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [0, bound). *)
+
+val uniform : t -> float -> float -> float
+(** [uniform t lo hi] is uniform in [lo, hi). *)
+
+val gaussian : t -> float
+(** Standard normal via Box-Muller. *)
+
+val gaussian_scaled : t -> mean:float -> sigma:float -> float
+
+val bool : t -> bool
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)

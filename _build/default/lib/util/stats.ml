@@ -1,0 +1,50 @@
+let mean xs =
+  let n = Array.length xs in
+  assert (n > 0);
+  Array.fold_left ( +. ) 0.0 xs /. Float.of_int n
+
+let variance xs =
+  let m = mean xs in
+  let n = Float.of_int (Array.length xs) in
+  Array.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 xs /. n
+
+let stddev xs = sqrt (variance xs)
+
+let geomean xs =
+  let n = Array.length xs in
+  assert (n > 0);
+  let acc = Array.fold_left (fun acc x -> assert (x > 0.0); acc +. log x) 0.0 xs in
+  exp (acc /. Float.of_int n)
+
+let percentile xs p =
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let n = Array.length sorted in
+  assert (n > 0);
+  let rank = p /. 100.0 *. Float.of_int (n - 1) in
+  let lo = Float.to_int (Float.of_int (Float.to_int rank) |> Float.min (Float.of_int (n - 1))) in
+  let lo = if lo < 0 then 0 else lo in
+  let hi = Stdlib.min (lo + 1) (n - 1) in
+  let frac = rank -. Float.of_int lo in
+  sorted.(lo) +. (frac *. (sorted.(hi) -. sorted.(lo)))
+
+let relative_error ~reference ~measured =
+  assert (reference <> 0.0);
+  Float.abs ((measured -. reference) /. reference)
+
+let rmse a b =
+  let n = Array.length a in
+  assert (n = Array.length b && n > 0);
+  let acc = ref 0.0 in
+  for i = 0 to n - 1 do
+    acc := !acc +. ((a.(i) -. b.(i)) ** 2.0)
+  done;
+  sqrt (!acc /. Float.of_int n)
+
+let argmax xs =
+  assert (Array.length xs > 0);
+  let best = ref 0 in
+  for i = 1 to Array.length xs - 1 do
+    if xs.(i) > xs.(!best) then best := i
+  done;
+  !best

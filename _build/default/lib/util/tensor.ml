@@ -1,0 +1,73 @@
+type vec = float array
+type mat = { rows : int; cols : int; data : float array }
+
+let vec_create n = Array.make n 0.0
+let vec_init = Array.init
+let vec_of_list = Array.of_list
+let vec_copy = Array.copy
+let vec_map = Array.map
+
+let binop f a b =
+  let n = Array.length a in
+  assert (n = Array.length b);
+  Array.init n (fun i -> f a.(i) b.(i))
+
+let vec_add = binop ( +. )
+let vec_sub = binop ( -. )
+let vec_mul = binop ( *. )
+let vec_scale s = Array.map (fun x -> s *. x)
+
+let dot a b =
+  let n = Array.length a in
+  assert (n = Array.length b);
+  let acc = ref 0.0 in
+  for i = 0 to n - 1 do
+    acc := !acc +. (a.(i) *. b.(i))
+  done;
+  !acc
+
+let vec_concat vs = Array.concat vs
+let vec_slice v off len = Array.sub v off len
+
+let vec_max_abs_diff a b =
+  let n = Array.length a in
+  assert (n = Array.length b);
+  let m = ref 0.0 in
+  for i = 0 to n - 1 do
+    m := Float.max !m (Float.abs (a.(i) -. b.(i)))
+  done;
+  !m
+
+let vec_rand rng n amplitude =
+  Array.init n (fun _ -> Rng.uniform rng (-.amplitude) amplitude)
+
+let mat_create rows cols = { rows; cols; data = Array.make (rows * cols) 0.0 }
+
+let mat_init rows cols f =
+  { rows; cols; data = Array.init (rows * cols) (fun k -> f (k / cols) (k mod cols)) }
+
+let get m i j = m.data.((i * m.cols) + j)
+let set m i j v = m.data.((i * m.cols) + j) <- v
+let mat_copy m = { m with data = Array.copy m.data }
+
+let mvm m x =
+  assert (Array.length x = m.cols);
+  Array.init m.rows (fun i ->
+      let acc = ref 0.0 in
+      let base = i * m.cols in
+      for j = 0 to m.cols - 1 do
+        acc := !acc +. (m.data.(base + j) *. x.(j))
+      done;
+      !acc)
+
+let mat_transpose m = mat_init m.cols m.rows (fun i j -> get m j i)
+let mat_rand rng rows cols amplitude =
+  mat_init rows cols (fun _ _ -> Rng.uniform rng (-.amplitude) amplitude)
+
+let mat_sub_block m ~row ~col ~rows ~cols =
+  mat_init rows cols (fun i j ->
+      let si = row + i and sj = col + j in
+      if si < m.rows && sj < m.cols then get m si sj else 0.0)
+
+let mat_frobenius m =
+  sqrt (Array.fold_left (fun acc x -> acc +. (x *. x)) 0.0 m.data)

@@ -1,0 +1,1 @@
+lib/xbar/adc.ml: Float Puma_hwmodel

@@ -1,0 +1,1 @@
+lib/xbar/adc.mli: Puma_hwmodel

@@ -1,0 +1,1 @@
+lib/xbar/bitslice.ml: Adc Array Crossbar Device Float Option Printf Puma_hwmodel Puma_util

@@ -1,0 +1,1 @@
+lib/xbar/bitslice.mli: Puma_hwmodel Puma_util

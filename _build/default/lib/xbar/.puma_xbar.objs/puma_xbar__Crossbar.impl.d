@@ -1,0 +1,1 @@
+lib/xbar/crossbar.ml: Array Device

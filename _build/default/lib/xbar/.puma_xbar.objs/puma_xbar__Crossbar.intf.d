@@ -1,0 +1,1 @@
+lib/xbar/crossbar.mli: Device Puma_util

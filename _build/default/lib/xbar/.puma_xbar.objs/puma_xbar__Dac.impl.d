@@ -1,0 +1,1 @@
+lib/xbar/dac.ml: Array Puma_util

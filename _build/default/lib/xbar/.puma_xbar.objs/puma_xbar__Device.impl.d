@@ -1,0 +1,1 @@
+lib/xbar/device.ml: Float Printf Puma_util

@@ -1,0 +1,1 @@
+lib/xbar/device.mli: Puma_util

@@ -1,0 +1,1 @@
+lib/xbar/mvmu.ml: Array Bitslice Puma_hwmodel Puma_util

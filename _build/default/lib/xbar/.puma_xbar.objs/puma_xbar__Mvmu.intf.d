@@ -1,0 +1,1 @@
+lib/xbar/mvmu.mli: Puma_hwmodel Puma_util

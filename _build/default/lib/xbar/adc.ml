@@ -1,0 +1,17 @@
+type t = { resolution : int }
+
+let create ~resolution =
+  if resolution < 1 then invalid_arg "Adc.create: resolution must be >= 1";
+  { resolution }
+
+let for_config (c : Puma_hwmodel.Config.t) =
+  create
+    ~resolution:
+      (Puma_hwmodel.Scaling.adc_resolution ~dim:c.mvmu_dim
+         ~bits_per_cell:c.bits_per_cell)
+
+let max_code t = (1 lsl t.resolution) - 1
+
+let convert t v =
+  let code = Float.to_int (Float.round v) in
+  if code < 0 then 0 else if code > max_code t then max_code t else code

@@ -1,0 +1,21 @@
+(** SAR ADC behavioural model.
+
+    The ADC converts an analog column accumulation into a digital value at
+    a given resolution. With exact (noise-free) devices the per-bit-plane
+    column sum of a [dim]-row crossbar with [b]-bit cells needs exactly
+    [log2 dim + b] bits, so the conservatively-provisioned PUMA ADC is
+    lossless; with write noise the rounding and clamping here are where
+    analog error enters the digital domain. *)
+
+type t = { resolution : int }
+
+val create : resolution:int -> t
+
+val for_config : Puma_hwmodel.Config.t -> t
+(** Resolution [log2 mvmu_dim + bits_per_cell] (Section 6.1's SAR design). *)
+
+val max_code : t -> int
+(** [2^resolution - 1]. *)
+
+val convert : t -> float -> int
+(** Round to nearest integer code, clamped to [0, max_code]. *)

@@ -1,0 +1,183 @@
+module Fixed = Puma_util.Fixed
+module Tensor = Puma_util.Tensor
+module Bits = Puma_util.Bits
+
+type t = {
+  dim : int;
+  bits_per_cell : int;
+  low_bits : int;  (** Width of the least-significant (possibly partial) slice. *)
+  num_slices : int;
+  noisy : bool;
+  adc : Adc.t;
+  (* Quantized signed raw weights, row-major; the exact-path operand. *)
+  logical : int array;
+  (* Range scaling: stored conductances hold [raw lsl scale_shift] so the
+     matrix spans the full device range (maximizing noise margin, as in
+     ISAAC's per-matrix mapping); the digital shift-and-add undoes it. *)
+  scale_shift : int;
+  (* Per-polarity slice stacks, only materialized when noisy. *)
+  pos : Crossbar.t array;
+  neg : Crossbar.t array;
+}
+
+let magnitude_parts raw =
+  (* Differential pair: raw = pos - neg with pos, neg >= 0. The single
+     non-representable magnitude -32768 clamps to -32767. *)
+  if raw >= 0 then (raw, 0)
+  else
+    let m = min (-raw) Fixed.max_raw in
+    (0, m)
+
+let create (c : Puma_hwmodel.Config.t) ?rng (m : Tensor.mat) =
+  let dim = c.mvmu_dim in
+  if m.Tensor.rows <> dim || m.Tensor.cols <> dim then
+    invalid_arg
+      (Printf.sprintf "Bitslice.create: matrix must be %dx%d (got %dx%d)" dim
+         dim m.Tensor.rows m.Tensor.cols);
+  let bits = c.bits_per_cell in
+  let num_slices = Puma_hwmodel.Config.slices c in
+  (* Physical slice stacks are materialized whenever an RNG is supplied
+     (write noise and/or fault injection); without one the exact fast
+     path is used. *)
+  let noisy = Option.is_some rng in
+  let device = Device.create ~bits ~sigma:c.write_noise_sigma in
+  let logical = Array.make (dim * dim) 0 in
+  let make_stack () =
+    Array.init num_slices (fun _ -> Crossbar.create ~dim ~device)
+  in
+  let pos = if noisy then make_stack () else [||] in
+  let neg = if noisy then make_stack () else [||] in
+  for i = 0 to dim - 1 do
+    for j = 0 to dim - 1 do
+      let raw = Fixed.to_raw (Fixed.of_float (Tensor.get m i j)) in
+      let raw = if raw = Fixed.min_raw then -Fixed.max_raw else raw in
+      logical.((i * dim) + j) <- raw
+    done
+  done;
+  (* Spread the matrix over the full conductance range. *)
+  let max_mag = Array.fold_left (fun a v -> max a (abs v)) 0 logical in
+  let scale_shift =
+    if max_mag = 0 then 0
+    else begin
+      let rec go k = if max_mag lsl (k + 1) <= Fixed.max_raw then go (k + 1) else k in
+      go 0
+    end
+  in
+  (* The 15 magnitude bits are grouped from the top down, so any partial
+     group lands in the least-significant slice: high-order devices always
+     use their full range (best noise margin where errors cost most). *)
+  let low_bits =
+    let r = 15 mod bits in
+    if r = 0 then bits else r
+  in
+  let slice_offset s = if s = 0 then 0 else low_bits + ((s - 1) * bits) in
+  let split value =
+    Array.init num_slices (fun s ->
+        let width = if s = 0 then low_bits else bits in
+        (value lsr slice_offset s) land ((1 lsl width) - 1))
+  in
+  if noisy then
+    for i = 0 to dim - 1 do
+      for j = 0 to dim - 1 do
+        let raw = logical.((i * dim) + j) lsl scale_shift in
+        let p, n = magnitude_parts raw in
+        let pslices = split p and nslices = split n in
+        for s = 0 to num_slices - 1 do
+          Crossbar.write pos.(s) ?rng i j pslices.(s);
+          Crossbar.write neg.(s) ?rng i j nslices.(s)
+        done
+      done
+    done;
+  {
+    dim;
+    bits_per_cell = bits;
+    low_bits;
+    num_slices;
+    noisy;
+    adc = Adc.for_config c;
+    logical;
+    scale_shift;
+    pos;
+    neg;
+  }
+
+let dim t = t.dim
+let num_slices t = t.num_slices
+let logical_raw t i j = t.logical.((i * t.dim) + j)
+let is_noisy t = t.noisy
+
+let mvm_raw_exact t x =
+  Array.init t.dim (fun i ->
+      let base = i * t.dim in
+      let acc = ref 0 in
+      for j = 0 to t.dim - 1 do
+        acc := !acc + (t.logical.(base + j) * x.(j))
+      done;
+      !acc)
+
+(* Noisy-device path. The conversion chain itself is conservatively
+   provisioned to be lossless (Section 3.2.1's no-accuracy-compromise
+   claim; the [Dac]/[Adc] models and the exact-path equality test document
+   that), so the analog impairment reduces to the programmed conductance
+   levels: each slice's column currents are accumulated with the noisy
+   levels, digitized once per slice, and combined by shift-and-add. *)
+let mvm_raw_noisy t x =
+  let xf = Array.map Float.of_int x in
+  let out = Array.make t.dim 0 in
+  for s = 0 to t.num_slices - 1 do
+    let shift = if s = 0 then 0 else t.low_bits + ((s - 1) * t.bits_per_cell) in
+    let sw = 1 lsl shift in
+    let accp = Crossbar.mvm_acc t.pos.(s) xf in
+    let accn = Crossbar.mvm_acc t.neg.(s) xf in
+    for i = 0 to t.dim - 1 do
+      let digital = Float.to_int (Float.round (accp.(i) -. accn.(i))) in
+      out.(i) <- out.(i) + (digital * sw)
+    done
+  done;
+  out
+
+let mvm_raw t x =
+  assert (Array.length x = t.dim);
+  if t.noisy then begin
+    let scaled = mvm_raw_noisy t x in
+    (* Undo the range scaling with round-to-nearest. *)
+    let k = t.scale_shift in
+    if k = 0 then scaled
+    else
+      Array.map
+        (fun v ->
+          let half = 1 lsl (k - 1) in
+          if v >= 0 then (v + half) asr k else -((-v + half) asr k))
+        scaled
+  end
+  else mvm_raw_exact t x
+
+(* Stuck-at fault injection: each physical device independently sticks at
+   its lowest or highest conductance with probability [rate]. Requires a
+   materialized stack (create with ~rng). Returns the number of faults. *)
+let inject_stuck t rng ~rate =
+  if not t.noisy then
+    invalid_arg "Bitslice.inject_stuck: stack has no physical devices (create with ~rng)";
+  if rate < 0.0 || rate > 1.0 then
+    invalid_arg "Bitslice.inject_stuck: rate must be in [0, 1]";
+  let count = ref 0 in
+  let zap xb =
+    let d = Crossbar.device xb in
+    let max_l = Float.of_int (Device.max_level d) in
+    for i = 0 to t.dim - 1 do
+      for j = 0 to t.dim - 1 do
+        if Puma_util.Rng.float rng 1.0 < rate then begin
+          incr count;
+          let stuck = if Puma_util.Rng.bool rng then max_l else 0.0 in
+          Crossbar.force xb i j stuck
+        end
+      done
+    done
+  in
+  Array.iter zap t.pos;
+  Array.iter zap t.neg;
+  !count
+
+let mvm_fixed t x =
+  let raw = mvm_raw t (Array.map Fixed.to_raw x) in
+  Array.map Fixed.of_acc raw

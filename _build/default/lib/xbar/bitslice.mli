@@ -1,0 +1,54 @@
+(** A logical signed 16-bit matrix realized as bit-sliced crossbars.
+
+    Section 3.2.1: a 16-bit MVM combines [16 / bits_per_cell] physical
+    crossbars, each storing one [bits_per_cell]-wide slice of the weight
+    magnitude. Signed weights use the standard differential encoding: one
+    crossbar stack for positive parts and one for negative parts, with the
+    digital subtraction done after the ADCs.
+
+    Two evaluation paths:
+    - with zero write noise (and no [~rng]) the stack is bit-exact
+      w.r.t. the integer matrix-vector product of the quantized weights
+      (the ADC is conservatively provisioned to be lossless), evaluated
+      directly;
+    - with an [~rng] the physical slice stacks are materialized and the
+      column currents are accumulated with the stored (noisy/faulted)
+      analog levels, digitized once per slice and combined by
+      shift-and-add. The conversion chain itself is conservatively
+      provisioned to be lossless (Section 3.2.1), which the
+      materialized-but-noise-free case demonstrates by matching the exact
+      path bit-for-bit. *)
+
+type t
+
+val create :
+  Puma_hwmodel.Config.t -> ?rng:Puma_util.Rng.t -> Puma_util.Tensor.mat -> t
+(** Quantize a float matrix (shape exactly [dim x dim]; use
+    {!Puma_util.Tensor.mat_sub_block} to pad) to 16-bit fixed point and
+    program the crossbar stack. [rng] enables write noise with the
+    config's [write_noise_sigma]. *)
+
+val dim : t -> int
+val num_slices : t -> int
+
+val logical_raw : t -> int -> int -> int
+(** The quantized (noise-free) raw weight at (i, j). *)
+
+val mvm_raw : t -> int array -> int array
+(** [mvm_raw t x_raw] returns per-output accumulators in raw product units
+    (2 * frac_bits fraction bits), as produced by the shift-and-add
+    reduction; rescale with {!Puma_util.Fixed.of_acc}. *)
+
+val mvm_fixed : t -> Puma_util.Fixed.t array -> Puma_util.Fixed.t array
+(** Full 16-bit MVM returning rescaled fixed-point outputs. *)
+
+val is_noisy : t -> bool
+(** True when physical slice stacks are materialized (created with
+    [~rng]); the exact fast path is used otherwise. *)
+
+val inject_stuck : t -> Puma_util.Rng.t -> rate:float -> int
+(** Stuck-at fault injection: each physical device independently sticks
+    at its lowest or highest conductance with probability [rate]
+    (yield/endurance failures, cf. the paper's reliability discussion).
+    Returns the number of faulted devices; raises [Invalid_argument] on a
+    stack without physical devices. *)

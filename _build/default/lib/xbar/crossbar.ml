@@ -1,0 +1,40 @@
+type t = { dim : int; device : Device.t; cells : float array (* row-major *) }
+
+let create ~dim ~device =
+  if dim <= 0 then invalid_arg "Crossbar.create: dim must be positive";
+  { dim; device; cells = Array.make (dim * dim) 0.0 }
+
+let dim t = t.dim
+let device t = t.device
+
+let write t ?rng i j level =
+  if i < 0 || i >= t.dim || j < 0 || j >= t.dim then
+    invalid_arg "Crossbar.write: position out of range";
+  t.cells.((i * t.dim) + j) <- Device.program t.device rng level
+
+let level t i j = t.cells.((i * t.dim) + j)
+
+let force t i j v =
+  if i < 0 || i >= t.dim || j < 0 || j >= t.dim then
+    invalid_arg "Crossbar.force: position out of range";
+  t.cells.((i * t.dim) + j) <- v
+
+let mvm_acc t x =
+  assert (Array.length x = t.dim);
+  Array.init t.dim (fun i ->
+      let base = i * t.dim in
+      let acc = ref 0.0 in
+      for j = 0 to t.dim - 1 do
+        acc := !acc +. (t.cells.(base + j) *. x.(j))
+      done;
+      !acc)
+
+let mvm_acc_binary t bits =
+  assert (Array.length bits = t.dim);
+  Array.init t.dim (fun i ->
+      let base = i * t.dim in
+      let acc = ref 0.0 in
+      for j = 0 to t.dim - 1 do
+        if bits.(j) <> 0 then acc := !acc +. t.cells.(base + j)
+      done;
+      !acc)

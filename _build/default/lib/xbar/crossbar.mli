@@ -1,0 +1,33 @@
+(** A single physical crossbar: one bit-slice of a logical matrix.
+
+    The crossbar holds [dim x dim] analog device levels. Applying a vector
+    of digital inputs at the rows yields, per column, the analog sum
+    [sum_j level(i, j) * x(j)] (Kirchhoff's law after integration). The
+    input convention follows the MVM orientation [y = W x]: row index [i]
+    of the *logical matrix* maps to a crossbar column, so [mvm_acc]
+    returns one accumulator per logical output. *)
+
+type t
+
+val create : dim:int -> device:Device.t -> t
+val dim : t -> int
+val device : t -> Device.t
+
+val write : t -> ?rng:Puma_util.Rng.t -> int -> int -> int -> unit
+(** [write t ~rng i j level] programs the device at logical position
+    [(i, j)] (serial configuration-time write, Section 3.2.5). *)
+
+val level : t -> int -> int -> float
+(** Stored (possibly noisy) analog level. *)
+
+val force : t -> int -> int -> float -> unit
+(** Overwrite a cell's analog level directly (fault injection: stuck-at
+    states bypass the programming path). *)
+
+val mvm_acc : t -> float array -> float array
+(** [mvm_acc t x] is the vector of column sums [sum_j level(i,j) * x(j)]
+    for an arbitrary analog input [x] (length [dim]). *)
+
+val mvm_acc_binary : t -> int array -> float array
+(** Specialized bit-plane pass: inputs are 0/1 (one DAC bit-plane of the
+    streamed input). *)

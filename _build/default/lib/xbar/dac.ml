@@ -1,0 +1,12 @@
+let input_bits = 16
+
+let bit_plane raw ~plane =
+  let pattern = Puma_util.Bits.to_unsigned ~width:input_bits raw in
+  (pattern lsr plane) land 1
+
+let plane_weight ~plane =
+  if plane = input_bits - 1 then -(1 lsl plane) else 1 lsl plane
+
+let bit_planes xs =
+  Array.init input_bits (fun plane ->
+      Array.map (fun x -> bit_plane x ~plane) xs)

@@ -1,0 +1,20 @@
+(** DAC array behavioural model.
+
+    PUMA streams inputs bit-serially through 1-bit DACs (as in ISAAC): a
+    16-bit input is applied as 16 binary planes, with the sign bit carrying
+    negative weight (two's complement). [bit_planes] performs that
+    decomposition for a whole input vector. *)
+
+val input_bits : int
+(** 16: bits per streamed input word. *)
+
+val bit_plane : int -> plane:int -> int
+(** [bit_plane raw ~plane] is bit [plane] (0 = LSB) of the 16-bit two's
+    complement pattern of [raw], as 0/1. *)
+
+val plane_weight : plane:int -> int
+(** Numeric weight of a plane in two's complement: [2^plane] for planes
+    0..14 and [-2^15] for plane 15. *)
+
+val bit_planes : int array -> int array array
+(** [bit_planes xs] is a [16 x length xs] matrix of 0/1 planes. *)

@@ -1,0 +1,32 @@
+type t = { bits : int; sigma : float }
+
+let create ~bits ~sigma =
+  if bits < 1 || bits > 8 then invalid_arg "Device.create: bits must be in 1..8";
+  if sigma < 0.0 then invalid_arg "Device.create: sigma must be >= 0";
+  { bits; sigma }
+
+let levels t = 1 lsl t.bits
+let max_level t = levels t - 1
+
+let program t rng level =
+  let max_l = max_level t in
+  if level < 0 || level > max_l then
+    invalid_arg (Printf.sprintf "Device.program: level %d out of 0..%d" level max_l);
+  match rng with
+  | None -> Float.of_int level
+  | Some rng ->
+      if t.sigma = 0.0 then Float.of_int level
+      else
+        let noisy =
+          Puma_util.Rng.gaussian_scaled rng ~mean:(Float.of_int level)
+            ~sigma:(t.sigma *. Float.of_int max_l)
+        in
+        (* Program-and-verify: the write loop settles the cell on its
+           nearest stable conductance state, so a write only errs when the
+           noise exceeds half the inter-level gap (the noise-margin
+           mechanism behind Figure 13). *)
+        let snapped = Float.round noisy in
+        Float.max 0.0 (Float.min (Float.of_int max_l) snapped)
+
+let resistance_bounds_ohm = (100_000.0, 1_000_000.0)
+let read_voltage = 0.5

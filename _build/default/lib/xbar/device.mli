@@ -1,0 +1,36 @@
+(** Behavioural memristor device model.
+
+    A device stores one of [2^bits_per_cell] conductance levels. Writing a
+    level is subject to programming noise: the programmed value is
+    [level + N(0, sigma_N * (levels - 1))], and the program-and-verify
+    loop settles the cell on the nearest stable level, clamped to the
+    device range. A write therefore errs only when the noise exceeds half
+    the inter-level gap — the noise-margin mechanism behind Figure 13
+    (more levels per device = smaller margins = more write errors). The paper's memristors have a
+    100 kOhm - 1 MOhm resistance range and 0.5 V read voltage; reads are
+    modelled as exact (read noise is negligible compared to write noise in
+    the paper's analysis). *)
+
+type t = {
+  bits : int;  (** Bits per cell (2 in the default PUMA config). *)
+  sigma : float;  (** Relative write noise sigma_N. *)
+}
+
+val create : bits:int -> sigma:float -> t
+
+val levels : t -> int
+(** [2^bits]. *)
+
+val max_level : t -> int
+(** [levels - 1]. *)
+
+val program : t -> Puma_util.Rng.t option -> int -> float
+(** [program t rng level] returns the analog level actually stored when
+    writing integer [level]. With [rng = None] or [sigma = 0] the write is
+    exact. Raises [Invalid_argument] if [level] is out of range. *)
+
+val resistance_bounds_ohm : float * float
+(** (100 kOhm, 1 MOhm), for documentation and energy modelling. *)
+
+val read_voltage : float
+(** 0.5 V. *)

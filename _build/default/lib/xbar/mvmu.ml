@@ -1,0 +1,42 @@
+module Fixed = Puma_util.Fixed
+module Tensor = Puma_util.Tensor
+
+type t = {
+  config : Puma_hwmodel.Config.t;
+  mutable stack : Bitslice.t;
+  xbar_in : int array;
+  xbar_out : int array;
+}
+
+let create (c : Puma_hwmodel.Config.t) =
+  let zero = Tensor.mat_create c.mvmu_dim c.mvmu_dim in
+  {
+    config = c;
+    stack = Bitslice.create c zero;
+    xbar_in = Array.make c.mvmu_dim 0;
+    xbar_out = Array.make c.mvmu_dim 0;
+  }
+
+let program t ?rng m = t.stack <- Bitslice.create t.config ?rng m
+let dim t = t.config.mvmu_dim
+let xbar_in t = t.xbar_in
+let xbar_out t = t.xbar_out
+
+let inject_stuck t rng ~rate = Bitslice.inject_stuck t.stack rng ~rate
+
+let execute t ~stride =
+  let d = dim t in
+  let input =
+    if stride = 0 then t.xbar_in
+    else Array.init d (fun j -> t.xbar_in.((j + stride) mod d))
+  in
+  let acc = Bitslice.mvm_raw t.stack input in
+  for i = 0 to d - 1 do
+    t.xbar_out.(i) <- Fixed.to_raw (Fixed.of_acc acc.(i))
+  done
+
+let mvm t x =
+  assert (Array.length x = dim t);
+  Array.iteri (fun j v -> t.xbar_in.(j) <- Fixed.to_raw v) x;
+  execute t ~stride:0;
+  Array.map Fixed.of_raw t.xbar_out

@@ -1,0 +1,1 @@
+test/test_arch.ml: Alcotest Array Float List Printf Puma_arch Puma_hwmodel Puma_isa Puma_util Puma_xbar

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Float List Option Printf Puma_baselines Puma_compiler Puma_hwmodel Puma_nn Puma_sim Puma_util

@@ -1,0 +1,1 @@
+test/test_compiler.ml: Alcotest Array Bytes Filename Float Fun Hashtbl List Printf Puma_compiler Puma_graph Puma_hwmodel Puma_isa Puma_nn Puma_sim Puma_util Result String Sys

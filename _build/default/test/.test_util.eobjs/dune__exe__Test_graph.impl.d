@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Float List Puma_graph Puma_util QCheck QCheck_alcotest Result String

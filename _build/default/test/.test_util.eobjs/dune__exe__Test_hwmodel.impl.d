@@ -1,0 +1,1 @@
+test/test_hwmodel.ml: Alcotest Float List Printf Puma_hwmodel Result

@@ -1,0 +1,1 @@
+test/test_isa.ml: Alcotest Array Bytes List Printf Puma_hwmodel Puma_isa QCheck QCheck_alcotest Result String

@@ -1,0 +1,1 @@
+test/test_nn.ml: Alcotest Array Filename Float Fun List Out_channel Printf Puma_compiler Puma_graph Puma_hwmodel Puma_nn Puma_sim Puma_util Result Sys

@@ -1,0 +1,1 @@
+test/test_noc.ml: Alcotest Array Puma_hwmodel Puma_noc Puma_util

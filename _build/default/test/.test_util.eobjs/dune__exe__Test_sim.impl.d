@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Float Hashtbl List Option Puma Puma_compiler Puma_graph Puma_hwmodel Puma_isa Puma_sim Puma_util String

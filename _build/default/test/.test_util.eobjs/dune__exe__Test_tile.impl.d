@@ -1,0 +1,1 @@
+test/test_tile.ml: Alcotest Array Puma_hwmodel Puma_isa Puma_tile Puma_util QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_xbar.ml: Alcotest Array Float List Printf Puma_hwmodel Puma_util Puma_xbar QCheck QCheck_alcotest

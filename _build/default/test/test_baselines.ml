@@ -1,0 +1,262 @@
+module Workload = Puma_baselines.Workload
+module Platform = Puma_baselines.Platform
+module Puma_model = Puma_baselines.Puma_model
+module Accel = Puma_baselines.Accelerators
+module Models = Puma_nn.Models
+module Network = Puma_nn.Network
+module Config = Puma_hwmodel.Config
+
+let config = Config.sweetspot
+let wl net = Workload.of_network ~dim:config.Config.mvmu_dim net
+
+(* ---- Workload derivation ---- *)
+
+let test_workload_totals_match_network () =
+  List.iter
+    (fun net ->
+      let w = wl net in
+      Alcotest.(check int)
+        (net.Network.name ^ " macs")
+        (Network.total_macs net)
+        (List.fold_left
+           (fun acc (l : Workload.layer_info) -> acc + (l.steps * l.macs))
+           0 w.Workload.layers);
+      Alcotest.(check int)
+        (net.Network.name ^ " params")
+        (Network.total_params net)
+        (List.fold_left
+           (fun acc (l : Workload.layer_info) -> acc + l.params)
+           0 w.Workload.layers))
+    Models.table5
+
+let test_workload_slots_cover_params () =
+  (* Tiling padding: slots * dim^2 >= matrix params. *)
+  let dim2 = config.Config.mvmu_dim * config.Config.mvmu_dim in
+  List.iter
+    (fun net ->
+      let w = wl net in
+      List.iter
+        (fun (l : Workload.layer_info) ->
+          if l.slots > 0 then
+            Alcotest.(check bool)
+              (net.Network.name ^ "/" ^ l.label)
+              true
+              (l.slots * dim2 >= l.macs / max 1 l.waves))
+        w.Workload.layers)
+    Models.table5
+
+let test_workload_conv_waves () =
+  let w = wl Models.vgg16 in
+  let conv1 = List.hd w.Workload.layers in
+  (* 224x224 output positions with pad 1. *)
+  Alcotest.(check int) "vgg16 conv1 waves" (224 * 224) conv1.Workload.waves;
+  Alcotest.(check bool) "dense has one wave" true
+    (let last = List.nth w.Workload.layers (List.length w.Workload.layers - 1) in
+     last.Workload.waves = 1)
+
+let test_workload_recurrent_steps () =
+  let w = wl Models.nmt_l3 in
+  let lstm = List.hd w.Workload.layers in
+  Alcotest.(check int) "lstm steps" 50 lstm.Workload.steps;
+  let softmax = List.nth w.Workload.layers (List.length w.Workload.layers - 1) in
+  Alcotest.(check int) "softmax once" 1 softmax.Workload.steps
+
+(* ---- CPU/GPU roofline ---- *)
+
+let test_platform_energy_is_power_times_latency () =
+  let w = wl Models.mlp_l4 in
+  List.iter
+    (fun spec ->
+      let e = Platform.estimate spec w ~batch:1 in
+      Alcotest.(check (float 1e-9))
+        spec.Platform.name
+        (e.Platform.latency_s *. spec.Platform.board_power_w)
+        e.Platform.energy_j)
+    Platform.all
+
+let test_platform_batching_amortizes_weights () =
+  (* Per-inference latency must improve with batch on weight-bound nets. *)
+  let w = wl Models.mlp_l5 in
+  let spec = Platform.pascal in
+  let b1 = Platform.estimate spec w ~batch:1 in
+  let b64 = Platform.estimate spec w ~batch:64 in
+  Alcotest.(check bool) "throughput grows" true
+    (b64.Platform.throughput_inf_s > 4.0 *. b1.Platform.throughput_inf_s)
+
+let test_platform_lstm_weight_streaming_dominates () =
+  (* Recurrent nets re-stream weights per step: total bytes moved per
+     inference dwarf the MLP case relative to flops. *)
+  let mlp = Platform.estimate Platform.pascal (wl Models.mlp_l4) ~batch:1 in
+  let nmt = Platform.estimate Platform.pascal (wl Models.nmt_l3) ~batch:1 in
+  Alcotest.(check bool) "nmt much slower" true
+    (nmt.Platform.latency_s > 50.0 *. mlp.Platform.latency_s)
+
+(* ---- PUMA analytical model ---- *)
+
+let test_puma_model_nodes_follow_weights () =
+  let e b = (Puma_model.estimate config (wl b) ~batch:1).Puma_model.nodes in
+  Alcotest.(check int) "mlp fits one node" 1 (e Models.mlp_l4);
+  Alcotest.(check bool) "big lstm needs many nodes" true (e Models.big_lstm > 10)
+
+let test_puma_model_energy_scales_with_batch () =
+  let w = wl Models.mlp_l4 in
+  let b1 = Puma_model.estimate config w ~batch:1 in
+  let b16 = Puma_model.estimate config w ~batch:16 in
+  Alcotest.(check bool) "energy linear in batch" true
+    (Float.abs ((b16.Puma_model.energy_j /. b1.Puma_model.energy_j) -. 16.0) < 0.5);
+  Alcotest.(check bool) "throughput grows" true
+    (b16.Puma_model.throughput_inf_s > b1.Puma_model.throughput_inf_s)
+
+let test_puma_model_figure11_shape () =
+  (* The headline shape: energy gains over Pascal ordered
+     CNN < MLP-ish band < LSTMs, and wide-LSTM latency gains smallest among
+     LSTMs. *)
+  let ratio net =
+    let w = wl net in
+    let p = Puma_model.estimate config w ~batch:1 in
+    let g = Platform.estimate Platform.pascal w ~batch:1 in
+    ( g.Platform.energy_j /. p.Puma_model.energy_j,
+      g.Platform.latency_s /. p.Puma_model.latency_s )
+  in
+  let e_cnn, l_cnn = ratio Models.vgg16 in
+  let e_deep, l_deep = ratio Models.nmt_l3 in
+  let e_wide, l_wide = ratio Models.big_lstm in
+  Alcotest.(check bool) "PUMA saves energy everywhere" true
+    (e_cnn > 1.0 && e_deep > 1.0 && e_wide > 1.0);
+  Alcotest.(check bool) "CNN smallest energy gain" true
+    (e_cnn < e_deep && e_cnn < e_wide);
+  Alcotest.(check bool) "deep LSTM biggest energy gain" true (e_deep > e_wide);
+  Alcotest.(check bool) "deep LSTM latency gain > wide" true (l_deep > l_wide);
+  Alcotest.(check bool) "wide LSTM latency gain modest" true
+    (l_wide > 1.0 && l_wide < 30.0);
+  Alcotest.(check bool) "cnn latency gain modest" true (l_cnn > 1.0 && l_cnn < 30.0)
+
+let test_puma_model_conv_replication_helps () =
+  let w = wl Models.vgg16 in
+  let est = Puma_model.estimate config w ~batch:1 in
+  (* Without replication conv1's 50k windows x 2.3 us would exceed 100 ms;
+     the balanced pipeline must land far below that. *)
+  Alcotest.(check bool) "replication bounds latency" true
+    (est.Puma_model.latency_s < 0.01)
+
+(* ---- Table 6 accelerator comparison ---- *)
+
+let near ?(tol = 0.06) msg expected actual =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s (expected %g, got %g)" msg expected actual)
+    true
+    (Float.abs (actual -. expected) /. expected <= tol)
+
+let test_table6_peaks () =
+  let p = Accel.puma_accel Config.default in
+  near "PUMA TOPS" 52.31 p.Accel.peak_tops ~tol:0.03;
+  near "PUMA AE" 0.58 (Option.get (Accel.area_efficiency p None)) ~tol:0.03;
+  near "PUMA PE" 0.84 (Option.get (Accel.power_efficiency p None)) ~tol:0.03;
+  near "TPU PE" 0.51 (Option.get (Accel.power_efficiency Accel.tpu None)) ~tol:0.03;
+  near "ISAAC AE" 0.82 (Option.get (Accel.area_efficiency Accel.isaac None)) ~tol:0.03;
+  near "ISAAC PE" 1.06 (Option.get (Accel.power_efficiency Accel.isaac None)) ~tol:0.03
+
+let test_table6_per_workload () =
+  (* Table 6: PUMA AE advantage vs TPU: 64x MLP, 193x LSTM, 9.7x CNN. *)
+  let puma = Accel.puma_accel Config.default in
+  let adv kind =
+    Option.get (Accel.area_efficiency puma (Some kind))
+    /. Option.get (Accel.area_efficiency Accel.tpu (Some kind))
+  in
+  Alcotest.(check bool) "MLP advantage ~64x" true
+    (adv Puma_nn.Network.Mlp > 40.0 && adv Puma_nn.Network.Mlp < 100.0);
+  Alcotest.(check bool) "LSTM advantage ~193x" true
+    (adv Puma_nn.Network.Deep_lstm > 120.0 && adv Puma_nn.Network.Deep_lstm < 280.0);
+  Alcotest.(check bool) "CNN advantage ~9.7x" true
+    (adv Puma_nn.Network.Cnn > 6.0 && adv Puma_nn.Network.Cnn < 15.0);
+  Alcotest.(check bool) "ISAAC only CNN" true
+    (Accel.area_efficiency Accel.isaac (Some Puma_nn.Network.Mlp) = None)
+
+let test_digital_mvmu_ratios () =
+  (* Section 7.4.3: 8.97x area, 4.17x energy, 4.93x chip area, 6.76x chip
+     energy. Our constructed model must land in the same regime. *)
+  let d = Accel.digital_mvmu Config.default in
+  Alcotest.(check bool)
+    (Printf.sprintf "area ratio %.2f" d.Accel.mvmu_area_ratio)
+    true
+    (d.Accel.mvmu_area_ratio > 5.0 && d.Accel.mvmu_area_ratio < 14.0);
+  Alcotest.(check bool)
+    (Printf.sprintf "energy ratio %.2f" d.Accel.mvmu_energy_ratio)
+    true
+    (d.Accel.mvmu_energy_ratio > 2.5 && d.Accel.mvmu_energy_ratio < 7.0);
+  Alcotest.(check bool) "chip area grows" true (d.Accel.chip_area_ratio > 2.0);
+  Alcotest.(check bool) "chip energy grows" true (d.Accel.chip_energy_ratio > 2.0)
+
+let test_estimator_vs_functional_sim () =
+  (* DESIGN.md contract: the analytical estimator is validated against the
+     functional simulator on mini models — same mechanics, so latency and
+     energy must agree within a small factor. *)
+  let net = Models.mini_mlp in
+  let g = Puma_nn.Network.build_graph net in
+  let result = Puma_compiler.Compile.compile config g in
+  let node = Puma_sim.Node.create result.Puma_compiler.Compile.program in
+  let rng = Puma_util.Rng.create 5 in
+  ignore (Puma_sim.Node.run node ~inputs:[ ("x", Puma_util.Tensor.vec_rand rng 64 1.0) ]);
+  let sim_latency_s =
+    Float.of_int (Puma_sim.Node.cycles node)
+    /. (config.Config.frequency_ghz *. 1.0e9)
+  in
+  let sim_energy_j =
+    Puma_hwmodel.Energy.total_pj (Puma_sim.Node.energy node) /. 1.0e12
+  in
+  let est = Puma_model.estimate config (wl net) ~batch:1 in
+  let ratio a b = if b = 0.0 then infinity else a /. b in
+  Alcotest.(check bool)
+    (Printf.sprintf "latency est %.2e vs sim %.2e" est.Puma_model.latency_s
+       sim_latency_s)
+    true
+    (ratio est.Puma_model.latency_s sim_latency_s > 0.3
+    && ratio est.Puma_model.latency_s sim_latency_s < 3.0);
+  Alcotest.(check bool)
+    (Printf.sprintf "energy est %.2e vs sim %.2e" est.Puma_model.energy_j
+       sim_energy_j)
+    true
+    (ratio est.Puma_model.energy_j sim_energy_j > 0.2
+    && ratio est.Puma_model.energy_j sim_energy_j < 5.0)
+
+let test_programmability_table () =
+  Alcotest.(check int) "four rows" 4 (List.length Accel.programmability_rows)
+
+let () =
+  Alcotest.run "baselines"
+    [
+      ( "workload",
+        [
+          Alcotest.test_case "totals" `Quick test_workload_totals_match_network;
+          Alcotest.test_case "slots cover params" `Quick test_workload_slots_cover_params;
+          Alcotest.test_case "conv waves" `Quick test_workload_conv_waves;
+          Alcotest.test_case "recurrent steps" `Quick test_workload_recurrent_steps;
+        ] );
+      ( "platform",
+        [
+          Alcotest.test_case "energy = P x t" `Quick
+            test_platform_energy_is_power_times_latency;
+          Alcotest.test_case "batch amortization" `Quick
+            test_platform_batching_amortizes_weights;
+          Alcotest.test_case "lstm streaming" `Quick
+            test_platform_lstm_weight_streaming_dominates;
+        ] );
+      ( "puma-model",
+        [
+          Alcotest.test_case "nodes follow weights" `Quick
+            test_puma_model_nodes_follow_weights;
+          Alcotest.test_case "batch scaling" `Quick test_puma_model_energy_scales_with_batch;
+          Alcotest.test_case "figure 11 shape" `Quick test_puma_model_figure11_shape;
+          Alcotest.test_case "conv replication" `Quick
+            test_puma_model_conv_replication_helps;
+          Alcotest.test_case "estimator vs simulator" `Quick
+            test_estimator_vs_functional_sim;
+        ] );
+      ( "accelerators",
+        [
+          Alcotest.test_case "table 6 peaks" `Quick test_table6_peaks;
+          Alcotest.test_case "per-workload" `Quick test_table6_per_workload;
+          Alcotest.test_case "digital mvmu" `Quick test_digital_mvmu_ratios;
+          Alcotest.test_case "programmability" `Quick test_programmability_table;
+        ] );
+    ]

@@ -1,0 +1,227 @@
+module G = Puma_graph.Graph
+module B = Puma_graph.Builder
+module Ref_exec = Puma_graph.Ref_exec
+module Tensor = Puma_util.Tensor
+module Rng = Puma_util.Rng
+
+let check_vec = Alcotest.(check (array (float 1e-9)))
+
+(* ---- Builder + validation ---- *)
+
+let test_builder_figure7 () =
+  let m = B.create "fig7" in
+  let x = B.input m ~name:"x" ~len:4 in
+  let y = B.input m ~name:"y" ~len:4 in
+  let a = B.const_matrix m ~name:"A" (Tensor.mat_init 3 4 (fun i j -> Float.of_int (i + j))) in
+  let b = B.const_matrix m ~name:"B" (Tensor.mat_init 3 4 (fun _ _ -> 0.5)) in
+  let z = B.tanh m (B.add m (B.mvm m a x) (B.mvm m b y)) in
+  B.output m ~name:"z" z;
+  let g = B.finish m in
+  Alcotest.(check bool) "valid" true (Result.is_ok (G.validate g));
+  Alcotest.(check int) "inputs" 2 (List.length (G.inputs g));
+  Alcotest.(check int) "outputs" 1 (List.length (G.outputs g));
+  Alcotest.(check int) "matrices" 2 (Array.length (G.matrices g))
+
+let test_builder_length_mismatch () =
+  let m = B.create "bad" in
+  let x = B.input m ~name:"x" ~len:4 in
+  let a = B.const_matrix m ~name:"A" (Tensor.mat_create 3 5) in
+  Alcotest.(check bool) "mvm mismatch" true
+    (try
+       ignore (B.mvm m a x);
+       false
+     with Invalid_argument _ -> true);
+  let y = B.input m ~name:"y" ~len:3 in
+  Alcotest.(check bool) "add mismatch" true
+    (try
+       ignore (B.add m x y);
+       false
+     with Invalid_argument _ -> true)
+
+let test_builder_slice_bounds () =
+  let m = B.create "s" in
+  let x = B.input m ~name:"x" ~len:4 in
+  Alcotest.(check bool) "slice out of range" true
+    (try
+       ignore (B.slice m x ~offset:2 ~len:3);
+       false
+     with Invalid_argument _ -> true)
+
+(* ---- Reference executor semantics ---- *)
+
+let test_ref_exec_elementwise () =
+  let m = B.create "ew" in
+  let x = B.input m ~name:"x" ~len:3 in
+  let y = B.input m ~name:"y" ~len:3 in
+  B.output m ~name:"add" (B.add m x y);
+  B.output m ~name:"mul" (B.mul m x y);
+  B.output m ~name:"min" (B.vmin m x y);
+  B.output m ~name:"relu" (B.relu m (B.sub m x y));
+  let g = B.finish m in
+  let env = [ ("x", [| 1.0; -2.0; 3.0 |]); ("y", [| 0.5; 1.0; -1.0 |]) ] in
+  let out = Ref_exec.run g env in
+  check_vec "add" [| 1.5; -1.0; 2.0 |] (List.assoc "add" out);
+  check_vec "mul" [| 0.5; -2.0; -3.0 |] (List.assoc "mul" out);
+  check_vec "min" [| 0.5; -2.0; -1.0 |] (List.assoc "min" out);
+  check_vec "relu" [| 0.5; 0.0; 4.0 |] (List.assoc "relu" out)
+
+let test_ref_exec_concat_slice () =
+  let m = B.create "cs" in
+  let x = B.input m ~name:"x" ~len:2 in
+  let y = B.input m ~name:"y" ~len:3 in
+  let c = B.concat m [ x; y ] in
+  B.output m ~name:"c" c;
+  B.output m ~name:"s" (B.slice m c ~offset:1 ~len:3);
+  let g = B.finish m in
+  let out = Ref_exec.run g [ ("x", [| 1.0; 2.0 |]); ("y", [| 3.0; 4.0; 5.0 |]) ] in
+  check_vec "concat" [| 1.0; 2.0; 3.0; 4.0; 5.0 |] (List.assoc "c" out);
+  check_vec "slice" [| 2.0; 3.0; 4.0 |] (List.assoc "s" out)
+
+let test_ref_exec_const_imm () =
+  let m = B.create "ci" in
+  let x = B.input m ~name:"x" ~len:2 in
+  let k = B.const_vec m [| 10.0; 20.0 |] in
+  B.output m ~name:"y" (B.mul_imm m (B.add m x k) 2.0);
+  let g = B.finish m in
+  let out = Ref_exec.run g [ ("x", [| 1.0; 2.0 |]) ] in
+  check_vec "y" [| 22.0; 44.0 |] (List.assoc "y" out)
+
+let test_ref_exec_missing_input () =
+  let m = B.create "mi" in
+  let x = B.input m ~name:"x" ~len:2 in
+  B.output m ~name:"y" x;
+  let g = B.finish m in
+  Alcotest.(check bool) "missing input" true
+    (try
+       ignore (Ref_exec.run g []);
+       false
+     with Invalid_argument _ -> true)
+
+(* ---- Traversals ---- *)
+
+let diamond () =
+  let m = B.create "diamond" in
+  let x = B.input m ~name:"x" ~len:2 in
+  let a = B.relu m x in
+  let b = B.tanh m x in
+  B.output m ~name:"y" (B.add m a b);
+  B.finish m
+
+let test_topological_property () =
+  let g = diamond () in
+  let order = G.reverse_postorder g in
+  let pos = Array.make (G.num_nodes g) (-1) in
+  Array.iteri (fun i id -> pos.(id) <- i) order;
+  Array.iter
+    (fun (n : G.node) ->
+      Array.iter
+        (fun p ->
+          Alcotest.(check bool) "preds first" true (pos.(p) < pos.(n.id)))
+        n.preds)
+    (G.nodes g);
+  Alcotest.(check int) "complete" (G.num_nodes g) (Array.length order)
+
+let test_consumers () =
+  let g = diamond () in
+  let cons = G.consumers g in
+  let input = List.hd (G.inputs g) in
+  Alcotest.(check int) "input has 2 consumers" 2 (Array.length cons.(input.G.id))
+
+(* ---- Stats (Table 1 characterization) ---- *)
+
+let test_stats () =
+  let m = B.create "st" in
+  let x = B.input m ~name:"x" ~len:4 in
+  let w = B.const_matrix m ~name:"W" (Tensor.mat_create 4 4) in
+  let h1 = B.sigmoid m (B.mvm m w x) in
+  let h2 = B.tanh m (B.mvm m w h1) (* reused matrix *) in
+  B.output m ~name:"y" (B.mul m h1 h2);
+  let g = B.finish m in
+  let s = G.stats g in
+  Alcotest.(check int) "mvms" 2 s.G.num_mvms;
+  Alcotest.(check int) "macs" 32 s.G.mvm_macs;
+  Alcotest.(check int) "params counted once" 16 s.G.weight_params;
+  Alcotest.(check int) "nonlinear" 2 s.G.num_nonlinear;
+  Alcotest.(check int) "transcendental" 2 s.G.num_transcendental;
+  Alcotest.(check int) "vector ops" 1 s.G.num_vector_ops
+
+let test_to_dot () =
+  let g = diamond () in
+  let dot = G.to_dot g in
+  Alcotest.(check bool) "digraph" true
+    (String.length dot > 20 && String.sub dot 0 7 = "digraph");
+  (* one node statement per graph node *)
+  let count_sub sub =
+    let n = String.length sub and h = String.length dot in
+    let rec go i acc =
+      if i + n > h then acc
+      else if String.sub dot i n = sub then go (i + 1) (acc + 1)
+      else go (i + 1) acc
+    in
+    go 0 0
+  in
+  Alcotest.(check bool) "has edges" true (count_sub "->" >= 4);
+  Alcotest.(check bool) "labels present" true (count_sub "relu" = 1)
+
+(* ---- Random graph property: ref exec is deterministic ---- *)
+
+let random_graph seed =
+  let rng = Rng.create seed in
+  let m = B.create "rand" in
+  let x = B.input m ~name:"x" ~len:8 in
+  let pool = ref [ x ] in
+  let pick () = List.nth !pool (Rng.int rng (List.length !pool)) in
+  for _ = 1 to 12 do
+    let v = pick () in
+    let nv =
+      match Rng.int rng 5 with
+      | 0 -> B.relu m v
+      | 1 -> B.add m v v
+      | 2 -> B.mul_imm m v 0.5
+      | 3 ->
+          let w =
+            B.const_matrix m ~name:"w" (Tensor.mat_rand rng (B.len v) (B.len v) 0.3)
+          in
+          B.mvm m w v
+      | _ -> B.tanh m v
+    in
+    pool := nv :: !pool
+  done;
+  B.output m ~name:"y" (pick ());
+  B.finish m
+
+let prop_ref_exec_deterministic =
+  QCheck.Test.make ~name:"ref exec deterministic" ~count:20 QCheck.small_int
+    (fun seed ->
+      let g = random_graph (seed + 1) in
+      let rng = Rng.create seed in
+      let x = Tensor.vec_rand rng 8 1.0 in
+      let a = Ref_exec.run g [ ("x", x) ] in
+      let b = Ref_exec.run g [ ("x", x) ] in
+      List.for_all2 (fun (_, u) (_, v) -> u = v) a b)
+
+let () =
+  Alcotest.run "graph"
+    [
+      ( "builder",
+        [
+          Alcotest.test_case "figure 7" `Quick test_builder_figure7;
+          Alcotest.test_case "length mismatch" `Quick test_builder_length_mismatch;
+          Alcotest.test_case "slice bounds" `Quick test_builder_slice_bounds;
+        ] );
+      ( "ref-exec",
+        [
+          Alcotest.test_case "elementwise" `Quick test_ref_exec_elementwise;
+          Alcotest.test_case "concat/slice" `Quick test_ref_exec_concat_slice;
+          Alcotest.test_case "const/imm" `Quick test_ref_exec_const_imm;
+          Alcotest.test_case "missing input" `Quick test_ref_exec_missing_input;
+        ] );
+      ( "traversal",
+        [
+          Alcotest.test_case "topological" `Quick test_topological_property;
+          Alcotest.test_case "consumers" `Quick test_consumers;
+        ] );
+      ("stats", [ Alcotest.test_case "table 1 stats" `Quick test_stats ]);
+      ("dot", [ Alcotest.test_case "export" `Quick test_to_dot ]);
+      ("props", [ QCheck_alcotest.to_alcotest prop_ref_exec_deterministic ]);
+    ]

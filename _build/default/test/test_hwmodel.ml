@@ -1,0 +1,196 @@
+module Config = Puma_hwmodel.Config
+module Scaling = Puma_hwmodel.Scaling
+module Table3 = Puma_hwmodel.Table3
+module Latency = Puma_hwmodel.Latency
+module Energy = Puma_hwmodel.Energy
+
+let near ?(tol = 0.05) msg expected actual =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s (expected %g, got %g)" msg expected actual)
+    true
+    (Float.abs (actual -. expected) /. Float.abs expected <= tol)
+
+(* ---- Config ---- *)
+
+let test_config_defaults () =
+  let c = Config.default in
+  Alcotest.(check int) "dim" 128 c.mvmu_dim;
+  Alcotest.(check int) "slices" 8 (Config.slices c);
+  Alcotest.(check int) "rf words" 512 (Config.rf_words c);
+  Alcotest.(check int) "xbar in" 256 (Config.xbar_in_words c);
+  Alcotest.(check int) "cores/node" (8 * 138) (Config.cores_per_node c)
+
+let test_config_weight_capacity () =
+  (* ~69 MB of weights per node (Section 1). *)
+  let mb = Float.of_int (Config.node_weight_bytes Config.default) /. 1048576.0 in
+  near "node weights MB" 69.0 mb
+
+let test_config_validate () =
+  Alcotest.(check bool) "default valid" true
+    (Result.is_ok (Config.validate Config.default));
+  let bad = { Config.default with mvmu_dim = 100 } in
+  Alcotest.(check bool) "non-pow2 dim" true (Result.is_error (Config.validate bad));
+  let odd = { Config.default with bits_per_cell = 3 } in
+  Alcotest.(check bool) "3 bits per cell allowed (Figure 13 sweep)" true
+    (Result.is_ok (Config.validate odd));
+  Alcotest.(check int) "3-bit slices" 5 (Config.slices odd);
+  let bad = { Config.default with bits_per_cell = 9 } in
+  Alcotest.(check bool) "9 bits rejected" true (Result.is_error (Config.validate bad));
+  let bad = { Config.default with vfu_width = 0 } in
+  Alcotest.(check bool) "zero vfu" true (Result.is_error (Config.validate bad))
+
+(* ---- Table 3 anchors (published numbers) ---- *)
+
+let test_table3_core_power () =
+  near "core mW" 42.37 (Table3.core_power_mw Config.default)
+
+let test_table3_tile () =
+  near ~tol:0.02 "tile mW" 373.8 (Table3.tile_power_mw Config.default);
+  near ~tol:0.05 "tile mm2" 0.479 (Table3.tile_area_mm2 Config.default)
+
+let test_table3_node () =
+  near ~tol:0.02 "node W" 62.5 (Table3.node_power_w Config.default);
+  near ~tol:0.03 "node mm2" 90.638 (Table3.node_area_mm2 Config.default)
+
+let test_table3_peaks () =
+  (* Table 6: 52.31 TOPS, 0.58 TOPS/s/mm2, 0.84 TOPS/s/W. *)
+  near ~tol:0.03 "peak TOPS" 52.31 (Table3.peak_tops Config.default);
+  near ~tol:0.03 "peak AE" 0.58 (Table3.peak_area_efficiency Config.default);
+  near ~tol:0.03 "peak PE" 0.84 (Table3.peak_power_efficiency Config.default)
+
+let test_table3_component_scaling () =
+  let base = Config.default in
+  let wide_vfu = { base with vfu_width = 4 } in
+  let find cfg name =
+    List.find (fun (c : Table3.component) -> c.name = name) (Table3.core_components cfg)
+  in
+  near "VFU power scales with lanes" 4.0
+    ((find wide_vfu "VFU").power_mw /. (find base "VFU").power_mw);
+  let big_rf = { base with rf_multiplier = 4.0 } in
+  near "RF power scales with capacity" 4.0
+    ((find big_rf "Register File").power_mw /. (find base "Register File").power_mw);
+  Alcotest.(check bool) "bigger tile memory costs power" true
+    (Table3.tile_power_mw { base with smem_bytes = 256 * 1024 }
+    > Table3.tile_power_mw base)
+
+let test_table3_component_count () =
+  Alcotest.(check int) "component rows" 17
+    (List.length (Table3.all Config.default))
+
+(* ---- Scaling ---- *)
+
+let test_scaling_mvm_anchors () =
+  (* Section 7.4.3: 16,384 MACs in 2,304 ns consuming 43.97 nJ. *)
+  Alcotest.(check int) "mvm cycles" 2304 (Scaling.mvm_latency_cycles Config.default);
+  near ~tol:0.01 "mvm nJ" 43.97 (Scaling.mvm_energy_pj Config.default /. 1000.0)
+
+let test_scaling_adc_resolution () =
+  Alcotest.(check int) "128x128 2b" 9
+    (Scaling.adc_resolution ~dim:128 ~bits_per_cell:2);
+  Alcotest.(check int) "256x256 2b" 10
+    (Scaling.adc_resolution ~dim:256 ~bits_per_cell:2)
+
+let test_scaling_monotonic_dim () =
+  let small = { Config.default with mvmu_dim = 64 } in
+  let big = { Config.default with mvmu_dim = 256 } in
+  Alcotest.(check bool) "power grows" true
+    (Scaling.mvmu_power_mw small < Scaling.mvmu_power_mw big);
+  Alcotest.(check bool) "area grows" true
+    (Scaling.mvmu_area_mm2 small < Scaling.mvmu_area_mm2 big);
+  Alcotest.(check bool) "latency grows" true
+    (Scaling.mvm_latency_cycles small < Scaling.mvm_latency_cycles big)
+
+let test_tech_scaling () =
+  let s = Scaling.tech_power_scale ~from_nm:32 ~to_nm:7 in
+  Alcotest.(check bool) "7nm cheaper" true (s < 0.2 && s > 0.0);
+  Alcotest.(check (float 1e-9)) "same node" 1.0
+    (Scaling.tech_power_scale ~from_nm:32 ~to_nm:32)
+
+(* ---- Latency ---- *)
+
+let test_latency_temporal_simd () =
+  let c = { Config.default with vfu_width = 4 } in
+  Alcotest.(check int) "alu 128 wide" (1 + 32) (Latency.alu c ~vec_width:128);
+  Alcotest.(check int) "alu 1 wide" 2 (Latency.alu c ~vec_width:1);
+  Alcotest.(check bool) "wider vfu faster" true
+    (Latency.alu { c with vfu_width = 16 } ~vec_width:128
+    < Latency.alu { c with vfu_width = 1 } ~vec_width:128)
+
+let test_latency_memory () =
+  let c = Config.default in
+  Alcotest.(check int) "load 1" (4 + 1) (Latency.load c ~vec_width:1);
+  Alcotest.(check int) "load 128" (4 + 6) (Latency.load c ~vec_width:128);
+  Alcotest.(check bool) "mvm initiation < latency" true
+    (Latency.mvm_initiation c < Latency.mvm c)
+
+(* ---- Energy ledger ---- *)
+
+let test_energy_ledger () =
+  let e = Energy.create Config.default in
+  Energy.add e Mvm 2;
+  Energy.add e Vfu 100;
+  Alcotest.(check int) "count" 2 (Energy.count e Mvm);
+  near ~tol:0.01 "mvm energy" (2.0 *. 43970.0) (Energy.energy_pj e Mvm);
+  let total = Energy.total_pj e in
+  Alcotest.(check bool) "total includes vfu" true
+    (total > Energy.energy_pj e Mvm)
+
+let test_energy_merge () =
+  let a = Energy.create Config.default and b = Energy.create Config.default in
+  Energy.add a Smem 10;
+  Energy.add b Smem 5;
+  Energy.merge_into ~dst:a ~src:b;
+  Alcotest.(check int) "merged count" 15 (Energy.count a Smem)
+
+let test_energy_static () =
+  let e = Energy.create Config.default in
+  Energy.add_static e ~tiles:2 ~cycles:1000.0;
+  Alcotest.(check bool) "static positive" true (Energy.energy_pj e Static > 0.0);
+  Alcotest.(check bool) "breakdown nonempty" true (Energy.breakdown e <> [])
+
+let test_energy_breakdown_sorted () =
+  let e = Energy.create Config.default in
+  Energy.add e Vfu 1;
+  Energy.add e Mvm 1;
+  match Energy.breakdown e with
+  | (cat, _) :: _ -> Alcotest.(check string) "mvm dominates" "mvm" (Energy.category_name cat)
+  | [] -> Alcotest.fail "empty breakdown"
+
+let () =
+  Alcotest.run "hwmodel"
+    [
+      ( "config",
+        [
+          Alcotest.test_case "defaults" `Quick test_config_defaults;
+          Alcotest.test_case "weight capacity" `Quick test_config_weight_capacity;
+          Alcotest.test_case "validate" `Quick test_config_validate;
+        ] );
+      ( "table3",
+        [
+          Alcotest.test_case "core power" `Quick test_table3_core_power;
+          Alcotest.test_case "tile" `Quick test_table3_tile;
+          Alcotest.test_case "node" `Quick test_table3_node;
+          Alcotest.test_case "peaks" `Quick test_table3_peaks;
+          Alcotest.test_case "components" `Quick test_table3_component_count;
+          Alcotest.test_case "component scaling" `Quick test_table3_component_scaling;
+        ] );
+      ( "scaling",
+        [
+          Alcotest.test_case "mvm anchors" `Quick test_scaling_mvm_anchors;
+          Alcotest.test_case "adc resolution" `Quick test_scaling_adc_resolution;
+          Alcotest.test_case "monotonic in dim" `Quick test_scaling_monotonic_dim;
+          Alcotest.test_case "tech scaling" `Quick test_tech_scaling;
+        ] );
+      ( "latency",
+        [
+          Alcotest.test_case "temporal SIMD" `Quick test_latency_temporal_simd;
+          Alcotest.test_case "memory" `Quick test_latency_memory;
+        ] );
+      ( "energy",
+        [
+          Alcotest.test_case "ledger" `Quick test_energy_ledger;
+          Alcotest.test_case "merge" `Quick test_energy_merge;
+          Alcotest.test_case "static" `Quick test_energy_static;
+          Alcotest.test_case "breakdown sorted" `Quick test_energy_breakdown_sorted;
+        ] );
+    ]

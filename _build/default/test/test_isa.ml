@@ -1,0 +1,304 @@
+module Instr = Puma_isa.Instr
+module Encode = Puma_isa.Encode
+module Operand = Puma_isa.Operand
+module Usage = Puma_isa.Usage
+module Asm = Puma_isa.Asm
+module Config = Puma_hwmodel.Config
+
+(* ---- Operand layout ---- *)
+
+let layout = Operand.layout Config.default
+
+let test_layout_spaces () =
+  Alcotest.(check int) "total" (256 + 256 + 512) layout.Operand.total;
+  Alcotest.(check bool) "xin space" true (Operand.space_of layout 0 = Operand.Xbar_in);
+  Alcotest.(check bool) "xout space" true
+    (Operand.space_of layout 256 = Operand.Xbar_out);
+  Alcotest.(check bool) "gpr space" true (Operand.space_of layout 512 = Operand.Gpr);
+  Alcotest.check Alcotest.bool "out of range" true
+    (try
+       ignore (Operand.space_of layout 1024);
+       false
+     with Invalid_argument _ -> true)
+
+let test_layout_mvmu_indexing () =
+  Alcotest.(check int) "xin mvmu1 elem 5" (128 + 5)
+    (Operand.xbar_in layout ~mvmu:1 ~elem:5);
+  Alcotest.(check int) "xout mvmu0 elem 0" 256 (Operand.xbar_out layout ~mvmu:0 ~elem:0);
+  Alcotest.(check int) "gpr 3" 515 (Operand.gpr layout 3)
+
+(* ---- Encoding ---- *)
+
+let sample_instrs : Instr.t list =
+  [
+    Mvm { mask = 0b11; filter = 5; stride = 3 };
+    Alu { op = Add; dest = 512; src1 = 0; src2 = 256; vec_width = 128 };
+    Alu { op = Sigmoid; dest = 700; src1 = 600; src2 = 600; vec_width = 61 };
+    Alui { op = Mul; dest = 513; src1 = 514; imm = -1024; vec_width = 17 };
+    Alu_int { op = Iadd; dest = 1; src1 = 2; src2 = 3 };
+    Set { dest = 800; imm = -32768 };
+    Set_sreg { dest = 15; imm = 32767 };
+    Copy { dest = 0; src = 512; vec_width = 128 };
+    Load { dest = 512; addr = Imm_addr 12345; vec_width = 64 };
+    Load { dest = 512; addr = Sreg_addr 7; vec_width = 1 };
+    Store { src = 700; addr = Imm_addr 42; count = 3; vec_width = 100 };
+    Send { mem_addr = 100; fifo_id = 15; target = 137; vec_width = 128 };
+    Receive { mem_addr = 200; fifo_id = 0; count = 8; vec_width = 128 };
+    Jmp { pc = 999 };
+    Brn { op = Blt; src1 = 0; src2 = 1; pc = 3 };
+    Halt;
+  ]
+
+let test_encode_width () =
+  List.iter
+    (fun i ->
+      Alcotest.(check int) "7 bytes" 7 (Bytes.length (Encode.encode i)))
+    sample_instrs
+
+let test_encode_roundtrip () =
+  List.iter
+    (fun i ->
+      let decoded = Encode.decode (Encode.encode i) in
+      Alcotest.(check bool)
+        (Asm.instr_to_string layout i)
+        true (decoded = i))
+    sample_instrs
+
+let test_encode_program_roundtrip () =
+  let p = Array.of_list sample_instrs in
+  let decoded = Encode.decode_program (Encode.encode_program p) in
+  Alcotest.(check bool) "program roundtrip" true (decoded = p);
+  Alcotest.(check int) "program bytes" (7 * Array.length p) (Encode.program_bytes p)
+
+let test_encode_rejects_oversized () =
+  Alcotest.(check bool) "mask too large" true
+    (try
+       ignore (Encode.encode (Mvm { mask = 256; filter = 0; stride = 0 }));
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "vec too large" true
+    (try
+       ignore
+         (Encode.encode (Copy { dest = 0; src = 0; vec_width = 10000 }));
+       false
+     with Invalid_argument _ -> true)
+
+let gen_instr : Instr.t QCheck.Gen.t =
+  let open QCheck.Gen in
+  let reg = int_range 0 1023 in
+  let vec = int_range 1 255 in
+  let imm = int_range (-32768) 32767 in
+  let aluop =
+    oneofl
+      [
+        Instr.Add; Sub; Mul; Div; Shl; Shr; And; Or; Invert; Relu; Sigmoid;
+        Tanh; Log; Exp; Rand; Subsample; Min; Max;
+      ]
+  in
+  frequency
+    [
+      (2, map3 (fun a b c -> Instr.Mvm { mask = a; filter = b; stride = c })
+           (int_range 0 255) (int_range 0 255) (int_range 0 255));
+      ( 4,
+        aluop >>= fun op ->
+        reg >>= fun dest ->
+        reg >>= fun src1 ->
+        reg >>= fun src2 ->
+        vec >>= fun vec_width ->
+        return (Instr.Alu { op; dest; src1; src2; vec_width }) );
+      ( 2,
+        aluop >>= fun op ->
+        reg >>= fun dest ->
+        reg >>= fun src1 ->
+        imm >>= fun i ->
+        vec >>= fun vec_width ->
+        return (Instr.Alui { op; dest; src1; imm = i; vec_width }) );
+      (1, map2 (fun d i -> Instr.Set { dest = d; imm = i }) reg imm);
+      ( 2,
+        map3 (fun d s v -> Instr.Copy { dest = d; src = s; vec_width = v })
+          reg reg vec );
+      ( 2,
+        map3
+          (fun d a v -> Instr.Load { dest = d; addr = Imm_addr a; vec_width = v })
+          reg (int_range 0 32767) vec );
+      (1, map (fun pc -> Instr.Jmp { pc }) (int_range 0 65535));
+      ( 1,
+        map3
+          (fun s a v ->
+            Instr.Store { src = s; addr = Imm_addr a; count = v mod 256; vec_width = 1 + (v mod 255) })
+          reg (int_range 0 32767) (int_range 0 65535) );
+      ( 1,
+        map3
+          (fun m f v ->
+            Instr.Send { mem_addr = m; fifo_id = f mod 32; target = v mod 512; vec_width = 1 + (v mod 255) })
+          (int_range 0 65535) (int_range 0 31) (int_range 0 65535) );
+      ( 1,
+        map3
+          (fun m f v ->
+            Instr.Receive { mem_addr = m; fifo_id = f mod 32; count = v mod 512; vec_width = 1 + (v mod 255) })
+          (int_range 0 65535) (int_range 0 31) (int_range 0 65535) );
+      ( 1,
+        map3
+          (fun op a b ->
+            Instr.Brn { op; src1 = a; src2 = b; pc = a * b })
+          (oneofl [ Instr.Beq; Bne; Blt; Bge ])
+          (int_range 0 15) (int_range 0 15) );
+      (1, map2 (fun d i -> Instr.Set_sreg { dest = d; imm = i }) (int_range 0 15) imm);
+      ( 1,
+        map3
+          (fun op a b -> Instr.Alu_int { op; dest = a; src1 = b; src2 = (a + b) mod 16 })
+          (oneofl [ Instr.Iadd; Isub; Ieq; Ine; Igt ])
+          (int_range 0 15) (int_range 0 15) );
+    ]
+
+let prop_encode_roundtrip =
+  QCheck.Test.make ~name:"random encode roundtrip" ~count:1000
+    (QCheck.make gen_instr)
+    (fun i -> Encode.decode (Encode.encode i) = i)
+
+let test_encode_boundary_fields () =
+  (* Largest legal values of each field must round-trip. *)
+  List.iter
+    (fun (i : Instr.t) ->
+      Alcotest.(check bool) "boundary roundtrip" true
+        (Encode.decode (Encode.encode i) = i))
+    [
+      Alu { op = Max; dest = 2047; src1 = 2047; src2 = 2047; vec_width = 8191 };
+      Alui { op = Div; dest = 2047; src1 = 2047; imm = 32767; vec_width = 255 };
+      Send { mem_addr = 65535; fifo_id = 31; target = 511; vec_width = 8191 };
+      Receive { mem_addr = 65535; fifo_id = 31; count = 511; vec_width = 8191 };
+      Store { src = 2047; addr = Sreg_addr 15; count = 255; vec_width = 8191 };
+      Jmp { pc = 65535 };
+    ];
+  (* One past each limit must be rejected. *)
+  List.iter
+    (fun (i : Instr.t) ->
+      Alcotest.(check bool) "over limit rejected" true
+        (try
+           ignore (Encode.encode i);
+           false
+         with Invalid_argument _ -> true))
+    [
+      Alu { op = Max; dest = 2048; src1 = 0; src2 = 0; vec_width = 1 };
+      Alui { op = Div; dest = 0; src1 = 0; imm = 0; vec_width = 256 };
+      Send { mem_addr = 65536; fifo_id = 0; target = 0; vec_width = 1 };
+      Jmp { pc = 65536 };
+    ]
+
+(* ---- Assembly parser ---- *)
+
+(* The printer emits unary ALU ops with src2 = src1; round-tripping is
+   exact on such canonical instructions. *)
+let canonical (i : Instr.t) : Instr.t =
+  match i with
+  | Alu { op; dest; src1; src2 = _; vec_width } when Instr.alu_op_arity op = 1
+    ->
+      Alu { op; dest; src1; src2 = src1; vec_width }
+  | _ -> i
+
+let test_asm_parse_roundtrip () =
+  List.iter
+    (fun i ->
+      let i = canonical i in
+      let s = Asm.instr_to_string layout i in
+      match Asm.parse_instr layout s with
+      | Ok parsed -> Alcotest.(check bool) s true (parsed = i)
+      | Error e -> Alcotest.fail (Printf.sprintf "%s: %s" s e))
+    sample_instrs
+
+let test_asm_parse_program_roundtrip () =
+  let p = Array.of_list (List.map canonical sample_instrs) in
+  let text = Asm.program_to_string layout p in
+  match Asm.parse_program layout text with
+  | Ok parsed -> Alcotest.(check bool) "program" true (parsed = p)
+  | Error e -> Alcotest.fail e
+
+let test_asm_parse_comments_and_blanks () =
+  let text = "; a comment\n\n   0: halt\njmp 3\n" in
+  match Asm.parse_program layout text with
+  | Ok p ->
+      Alcotest.(check int) "two instructions" 2 (Array.length p);
+      Alcotest.(check bool) "halt first" true (p.(0) = Instr.Halt)
+  | Error e -> Alcotest.fail e
+
+let test_asm_parse_errors () =
+  List.iter
+    (fun bad ->
+      Alcotest.(check bool) bad true
+        (Result.is_error (Asm.parse_instr layout bad)))
+    [
+      "bogus r0, r1";
+      "alu.add r0";
+      "load r0, 5, w=1";
+      "store @1, r0, w=1";
+      "alu.frobnicate r0, r1, r2, w=4";
+      "set q5, #1";
+    ]
+
+(* ---- Usage (Figure 4 classification) ---- *)
+
+let test_usage_classification () =
+  let u = Usage.of_instrs sample_instrs in
+  Alcotest.(check int) "mvm" 1 (Usage.count u U_mvm);
+  Alcotest.(check int) "vfu" 5 (Usage.count u U_vfu);
+  Alcotest.(check int) "sfu" 2 (Usage.count u U_sfu);
+  Alcotest.(check int) "control" 2 (Usage.count u U_control);
+  Alcotest.(check int) "inter-core" 3 (Usage.count u U_inter_core);
+  Alcotest.(check int) "inter-tile" 2 (Usage.count u U_inter_tile);
+  (* Halt is excluded from the mix. *)
+  Alcotest.(check int) "total excludes halt" 15 (Usage.total u)
+
+let test_usage_fractions_sum () =
+  let u = Usage.of_instrs sample_instrs in
+  let sum =
+    List.fold_left (fun a (_, _, f) -> a +. f) 0.0 (Usage.to_rows u)
+  in
+  Alcotest.(check (float 1e-9)) "fractions sum to 1" 1.0 sum
+
+(* ---- Asm ---- *)
+
+let test_asm_renders_all () =
+  List.iter
+    (fun i ->
+      Alcotest.(check bool) "nonempty" true
+        (String.length (Asm.instr_to_string layout i) > 0))
+    sample_instrs
+
+let test_asm_program () =
+  let s = Asm.program_to_string layout (Array.of_list sample_instrs) in
+  let lines = String.split_on_char '\n' (String.trim s) in
+  Alcotest.(check int) "one line per instr" (List.length sample_instrs)
+    (List.length lines)
+
+let () =
+  Alcotest.run "isa"
+    [
+      ( "operand",
+        [
+          Alcotest.test_case "spaces" `Quick test_layout_spaces;
+          Alcotest.test_case "mvmu indexing" `Quick test_layout_mvmu_indexing;
+        ] );
+      ( "encode",
+        [
+          Alcotest.test_case "width" `Quick test_encode_width;
+          Alcotest.test_case "roundtrip" `Quick test_encode_roundtrip;
+          Alcotest.test_case "program roundtrip" `Quick test_encode_program_roundtrip;
+          Alcotest.test_case "rejects oversized" `Quick test_encode_rejects_oversized;
+          Alcotest.test_case "boundary fields" `Quick test_encode_boundary_fields;
+          QCheck_alcotest.to_alcotest prop_encode_roundtrip;
+        ] );
+      ( "usage",
+        [
+          Alcotest.test_case "classification" `Quick test_usage_classification;
+          Alcotest.test_case "fractions" `Quick test_usage_fractions_sum;
+        ] );
+      ( "asm",
+        [
+          Alcotest.test_case "renders" `Quick test_asm_renders_all;
+          Alcotest.test_case "program" `Quick test_asm_program;
+          Alcotest.test_case "parse roundtrip" `Quick test_asm_parse_roundtrip;
+          Alcotest.test_case "parse program" `Quick test_asm_parse_program_roundtrip;
+          Alcotest.test_case "comments/blanks" `Quick test_asm_parse_comments_and_blanks;
+          Alcotest.test_case "parse errors" `Quick test_asm_parse_errors;
+        ] );
+    ]

@@ -1,0 +1,350 @@
+module Layer = Puma_nn.Layer
+module Network = Puma_nn.Network
+module Models = Puma_nn.Models
+module B = Puma_graph.Builder
+module G = Puma_graph.Graph
+module Ref_exec = Puma_graph.Ref_exec
+module Tensor = Puma_util.Tensor
+module Rng = Puma_util.Rng
+module Config = Puma_hwmodel.Config
+
+let rng = Rng.create 21
+
+(* ---- Layer shape math ---- *)
+
+let test_layer_shapes () =
+  let img = Layer.Img { h = 28; w = 28; c = 1 } in
+  let conv = Layer.Conv { out_ch = 6; kh = 5; kw = 5; stride = 1; pad = 0; act = Relu } in
+  Alcotest.(check bool) "conv shape" true
+    (Layer.out_shape img conv = Layer.Img { h = 24; w = 24; c = 6 });
+  let padded = Layer.Conv { out_ch = 4; kh = 3; kw = 3; stride = 1; pad = 1; act = Relu } in
+  Alcotest.(check bool) "same-conv shape" true
+    (Layer.out_shape img padded = Layer.Img { h = 28; w = 28; c = 4 });
+  let pool = Layer.Maxpool { size = 2; stride = 2 } in
+  Alcotest.(check bool) "pool shape" true
+    (Layer.out_shape (Layer.Img { h = 24; w = 24; c = 6 }) pool
+    = Layer.Img { h = 12; w = 12; c = 6 });
+  Alcotest.(check int) "flatten" (12 * 12 * 6)
+    (Layer.shape_len (Layer.out_shape (Layer.Img { h = 12; w = 12; c = 6 }) Layer.Flatten))
+
+let test_layer_params_macs () =
+  let s = Layer.Vec 100 in
+  let d = Layer.Dense { out = 50; act = Sigmoid } in
+  Alcotest.(check int) "dense params" (100 * 50 + 50) (Layer.params s d);
+  Alcotest.(check int) "dense macs" (100 * 50) (Layer.macs s d);
+  let l = Layer.Lstm { cell = 64; proj = None } in
+  Alcotest.(check int) "lstm params"
+    ((4 * 64 * (100 + 64)) + (4 * 64))
+    (Layer.params s l);
+  let lp = Layer.Lstm { cell = 64; proj = Some 32 } in
+  Alcotest.(check int) "lstm proj params"
+    ((4 * 64 * (100 + 32)) + (4 * 64) + (64 * 32))
+    (Layer.params s lp)
+
+let test_layer_shape_mismatch () =
+  Alcotest.(check bool) "conv on vector" true
+    (try
+       ignore
+         (Layer.out_shape (Layer.Vec 10)
+            (Layer.Conv { out_ch = 1; kh = 1; kw = 1; stride = 1; pad = 0; act = No_act }));
+       false
+     with Invalid_argument _ -> true)
+
+(* ---- Table 5 parameter counts ---- *)
+
+let test_table5_param_counts () =
+  let near name expected_m net =
+    let p = Float.of_int (Network.total_params net) /. 1.0e6 in
+    Alcotest.(check bool)
+      (Printf.sprintf "%s params %.1fM ~ %.0fM" name p expected_m)
+      true
+      (Float.abs (p -. expected_m) /. expected_m < 0.06)
+  in
+  near "MLPL4" 5.0 Models.mlp_l4;
+  near "MLPL5" 21.0 Models.mlp_l5;
+  near "NMTL3" 91.0 Models.nmt_l3;
+  near "NMTL5" 125.0 Models.nmt_l5;
+  near "BigLSTM" 856.0 Models.big_lstm;
+  near "LSTM-2048" 554.0 Models.lstm_2048;
+  near "Vgg16" 138.0 Models.vgg16;
+  near "Vgg19" 144.0 Models.vgg19
+
+let test_table5_structure () =
+  Alcotest.(check int) "eight models" 8 (List.length Models.table5);
+  Alcotest.(check bool) "vgg16 has 13 convs" true
+    (List.length
+       (List.filter
+          (fun l -> match l with Layer.Conv _ -> true | _ -> false)
+          Models.vgg16.Network.layers)
+    = 13);
+  Alcotest.(check bool) "vgg19 has 16 convs" true
+    (List.length
+       (List.filter
+          (fun l -> match l with Layer.Conv _ -> true | _ -> false)
+          Models.vgg19.Network.layers)
+    = 16);
+  Alcotest.(check int) "nmt seq" 50 Models.nmt_l3.Network.seq_len
+
+(* ---- Graph construction matches a hand reference ---- *)
+
+let test_build_graph_mlp_matches_manual_eval () =
+  (* A 1-layer dense net: y = sigmoid(Wx + b); compare ref exec against a
+     direct computation from the same seed. *)
+  let net =
+    Network.make ~name:"t" ~kind:Mlp ~input:(Vec 10)
+      [ Dense { out = 4; act = Sigmoid } ]
+  in
+  let g = Network.build_graph ~seed:5 net in
+  let x = Tensor.vec_rand rng 10 1.0 in
+  let y = List.assoc "y" (Ref_exec.run g [ ("x", x) ]) in
+  Alcotest.(check int) "output size" 4 (Array.length y);
+  Array.iter
+    (fun v -> Alcotest.(check bool) "sigmoid range" true (v > 0.0 && v < 1.0))
+    y
+
+let test_build_graph_lstm_state_evolves () =
+  let net =
+    Network.make ~name:"l" ~kind:Deep_lstm ~input:(Vec 8) ~seq_len:3
+      [ Lstm { cell = 12; proj = None } ]
+  in
+  let g = Network.build_graph ~seed:6 net in
+  (* Different sequences must give different final states. *)
+  let x1 = Tensor.vec_rand rng 24 1.0 and x2 = Tensor.vec_rand rng 24 1.0 in
+  let y1 = List.assoc "y" (Ref_exec.run g [ ("x", x1) ]) in
+  let y2 = List.assoc "y" (Ref_exec.run g [ ("x", x2) ]) in
+  Alcotest.(check int) "hidden size" 12 (Array.length y1);
+  Alcotest.(check bool) "state depends on sequence" true (y1 <> y2)
+
+let test_build_graph_conv_window_count () =
+  let net =
+    Network.make ~name:"c" ~kind:Cnn ~input:(Img { h = 6; w = 6; c = 1 })
+      [ Conv { out_ch = 2; kh = 3; kw = 3; stride = 1; pad = 0; act = Relu } ]
+  in
+  let g = Network.build_graph ~seed:7 net in
+  let s = G.stats g in
+  (* 4x4 windows, one MVM each. *)
+  Alcotest.(check int) "mvm per window" 16 s.G.num_mvms;
+  let x = Tensor.vec_rand rng 36 1.0 in
+  let y = List.assoc "y" (Ref_exec.run g [ ("x", x) ]) in
+  Alcotest.(check int) "output hwc" (4 * 4 * 2) (Array.length y)
+
+let test_build_graph_padded_conv_reference () =
+  (* A 1x1 image with pad 1 and a 3x3 kernel: only the center tap sees the
+     input; output = relu(k_center * x + b). *)
+  let net =
+    Network.make ~name:"p" ~kind:Cnn ~input:(Img { h = 1; w = 1; c = 1 })
+      [ Conv { out_ch = 1; kh = 3; kw = 3; stride = 1; pad = 1; act = No_act } ]
+  in
+  let g = Network.build_graph ~seed:8 net in
+  let y0 = List.assoc "y" (Ref_exec.run g [ ("x", [| 0.0 |]) ]) in
+  let y1 = List.assoc "y" (Ref_exec.run g [ ("x", [| 1.0 |]) ]) in
+  let y2 = List.assoc "y" (Ref_exec.run g [ ("x", [| 2.0 |]) ]) in
+  Alcotest.(check int) "output size" 1 (Array.length y0);
+  (* Linearity in the single visible tap: y2 - y1 = y1 - y0. *)
+  Alcotest.(check (float 1e-9)) "center tap linear" (y1.(0) -. y0.(0)) (y2.(0) -. y1.(0))
+
+let test_build_graph_maxpool_reference () =
+  let net =
+    Network.make ~name:"mp" ~kind:Cnn ~input:(Img { h = 2; w = 2; c = 1 })
+      [ Maxpool { size = 2; stride = 2 }; Flatten ]
+  in
+  let g = Network.build_graph ~seed:9 net in
+  let y = List.assoc "y" (Ref_exec.run g [ ("x", [| 0.3; -0.7; 0.9; 0.1 |]) ]) in
+  Alcotest.(check (array (float 1e-9))) "max of window" [| 0.9 |] y
+
+(* ---- Mini models compile and match the reference on the simulator ---- *)
+
+let sim_config =
+  {
+    Config.default with
+    tiles_per_node = 64;
+    vfu_width = 4;
+  }
+
+let compile_and_compare ?(tol = 0.05) ?(wrap = false) g inputs =
+  let options = { Puma_compiler.Compile.default_options with wrap_batch_loop = wrap } in
+  let result = Puma_compiler.Compile.compile ~options sim_config g in
+  let node = Puma_sim.Node.create result.Puma_compiler.Compile.program in
+  let got = Puma_sim.Node.run node ~inputs in
+  let want = Ref_exec.run g inputs in
+  List.iter
+    (fun (name, w) ->
+      let h = List.assoc name got in
+      let err = Tensor.vec_max_abs_diff w h in
+      Alcotest.(check bool) (Printf.sprintf "%s err %.4f" name err) true (err <= tol))
+    want
+
+let test_sim_mini_mlp () =
+  let g = Network.build_graph Models.mini_mlp in
+  compile_and_compare g [ ("x", Tensor.vec_rand rng 64 1.0) ]
+
+let test_sim_mini_lstm () =
+  let g = Network.build_graph Models.mini_lstm in
+  compile_and_compare g [ ("x", Tensor.vec_rand rng (3 * 26) 1.0) ]
+
+let test_sim_mini_rnn () =
+  let g = Network.build_graph Models.mini_rnn in
+  compile_and_compare g [ ("x", Tensor.vec_rand rng (3 * 26) 1.0) ]
+
+let test_sim_mini_bm () =
+  compile_and_compare Models.mini_bm [ ("x", Tensor.vec_rand rng 500 1.0) ]
+
+let test_sim_mini_rbm () =
+  compile_and_compare Models.mini_rbm [ ("x", Tensor.vec_rand rng 500 1.0) ]
+
+let test_sim_tiny_cnn () =
+  (* A reduced CNN (conv + pool + dense) through the full pipeline with the
+     batch-loop wrapper. *)
+  let net =
+    Network.make ~name:"tinycnn" ~kind:Cnn ~input:(Img { h = 8; w = 8; c = 1 })
+      [
+        Conv { out_ch = 3; kh = 3; kw = 3; stride = 1; pad = 0; act = Relu };
+        Maxpool { size = 2; stride = 2 };
+        Flatten;
+        Dense { out = 10; act = Sigmoid };
+      ]
+  in
+  let g = Network.build_graph ~seed:10 net in
+  compile_and_compare ~wrap:true g [ ("x", Tensor.vec_rand rng 64 0.8) ]
+
+(* ---- Model description language ---- *)
+
+let test_model_desc_roundtrip () =
+  List.iter
+    (fun net ->
+      let text = Puma_nn.Model_desc.to_string net in
+      match Puma_nn.Model_desc.parse text with
+      | Error e -> Alcotest.fail (net.Network.name ^ ": " ^ e)
+      | Ok parsed ->
+          Alcotest.(check string) "name" net.Network.name parsed.Network.name;
+          Alcotest.(check bool) "input" true (parsed.Network.input = net.Network.input);
+          Alcotest.(check int) "seq" net.Network.seq_len parsed.Network.seq_len;
+          Alcotest.(check bool) "layers" true
+            (parsed.Network.layers = net.Network.layers);
+          Alcotest.(check int) "params preserved" (Network.total_params net)
+            (Network.total_params parsed))
+    (Models.table5 @ [ Models.mini_mlp; Models.mini_lstm; Models.mini_rnn; Models.lenet5 ])
+
+let test_model_desc_parse_example () =
+  let text =
+    "# a classifier\n\
+     name tiny\n\
+     input img 8 8 1\n\
+     conv 3 3 3 stride 1 pad 0 relu\n\
+     maxpool 2 2\n\
+     flatten\n\
+     dense 10 sigmoid\n"
+  in
+  match Puma_nn.Model_desc.parse text with
+  | Error e -> Alcotest.fail e
+  | Ok net ->
+      Alcotest.(check string) "name" "tiny" net.Network.name;
+      Alcotest.(check int) "layers" 4 (List.length net.Network.layers);
+      Alcotest.(check bool) "kind inferred" true (net.Network.kind = Network.Cnn);
+      (* And it builds + evaluates. *)
+      let g = Network.build_graph net in
+      let y =
+        List.assoc "y" (Ref_exec.run g [ ("x", Tensor.vec_rand rng 64 1.0) ])
+      in
+      Alcotest.(check int) "output" 10 (Array.length y)
+
+let test_model_desc_file () =
+  let path = Filename.temp_file "puma" ".model" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Out_channel.with_open_text path (fun oc ->
+          output_string oc "name filetest\ninput vec 12\ndense 3 tanh\n");
+      match Puma_nn.Model_desc.parse_file path with
+      | Ok net ->
+          Alcotest.(check string) "name" "filetest" net.Network.name;
+          Alcotest.(check int) "params" ((12 * 3) + 3) (Network.total_params net)
+      | Error e -> Alcotest.fail e);
+  Alcotest.(check bool) "missing file" true
+    (Result.is_error (Puma_nn.Model_desc.parse_file "/nonexistent/x.model"))
+
+let test_model_desc_errors () =
+  List.iter
+    (fun (text, why) ->
+      Alcotest.(check bool) why true
+        (Result.is_error (Puma_nn.Model_desc.parse text)))
+    [
+      ("dense 10 relu\n", "missing input");
+      ("input vec 8\n", "no layers");
+      ("input vec 8\ndense 10 funky\n", "bad activation");
+      ("input vec 8\nconv 3 3 3 stride 1 pad 0 relu\n", "conv on vector");
+      ("input vec 0\ndense 1 none\n", "non-positive size");
+      ("input vec 8\nwat 1 2\n", "unknown directive");
+    ]
+
+(* ---- Table 7 generality workloads ---- *)
+
+let test_generality_graphs_valid () =
+  List.iter
+    (fun (label, g) ->
+      Alcotest.(check bool) label true (Result.is_ok (G.validate g)))
+    Models.generality_workloads;
+  Alcotest.(check int) "eleven classes" 11
+    (List.length Models.generality_workloads)
+
+let test_generality_small_classes_simulate () =
+  List.iter
+    (fun name ->
+      let g = List.assoc name Models.generality_workloads in
+      let rng = Rng.create 3 in
+      let inputs =
+        List.map
+          (fun (n : G.node) ->
+            match n.op with
+            | G.Input nm -> (nm, Tensor.vec_rand rng n.len 0.8)
+            | _ -> assert false)
+          (G.inputs g)
+      in
+      compile_and_compare g inputs)
+    [ "GAN"; "SVM"; "Linear Regression"; "Logistic Regression"; "Recommender" ]
+
+let () =
+  Alcotest.run "nn"
+    [
+      ( "layer",
+        [
+          Alcotest.test_case "shapes" `Quick test_layer_shapes;
+          Alcotest.test_case "params/macs" `Quick test_layer_params_macs;
+          Alcotest.test_case "shape mismatch" `Quick test_layer_shape_mismatch;
+        ] );
+      ( "table5",
+        [
+          Alcotest.test_case "param counts" `Quick test_table5_param_counts;
+          Alcotest.test_case "structure" `Quick test_table5_structure;
+        ] );
+      ( "build-graph",
+        [
+          Alcotest.test_case "mlp" `Quick test_build_graph_mlp_matches_manual_eval;
+          Alcotest.test_case "lstm state" `Quick test_build_graph_lstm_state_evolves;
+          Alcotest.test_case "conv windows" `Quick test_build_graph_conv_window_count;
+          Alcotest.test_case "padded conv" `Quick test_build_graph_padded_conv_reference;
+          Alcotest.test_case "maxpool" `Quick test_build_graph_maxpool_reference;
+        ] );
+      ( "model-desc",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_model_desc_roundtrip;
+          Alcotest.test_case "parse example" `Quick test_model_desc_parse_example;
+          Alcotest.test_case "file" `Quick test_model_desc_file;
+          Alcotest.test_case "errors" `Quick test_model_desc_errors;
+        ] );
+      ( "generality",
+        [
+          Alcotest.test_case "graphs valid" `Quick test_generality_graphs_valid;
+          Alcotest.test_case "classes simulate" `Quick
+            test_generality_small_classes_simulate;
+        ] );
+      ( "simulate",
+        [
+          Alcotest.test_case "mini mlp" `Quick test_sim_mini_mlp;
+          Alcotest.test_case "mini lstm" `Quick test_sim_mini_lstm;
+          Alcotest.test_case "mini rnn" `Quick test_sim_mini_rnn;
+          Alcotest.test_case "mini bm" `Slow test_sim_mini_bm;
+          Alcotest.test_case "mini rbm" `Slow test_sim_mini_rbm;
+          Alcotest.test_case "tiny cnn" `Slow test_sim_tiny_cnn;
+        ] );
+    ]

@@ -1,0 +1,281 @@
+module Shared_mem = Puma_tile.Shared_mem
+module Recv_buffer = Puma_tile.Recv_buffer
+module Tile = Puma_tile.Tile
+module Instr = Puma_isa.Instr
+module Config = Puma_hwmodel.Config
+module Energy = Puma_hwmodel.Energy
+
+let small_config =
+  { Config.default with mvmu_dim = 16; cores_per_tile = 2; num_fifos = 4 }
+
+(* ---- Shared memory attribute protocol (Figure 6) ---- *)
+
+let test_smem_counted_protocol () =
+  let m = Shared_mem.create ~words:16 in
+  (* Invalid word blocks readers. *)
+  Alcotest.(check bool) "read invalid" true (Shared_mem.read m ~addr:0 ~width:1 = None);
+  (* Counted write for 2 consumers. *)
+  Alcotest.(check bool) "write" true
+    (Shared_mem.write m ~addr:0 ~values:[| 7 |] ~count:2);
+  (* Producer blocks while consumers pending. *)
+  Alcotest.(check bool) "overwrite blocked" false
+    (Shared_mem.write m ~addr:0 ~values:[| 9 |] ~count:1);
+  Alcotest.(check bool) "read 1" true (Shared_mem.read m ~addr:0 ~width:1 = Some [| 7 |]);
+  Alcotest.(check bool) "still valid" true (Shared_mem.valid m ~addr:0);
+  Alcotest.(check bool) "read 2" true (Shared_mem.read m ~addr:0 ~width:1 = Some [| 7 |]);
+  (* Consumed: invalid again, writable again. *)
+  Alcotest.(check bool) "invalidated" false (Shared_mem.valid m ~addr:0);
+  Alcotest.(check bool) "read 3 blocks" true (Shared_mem.read m ~addr:0 ~width:1 = None);
+  Alcotest.(check bool) "rewrite ok" true
+    (Shared_mem.write m ~addr:0 ~values:[| 9 |] ~count:1)
+
+let test_smem_sticky () =
+  let m = Shared_mem.create ~words:8 in
+  Shared_mem.host_write m ~addr:2 ~values:[| 1; 2; 3 |];
+  for _ = 1 to 5 do
+    Alcotest.(check bool) "sticky read" true
+      (Shared_mem.read m ~addr:2 ~width:3 = Some [| 1; 2; 3 |])
+  done;
+  (* Sticky words may be overwritten freely. *)
+  Alcotest.(check bool) "sticky overwrite" true
+    (Shared_mem.write m ~addr:2 ~values:[| 9 |] ~count:0)
+
+let test_smem_partial_validity_blocks_vector_read () =
+  let m = Shared_mem.create ~words:8 in
+  ignore (Shared_mem.write m ~addr:0 ~values:[| 1; 2 |] ~count:1);
+  Alcotest.(check bool) "wider read blocks" true
+    (Shared_mem.read m ~addr:0 ~width:3 = None);
+  (* The blocked read must not have consumed the valid words. *)
+  Alcotest.(check bool) "count preserved" true (Shared_mem.pending_count m ~addr:0 = 1)
+
+let test_smem_peek_does_not_consume () =
+  let m = Shared_mem.create ~words:4 in
+  ignore (Shared_mem.write m ~addr:0 ~values:[| 5 |] ~count:1);
+  Alcotest.(check bool) "peek" true (Shared_mem.peek m ~addr:0 ~width:1 = Some [| 5 |]);
+  Alcotest.(check bool) "still valid" true (Shared_mem.valid m ~addr:0)
+
+let test_smem_bounds () =
+  let m = Shared_mem.create ~words:4 in
+  Alcotest.(check bool) "out of range" true
+    (try
+       ignore (Shared_mem.read m ~addr:3 ~width:2);
+       false
+     with Invalid_argument _ -> true)
+
+(* ---- Receive buffer ---- *)
+
+let test_recv_fifo_order () =
+  let rb = Recv_buffer.create ~num_fifos:2 ~depth:3 in
+  let pkt i = { Recv_buffer.src_tile = 0; payload = [| i |] } in
+  Alcotest.(check bool) "push 1" true (Recv_buffer.push rb ~fifo:0 (pkt 1));
+  Alcotest.(check bool) "push 2" true (Recv_buffer.push rb ~fifo:0 (pkt 2));
+  Alcotest.(check int) "occupancy" 2 (Recv_buffer.occupancy rb ~fifo:0);
+  (match Recv_buffer.pop rb ~fifo:0 with
+  | Some p -> Alcotest.(check int) "fifo order" 1 p.payload.(0)
+  | None -> Alcotest.fail "empty");
+  Alcotest.(check int) "after pop" 1 (Recv_buffer.occupancy rb ~fifo:0)
+
+let test_recv_backpressure () =
+  let rb = Recv_buffer.create ~num_fifos:1 ~depth:2 in
+  let pkt = { Recv_buffer.src_tile = 0; payload = [| 0 |] } in
+  Alcotest.(check bool) "1" true (Recv_buffer.push rb ~fifo:0 pkt);
+  Alcotest.(check bool) "2" true (Recv_buffer.push rb ~fifo:0 pkt);
+  Alcotest.(check bool) "full" false (Recv_buffer.push rb ~fifo:0 pkt)
+
+let test_recv_independent_fifos () =
+  let rb = Recv_buffer.create ~num_fifos:2 ~depth:1 in
+  let pkt i = { Recv_buffer.src_tile = i; payload = [| i |] } in
+  ignore (Recv_buffer.push rb ~fifo:0 (pkt 10));
+  ignore (Recv_buffer.push rb ~fifo:1 (pkt 20));
+  Alcotest.(check int) "total" 2 (Recv_buffer.total_occupancy rb);
+  (match Recv_buffer.pop rb ~fifo:1 with
+  | Some p -> Alcotest.(check int) "fifo 1" 20 p.src_tile
+  | None -> Alcotest.fail "empty")
+
+(* ---- Tile control unit ---- *)
+
+let make_tile ?(tile_code = [||]) () =
+  let energy = Energy.create small_config in
+  Tile.create small_config ~index:0 ~energy ~core_code:[||] ~tile_code
+
+let test_tcu_send_blocks_until_valid () =
+  let tile =
+    make_tile
+      ~tile_code:
+        [| Instr.Send { mem_addr = 0; fifo_id = 1; target = 3; vec_width = 2 } |]
+      ()
+  in
+  Alcotest.(check bool) "blocked" true (Tile.step_tcu tile ~now:0 = Tile.Blocked);
+  Tile.host_write tile ~addr:0 ~values:[| 4; 5 |];
+  (match Tile.step_tcu tile ~now:10 with
+  | Tile.Retired _ -> ()
+  | _ -> Alcotest.fail "expected retire");
+  match Tile.pop_outgoing tile with
+  | Some o ->
+      Alcotest.(check int) "target" 3 o.target_tile;
+      Alcotest.(check int) "fifo" 1 o.fifo_id;
+      Alcotest.(check (array int)) "payload" [| 4; 5 |] o.payload;
+      Alcotest.(check bool) "issue time" true (o.issue_cycle > 10)
+  | None -> Alcotest.fail "no outgoing"
+
+let test_tcu_receive_blocks_until_packet () =
+  let tile =
+    make_tile
+      ~tile_code:
+        [| Instr.Receive { mem_addr = 4; fifo_id = 0; count = 1; vec_width = 2 } |]
+      ()
+  in
+  Alcotest.(check bool) "blocked" true (Tile.step_tcu tile ~now:0 = Tile.Blocked);
+  Alcotest.(check bool) "delivered" true
+    (Tile.deliver tile ~fifo:0 ~src_tile:2 ~payload:[| 8; 9 |]);
+  (match Tile.step_tcu tile ~now:0 with
+  | Tile.Retired _ -> ()
+  | _ -> Alcotest.fail "expected retire");
+  Alcotest.(check bool) "stored with count" true
+    (Tile.host_read tile ~addr:4 ~width:2 = Some [| 8; 9 |])
+
+let test_tcu_halts () =
+  let tile = make_tile ~tile_code:[| Instr.Halt |] () in
+  Alcotest.(check bool) "halted" true (Tile.step_tcu tile ~now:0 = Tile.Halted);
+  Alcotest.(check bool) "all halted" true (Tile.all_halted tile)
+
+let test_tcu_rejects_core_instr () =
+  let tile = make_tile ~tile_code:[| Instr.Jmp { pc = 0 } |] () in
+  Alcotest.(check bool) "jmp rejected" true
+    (try
+       ignore (Tile.step_tcu tile ~now:0);
+       false
+     with Invalid_argument _ -> true)
+
+let test_tile_reset () =
+  let tile =
+    make_tile
+      ~tile_code:
+        [| Instr.Send { mem_addr = 0; fifo_id = 0; target = 1; vec_width = 1 } |]
+      ()
+  in
+  Tile.host_write tile ~addr:0 ~values:[| 1 |];
+  ignore (Tile.step_tcu tile ~now:0);
+  Alcotest.(check bool) "halted after stream" true
+    (Tile.step_tcu tile ~now:1 = Tile.Halted);
+  Tile.reset tile;
+  (match Tile.step_tcu tile ~now:2 with
+  | Tile.Retired _ -> ()
+  | _ -> Alcotest.fail "expected re-run after reset")
+
+let test_tile_receive_width_mismatch () =
+  let tile =
+    make_tile
+      ~tile_code:
+        [| Instr.Receive { mem_addr = 0; fifo_id = 0; count = 1; vec_width = 3 } |]
+      ()
+  in
+  ignore (Tile.deliver tile ~fifo:0 ~src_tile:1 ~payload:[| 1 |]);
+  Alcotest.(check bool) "width mismatch rejected" true
+    (try
+       ignore (Tile.step_tcu tile ~now:0);
+       false
+     with Invalid_argument _ -> true)
+
+(* ---- Property: the attribute protocol against a reference model ---- *)
+
+type model_word = { mutable mvalid : bool; mutable mcount : int; mutable mdata : int }
+
+let prop_smem_matches_model =
+  QCheck.Test.make ~name:"shared memory matches reference model" ~count:200
+    QCheck.small_int (fun seed ->
+      let rng = Puma_util.Rng.create (seed + 1) in
+      let words = 8 in
+      let sut = Shared_mem.create ~words in
+      let model =
+        Array.init words (fun _ -> { mvalid = false; mcount = 0; mdata = 0 })
+      in
+      let ok = ref true in
+      for _ = 1 to 100 do
+        let addr = Puma_util.Rng.int rng words in
+        let width = 1 + Puma_util.Rng.int rng (words - addr) in
+        match Puma_util.Rng.int rng 3 with
+        | 0 ->
+            (* write *)
+            let count = Puma_util.Rng.int rng 3 in
+            let values =
+              Array.init width (fun _ -> Puma_util.Rng.int rng 1000)
+            in
+            let model_allowed =
+              count = 0
+              || Array.for_all
+                   (fun k -> not (model.(k).mvalid && model.(k).mcount > 0))
+                   (Array.init width (fun i -> addr + i))
+            in
+            let got = Shared_mem.write sut ~addr ~values ~count in
+            if got <> model_allowed then ok := false;
+            if got then
+              Array.iteri
+                (fun i v ->
+                  let w = model.(addr + i) in
+                  w.mdata <- v;
+                  w.mvalid <- true;
+                  w.mcount <- count)
+                values
+        | 1 -> (
+            (* read *)
+            let model_ready =
+              Array.for_all
+                (fun k -> model.(k).mvalid)
+                (Array.init width (fun i -> addr + i))
+            in
+            match Shared_mem.read sut ~addr ~width with
+            | None -> if model_ready then ok := false
+            | Some values ->
+                if not model_ready then ok := false
+                else
+                  Array.iteri
+                    (fun i v ->
+                      let w = model.(addr + i) in
+                      if v <> w.mdata then ok := false;
+                      if w.mcount > 0 then begin
+                        w.mcount <- w.mcount - 1;
+                        if w.mcount = 0 then w.mvalid <- false
+                      end)
+                    values)
+        | _ ->
+            (* peek must never change state *)
+            ignore (Shared_mem.peek sut ~addr ~width)
+      done;
+      (* Final states agree. *)
+      for k = 0 to words - 1 do
+        if Shared_mem.valid sut ~addr:k <> model.(k).mvalid then ok := false;
+        if Shared_mem.pending_count sut ~addr:k <> model.(k).mcount then
+          ok := false
+      done;
+      !ok)
+
+let () =
+  Alcotest.run "tile"
+    [
+      ( "shared-mem",
+        [
+          Alcotest.test_case "counted protocol" `Quick test_smem_counted_protocol;
+          Alcotest.test_case "sticky" `Quick test_smem_sticky;
+          Alcotest.test_case "partial validity" `Quick
+            test_smem_partial_validity_blocks_vector_read;
+          Alcotest.test_case "peek" `Quick test_smem_peek_does_not_consume;
+          Alcotest.test_case "bounds" `Quick test_smem_bounds;
+        ] );
+      ( "recv-buffer",
+        [
+          Alcotest.test_case "fifo order" `Quick test_recv_fifo_order;
+          Alcotest.test_case "backpressure" `Quick test_recv_backpressure;
+          Alcotest.test_case "independent fifos" `Quick test_recv_independent_fifos;
+        ] );
+      ("props", [ QCheck_alcotest.to_alcotest prop_smem_matches_model ]);
+      ( "tcu",
+        [
+          Alcotest.test_case "send blocks" `Quick test_tcu_send_blocks_until_valid;
+          Alcotest.test_case "receive blocks" `Quick test_tcu_receive_blocks_until_packet;
+          Alcotest.test_case "halts" `Quick test_tcu_halts;
+          Alcotest.test_case "rejects core instr" `Quick test_tcu_rejects_core_instr;
+          Alcotest.test_case "reset" `Quick test_tile_reset;
+          Alcotest.test_case "width mismatch" `Quick test_tile_receive_width_mismatch;
+        ] );
+    ]

@@ -1,0 +1,257 @@
+module Fixed = Puma_util.Fixed
+module Rng = Puma_util.Rng
+module Tensor = Puma_util.Tensor
+module Stats = Puma_util.Stats
+module Bits = Puma_util.Bits
+module Table = Puma_util.Table
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* ---- Fixed ---- *)
+
+let test_fixed_roundtrip () =
+  List.iter
+    (fun f ->
+      let q = Fixed.to_float (Fixed.of_float f) in
+      Alcotest.(check bool)
+        (Printf.sprintf "roundtrip %f" f)
+        true
+        (Float.abs (q -. f) <= 0.5 /. Fixed.scale))
+    [ 0.0; 1.0; -1.0; 0.5; -0.5; 3.999; -3.999; 0.000244; 7.5; -7.99 ]
+
+let test_fixed_saturation () =
+  Alcotest.(check int) "pos sat" Fixed.max_raw (Fixed.to_raw (Fixed.of_float 100.0));
+  Alcotest.(check int) "neg sat" Fixed.min_raw (Fixed.to_raw (Fixed.of_float (-100.0)));
+  let big = Fixed.of_float 7.9 in
+  Alcotest.(check int) "add sat" Fixed.max_raw (Fixed.to_raw (Fixed.add big big));
+  Alcotest.(check int) "nan is zero" 0 (Fixed.to_raw (Fixed.of_float Float.nan))
+
+let test_fixed_arithmetic () =
+  let a = Fixed.of_float 1.5 and b = Fixed.of_float 2.25 in
+  check_float "add" 3.75 (Fixed.to_float (Fixed.add a b));
+  check_float "sub" (-0.75) (Fixed.to_float (Fixed.sub a b));
+  check_float "mul" 3.375 (Fixed.to_float (Fixed.mul a b));
+  Alcotest.(check bool)
+    "div" true
+    (Float.abs (Fixed.to_float (Fixed.div a b) -. (1.5 /. 2.25)) < 2.0 /. Fixed.scale);
+  check_float "neg" (-1.5) (Fixed.to_float (Fixed.neg a));
+  check_float "abs" 1.5 (Fixed.to_float (Fixed.abs (Fixed.neg a)))
+
+let test_fixed_div_by_zero () =
+  let a = Fixed.of_float 1.0 in
+  Alcotest.(check int) "pos/0" Fixed.max_raw (Fixed.to_raw (Fixed.div a Fixed.zero));
+  Alcotest.(check int) "neg/0" Fixed.min_raw
+    (Fixed.to_raw (Fixed.div (Fixed.neg a) Fixed.zero))
+
+let test_fixed_shifts_logic () =
+  let a = Fixed.of_float 1.0 in
+  check_float "shl" 2.0 (Fixed.to_float (Fixed.shift_left a 1));
+  check_float "shr" 0.5 (Fixed.to_float (Fixed.shift_right a 1));
+  let x = Fixed.of_raw 0b1010 and y = Fixed.of_raw 0b0110 in
+  Alcotest.(check int) "and" 0b0010 (Fixed.to_raw (Fixed.logand x y));
+  Alcotest.(check int) "or" 0b1110 (Fixed.to_raw (Fixed.logor x y));
+  Alcotest.(check int) "not involutive" (Fixed.to_raw x)
+    (Fixed.to_raw (Fixed.lognot (Fixed.lognot x)))
+
+let test_fixed_mul_acc () =
+  let xs = Array.map Fixed.of_float [| 0.5; -1.0; 2.0 |] in
+  let ys = Array.map Fixed.of_float [| 2.0; 0.25; 1.5 |] in
+  let acc = Fixed.mul_acc xs ys in
+  check_float "acc rescale" 3.75 (Fixed.to_float (Fixed.of_acc acc))
+
+let prop_fixed_add_commutes =
+  QCheck.Test.make ~name:"fixed add commutes" ~count:500
+    (QCheck.pair (QCheck.float_range (-8.0) 8.0) (QCheck.float_range (-8.0) 8.0))
+    (fun (a, b) ->
+      let fa = Fixed.of_float a and fb = Fixed.of_float b in
+      Fixed.equal (Fixed.add fa fb) (Fixed.add fb fa))
+
+let prop_fixed_of_acc_matches_mul =
+  QCheck.Test.make ~name:"of_acc of single product = mul" ~count:500
+    (QCheck.pair (QCheck.float_range (-2.0) 2.0) (QCheck.float_range (-2.0) 2.0))
+    (fun (a, b) ->
+      let fa = Fixed.of_float a and fb = Fixed.of_float b in
+      let acc = Fixed.to_raw fa * Fixed.to_raw fb in
+      Fixed.equal (Fixed.of_acc acc) (Fixed.mul fa fb))
+
+let prop_fixed_roundtrip_raw =
+  QCheck.Test.make ~name:"raw roundtrip" ~count:500
+    (QCheck.int_range Fixed.min_raw Fixed.max_raw)
+    (fun r -> Fixed.to_raw (Fixed.of_raw r) = r)
+
+(* ---- Rng ---- *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 5 and b = Rng.create 5 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Rng.int a 1000) (Rng.int b 1000)
+  done
+
+let test_rng_bounds () =
+  let rng = Rng.create 1 in
+  for _ = 1 to 1000 do
+    let v = Rng.int rng 7 in
+    Alcotest.(check bool) "int bound" true (v >= 0 && v < 7);
+    let f = Rng.float rng 2.5 in
+    Alcotest.(check bool) "float bound" true (f >= 0.0 && f < 2.5)
+  done
+
+let test_rng_gaussian_moments () =
+  let rng = Rng.create 11 in
+  let xs = Array.init 20000 (fun _ -> Rng.gaussian rng) in
+  Alcotest.(check bool) "mean ~0" true (Float.abs (Stats.mean xs) < 0.05);
+  Alcotest.(check bool) "std ~1" true (Float.abs (Stats.stddev xs -. 1.0) < 0.05)
+
+let test_rng_split_independent () =
+  let parent = Rng.create 3 in
+  let child = Rng.split parent in
+  let a = Rng.int parent 1_000_000 and b = Rng.int child 1_000_000 in
+  Alcotest.(check bool) "streams differ" true (a <> b)
+
+let test_rng_shuffle_permutation () =
+  let rng = Rng.create 7 in
+  let arr = Array.init 50 (fun i -> i) in
+  Rng.shuffle rng arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is permutation" (Array.init 50 (fun i -> i)) sorted
+
+(* ---- Tensor ---- *)
+
+let test_tensor_mvm () =
+  let m = Tensor.mat_init 2 3 (fun i j -> Float.of_int ((i * 3) + j)) in
+  let y = Tensor.mvm m [| 1.0; 2.0; 3.0 |] in
+  Alcotest.(check (array (float 1e-9))) "mvm" [| 8.0; 26.0 |] y
+
+let test_tensor_transpose () =
+  let rng = Rng.create 2 in
+  let m = Tensor.mat_rand rng 4 7 1.0 in
+  let tt = Tensor.mat_transpose (Tensor.mat_transpose m) in
+  Alcotest.(check (array (float 1e-12))) "double transpose" m.Tensor.data tt.Tensor.data
+
+let test_tensor_sub_block_padding () =
+  let m = Tensor.mat_init 3 3 (fun i j -> Float.of_int ((i * 3) + j)) in
+  let b = Tensor.mat_sub_block m ~row:2 ~col:2 ~rows:2 ~cols:2 in
+  Alcotest.(check (float 1e-9)) "in range" 8.0 (Tensor.get b 0 0);
+  Alcotest.(check (float 1e-9)) "pad row" 0.0 (Tensor.get b 1 0);
+  Alcotest.(check (float 1e-9)) "pad col" 0.0 (Tensor.get b 0 1)
+
+let test_tensor_ops () =
+  let a = [| 1.0; 2.0 |] and b = [| 3.0; 5.0 |] in
+  Alcotest.(check (array (float 1e-9))) "add" [| 4.0; 7.0 |] (Tensor.vec_add a b);
+  Alcotest.(check (array (float 1e-9))) "mul" [| 3.0; 10.0 |] (Tensor.vec_mul a b);
+  Alcotest.(check (float 1e-9)) "dot" 13.0 (Tensor.dot a b);
+  Alcotest.(check (float 1e-9)) "max diff" 3.0 (Tensor.vec_max_abs_diff a b)
+
+(* ---- Stats ---- *)
+
+let test_stats_basic () =
+  let xs = [| 1.0; 2.0; 3.0; 4.0 |] in
+  check_float "mean" 2.5 (Stats.mean xs);
+  check_float "variance" 1.25 (Stats.variance xs);
+  check_float "p50" 2.5 (Stats.percentile xs 50.0);
+  check_float "rmse 0" 0.0 (Stats.rmse xs xs);
+  Alcotest.(check int) "argmax" 3 (Stats.argmax xs)
+
+let test_stats_geomean () =
+  check_float "geomean" 2.0 (Stats.geomean [| 1.0; 2.0; 4.0 |])
+
+let test_stats_percentile_edges () =
+  let xs = [| 5.0; 1.0; 3.0 |] in
+  check_float "p0 is min" 1.0 (Stats.percentile xs 0.0);
+  check_float "p100 is max" 5.0 (Stats.percentile xs 100.0);
+  check_float "single element" 7.0 (Stats.percentile [| 7.0 |] 50.0)
+
+let test_stats_relative_error () =
+  check_float "10%" 0.1 (Stats.relative_error ~reference:10.0 ~measured:11.0);
+  check_float "sign-insensitive" 0.1
+    (Stats.relative_error ~reference:10.0 ~measured:9.0)
+
+(* ---- Bits ---- *)
+
+let test_bits_slice_roundtrip () =
+  for v = 0 to 255 do
+    let slices = Bits.slice ~value:v ~bits_per_slice:2 ~num_slices:4 in
+    Alcotest.(check int) "unslice" v (Bits.unslice ~slices ~bits_per_slice:2)
+  done
+
+let test_bits_signed () =
+  Alcotest.(check int) "to_unsigned -1" 0xFFFF (Bits.to_unsigned ~width:16 (-1));
+  Alcotest.(check int) "of_unsigned" (-1) (Bits.of_unsigned ~width:16 0xFFFF);
+  Alcotest.(check int) "roundtrip -12345" (-12345)
+    (Bits.of_unsigned ~width:16 (Bits.to_unsigned ~width:16 (-12345)))
+
+let test_bits_required () =
+  Alcotest.(check int) "128" 7 (Bits.bits_required 128);
+  Alcotest.(check int) "1" 0 (Bits.bits_required 1);
+  Alcotest.(check int) "129" 8 (Bits.bits_required 129)
+
+let test_popcount () =
+  Alcotest.(check int) "0" 0 (Bits.popcount 0);
+  Alcotest.(check int) "0xFF" 8 (Bits.popcount 0xFF);
+  Alcotest.(check int) "0b1010" 2 (Bits.popcount 0b1010)
+
+(* ---- Table ---- *)
+
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  go 0
+
+let test_table_render () =
+  let t = Table.create ~title:"T" ~headers:[ "a"; "bb" ] in
+  Table.add_row t [ "x"; "1" ];
+  Table.add_sep t;
+  Table.add_row t [ "longer" ];
+  let s = Table.render t in
+  Alcotest.(check bool) "has title" true (String.length s > 0);
+  Alcotest.(check bool) "contains row" true
+    (contains s "longer" && contains s "bb")
+
+let () =
+  let qc = List.map QCheck_alcotest.to_alcotest
+      [ prop_fixed_add_commutes; prop_fixed_of_acc_matches_mul; prop_fixed_roundtrip_raw ]
+  in
+  Alcotest.run "util"
+    [
+      ( "fixed",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_fixed_roundtrip;
+          Alcotest.test_case "saturation" `Quick test_fixed_saturation;
+          Alcotest.test_case "arithmetic" `Quick test_fixed_arithmetic;
+          Alcotest.test_case "div by zero" `Quick test_fixed_div_by_zero;
+          Alcotest.test_case "shifts and logic" `Quick test_fixed_shifts_logic;
+          Alcotest.test_case "mul_acc" `Quick test_fixed_mul_acc;
+        ]
+        @ qc );
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "bounds" `Quick test_rng_bounds;
+          Alcotest.test_case "gaussian moments" `Quick test_rng_gaussian_moments;
+          Alcotest.test_case "split" `Quick test_rng_split_independent;
+          Alcotest.test_case "shuffle" `Quick test_rng_shuffle_permutation;
+        ] );
+      ( "tensor",
+        [
+          Alcotest.test_case "mvm" `Quick test_tensor_mvm;
+          Alcotest.test_case "transpose" `Quick test_tensor_transpose;
+          Alcotest.test_case "sub block pad" `Quick test_tensor_sub_block_padding;
+          Alcotest.test_case "vector ops" `Quick test_tensor_ops;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "basic" `Quick test_stats_basic;
+          Alcotest.test_case "geomean" `Quick test_stats_geomean;
+          Alcotest.test_case "percentile edges" `Quick test_stats_percentile_edges;
+          Alcotest.test_case "relative error" `Quick test_stats_relative_error;
+        ] );
+      ( "bits",
+        [
+          Alcotest.test_case "slice roundtrip" `Quick test_bits_slice_roundtrip;
+          Alcotest.test_case "signed" `Quick test_bits_signed;
+          Alcotest.test_case "bits required" `Quick test_bits_required;
+          Alcotest.test_case "popcount" `Quick test_popcount;
+        ] );
+      ("table", [ Alcotest.test_case "render" `Quick test_table_render ]);
+    ]
