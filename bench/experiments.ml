@@ -191,6 +191,75 @@ let run_figure11_batch () =
   [ savings; throughput ]
 
 (* ------------------------------------------------------------------ *)
+(* Batch-throughput sweep on the sharded runtime                       *)
+(* ------------------------------------------------------------------ *)
+
+(* The paper's batch sweep (Figure 11(c)/(d), Table 8) measured on the
+   functional simulator instead of the analytical model: a batch of
+   independent requests is sharded across parallel simulated nodes by
+   puma_runtime, compiling the model once (program cache) and simulating
+   it many times. Throughput is simulated inferences/s over the batch
+   makespan; the runtime guarantees bit-identical outputs and per-request
+   cycles for every node count. *)
+let batch_domains = [ 1; 2; 4 ]
+
+let run_batch_throughput () =
+  let t =
+    Table.create
+      ~title:
+        "Batch throughput: MLP-L (mini) sharded across simulated nodes \
+         (inf/s, simulated)"
+      ~headers:
+        ("Batch"
+        :: List.map (fun d -> Printf.sprintf "%d node%s" d (if d = 1 then "" else "s"))
+             batch_domains
+        @ [ "Speedup @4"; "p50/p95 cycles" ])
+  in
+  let cache = Puma_runtime.Program_cache.create () in
+  let net = Models.mini_mlp in
+  List.iter
+    (fun batch ->
+      let result = Puma_runtime.Program_cache.get_network cache ~config net in
+      let program = result.Compile.program in
+      let requests =
+        Puma_runtime.Batch.random_requests program ~batch ~seed:7
+      in
+      let summaries =
+        List.map
+          (fun domains ->
+            snd (Puma_runtime.Batch.run ~domains program requests))
+          batch_domains
+      in
+      let throughputs =
+        List.map
+          (fun (s : Puma_runtime.Batch.summary) ->
+            Printf.sprintf "%.0f" s.throughput_inf_s)
+          summaries
+      in
+      let last = List.nth summaries (List.length summaries - 1) in
+      let first = List.hd summaries in
+      Table.add_row t
+        (Printf.sprintf "B%d" batch
+         :: throughputs
+        @ [
+            Printf.sprintf "%.2fx"
+              (last.Puma_runtime.Batch.throughput_inf_s
+              /. first.Puma_runtime.Batch.throughput_inf_s);
+            Printf.sprintf "%.0f/%.0f" last.p50_cycles last.p95_cycles;
+          ]))
+    batches;
+  let c =
+    Table.create ~title:"Program cache over the sweep"
+      ~headers:[ "Compilations"; "Cache hits" ]
+  in
+  Table.add_row c
+    [
+      string_of_int (Puma_runtime.Program_cache.misses cache);
+      string_of_int (Puma_runtime.Program_cache.hits cache);
+    ];
+  [ t; c ]
+
+(* ------------------------------------------------------------------ *)
 (* Table 6: comparison with ML accelerators                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -637,6 +706,7 @@ let all_experiments =
     ("table3", run_table3);
     ("figure11ab", run_figure11_batch1);
     ("figure11cd", run_figure11_batch);
+    ("batch_throughput", run_batch_throughput);
     ("table6", run_table6);
     ("table7", run_table7);
     ("table8", run_table8);

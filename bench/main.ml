@@ -28,7 +28,10 @@ let bechamel_tests =
             timing them repeatedly would dominate the harness. *)
          not
            (List.mem name
-              [ "figure13"; "table8"; "figure4"; "table1"; "ablation_fifo" ]))
+              [
+                "figure13"; "table8"; "figure4"; "table1"; "ablation_fifo";
+                "batch_throughput";
+              ]))
        Experiments.all_experiments)
 
 let run_bechamel () =

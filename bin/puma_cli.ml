@@ -3,6 +3,7 @@
    dune exec bin/puma_cli.exe -- models
    dune exec bin/puma_cli.exe -- compile mlp --asm
    dune exec bin/puma_cli.exe -- run lstm
+   dune exec bin/puma_cli.exe -- batch --model mlp --batch-size 16 --domains 4
    dune exec bin/puma_cli.exe -- estimate BigLSTM --batch 16
    dune exec bin/puma_cli.exe -- table3
    dune exec bin/puma_cli.exe -- accuracy --bits 2 --sigma 0.1 *)
@@ -275,6 +276,88 @@ let exec_cmd =
     (Cmd.info "exec" ~doc:"Load a compiled program file and simulate it")
     Term.(const run $ file $ seed)
 
+(* ---- batch ---- *)
+
+let batch_cmd =
+  let model =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "model" ] ~docv:"MODEL"
+          ~doc:"Model to serve (zoo name or description file).")
+  in
+  let batch_size =
+    Arg.(
+      value & opt int 16
+      & info [ "batch-size" ] ~doc:"Number of independent inference requests.")
+  in
+  let domains =
+    Arg.(
+      value & opt int 0
+      & info [ "domains" ]
+          ~doc:
+            "Worker domains (and simulated PUMA nodes) to shard the batch \
+             across; 0 picks the host's recommended count.")
+  in
+  let seed =
+    Arg.(
+      value & opt int 7
+      & info [ "seed" ]
+          ~doc:
+            "Batch RNG seed; request $(i)'s inputs depend only on the seed \
+             and $(i), never on the worker count.")
+  in
+  let run model batch_size domains seed dim =
+    match find_mini model with
+    | Error e -> exit_err e
+    | Ok m ->
+        if batch_size <= 0 then exit_err "batch size must be positive";
+        let domains =
+          if domains = 0 then Puma_util.Pool.default_domains ()
+          else if domains < 0 then exit_err "domains must be positive"
+          else domains
+        in
+        let config = config_of_dim dim in
+        let cache = Puma_runtime.Program_cache.create () in
+        let g = graph_of m in
+        let result =
+          Puma_runtime.Program_cache.get cache ~config ~key:model (fun () -> g)
+        in
+        let program = result.Puma_compiler.Compile.program in
+        let requests =
+          Puma_runtime.Batch.random_requests program ~batch:batch_size ~seed
+        in
+        let t0 = Unix.gettimeofday () in
+        let responses, summary =
+          Puma_runtime.Batch.run ~domains program requests
+        in
+        let host_s = Unix.gettimeofday () -. t0 in
+        (* Spot-check the first request against the float reference. *)
+        let req = List.hd requests in
+        let resp = responses.(0) in
+        let err =
+          List.fold_left
+            (fun acc (name, want) ->
+              Float.max acc
+                (Puma_util.Tensor.vec_max_abs_diff want
+                   (List.assoc name resp.Puma_runtime.Batch.outputs)))
+            0.0
+            (Puma.reference g req.Puma_runtime.Batch.inputs)
+        in
+        Format.printf "%a@." Puma_runtime.Batch.pp_summary summary;
+        Printf.printf "host wall time       %.3f s (%.1f inf/s simulated on %d worker domain%s)\n"
+          host_s summary.Puma_runtime.Batch.throughput_inf_s domains
+          (if domains = 1 then "" else "s");
+        Printf.printf "request 0 max |error| vs float reference: %.5f\n" err
+  in
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:
+         "Serve a batch of inferences across parallel simulated nodes \
+          (deterministic: outputs and per-request cycles are bit-identical \
+          for any --domains)")
+    Term.(const run $ model $ batch_size $ domains $ seed $ dim_arg)
+
 (* ---- estimate ---- *)
 
 let estimate_cmd =
@@ -381,6 +464,7 @@ let () =
             graph_cmd;
             exec_cmd;
             run_cmd;
+            batch_cmd;
             estimate_cmd;
             table3_cmd;
             accuracy_cmd;

@@ -1,0 +1,178 @@
+module Node = Puma_sim.Node
+module Energy = Puma_hwmodel.Energy
+module Program = Puma_isa.Program
+module Pool = Puma_util.Pool
+module Rng = Puma_util.Rng
+module Stats = Puma_util.Stats
+
+type request = { index : int; inputs : (string * float array) list }
+
+type response = {
+  index : int;
+  outputs : (string * float array) list;
+  cycles : int;
+  dynamic_energy_pj : float;
+}
+
+type summary = {
+  batch_size : int;
+  domains : int;
+  serial_cycles : int;
+  makespan_cycles : int;
+  speedup : float;
+  throughput_inf_s : float;
+  p50_cycles : float;
+  p95_cycles : float;
+  dynamic_energy_uj : float;
+  static_energy_uj : float;
+  total_energy_uj : float;
+}
+
+let input_lengths (program : Program.t) =
+  let by_name = Hashtbl.create 4 in
+  let order = ref [] in
+  List.iter
+    (fun (b : Program.io_binding) ->
+      if not (Hashtbl.mem by_name b.name) then order := b.name :: !order;
+      let len =
+        max
+          (Option.value ~default:0 (Hashtbl.find_opt by_name b.name))
+          (b.offset + b.length)
+      in
+      Hashtbl.replace by_name b.name len)
+    program.inputs;
+  List.rev_map (fun name -> (name, Hashtbl.find by_name name)) !order
+
+let request_seed ~seed ~index =
+  (* splitmix64's finalizer over the combined (seed, index): decorrelates
+     neighbouring requests even for tiny seeds. *)
+  let z = Int64.add (Int64.of_int seed)
+      (Int64.mul (Int64.of_int (index + 1)) 0x9E3779B97F4A7C15L) in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94D049BB133111EBL in
+  Int64.to_int (Int64.logxor z (Int64.shift_right_logical z 31))
+
+let random_requests program ~batch ~seed =
+  let lengths = input_lengths program in
+  List.init batch (fun index ->
+      let rng = Rng.create (request_seed ~seed ~index) in
+      let inputs =
+        List.map
+          (fun (name, len) -> (name, Puma_util.Tensor.vec_rand rng len 0.8))
+          lengths
+      in
+      { index; inputs })
+
+let tiles_used (program : Program.t) =
+  Array.fold_left
+    (fun acc (tp : Program.tile_program) ->
+      let busy =
+        Array.exists (fun code -> Array.length code > 0) tp.core_code
+        || Array.length tp.tile_code > 0
+      in
+      if busy then acc + 1 else acc)
+    0 program.tiles
+
+(* One warmed node: the first inference on a fresh node is a few cycles
+   cheaper (cold pipelines and attribute memories); running a throwaway
+   all-zero inference first puts every node in the same steady state, so a
+   request's cycle count does not depend on whether it happened to be the
+   first one its worker served. *)
+let warmed_node ?noise_seed program =
+  let node = Node.create ?noise_seed program in
+  let zeros =
+    List.map (fun (name, len) -> (name, Array.make len 0.0))
+      (input_lengths program)
+  in
+  ignore (Node.run node ~inputs:zeros);
+  node
+
+(* Deterministic greedy (least-loaded) schedule of the per-request costs
+   over [domains] simulated nodes, in request order. *)
+let greedy_makespan ~domains costs =
+  let loads = Array.make domains 0 in
+  Array.iter
+    (fun cost ->
+      let best = ref 0 in
+      for d = 1 to domains - 1 do
+        if loads.(d) < loads.(!best) then best := d
+      done;
+      loads.(!best) <- loads.(!best) + cost)
+    costs;
+  Array.fold_left max 0 loads
+
+let run ?domains ?noise_seed (program : Program.t) requests =
+  let domains =
+    match domains with
+    | Some d when d >= 1 -> d
+    | Some d -> invalid_arg (Printf.sprintf "Batch.run: %d domains" d)
+    | None -> Pool.default_domains ()
+  in
+  let requests = Array.of_list requests in
+  let n = Array.length requests in
+  let responses =
+    Pool.map_init ~domains ~n
+      ~init:(fun ~worker:_ -> warmed_node ?noise_seed program)
+      (fun node i ->
+        let r = requests.(i) in
+        let c0 = Node.cycles node in
+        let e0 = Energy.total_pj (Node.energy node) in
+        let outputs = Node.run node ~inputs:r.inputs in
+        {
+          index = r.index;
+          outputs;
+          cycles = Node.cycles node - c0;
+          dynamic_energy_pj = Energy.total_pj (Node.energy node) -. e0;
+        })
+  in
+  let costs = Array.map (fun r -> r.cycles) responses in
+  let serial_cycles = Array.fold_left ( + ) 0 costs in
+  let makespan_cycles =
+    if n = 0 then 0 else greedy_makespan ~domains costs
+  in
+  let config = program.config in
+  let dynamic_pj =
+    Array.fold_left (fun acc r -> acc +. r.dynamic_energy_pj) 0.0 responses
+  in
+  let static_ledger = Energy.create config in
+  Energy.add_static static_ledger
+    ~tiles:(domains * tiles_used program)
+    ~cycles:(Float.of_int makespan_cycles);
+  let static_pj = Energy.total_pj static_ledger in
+  let cycle_floats = Array.map Float.of_int costs in
+  let seconds_of_cycles c =
+    Float.of_int c /. (config.frequency_ghz *. 1.0e9)
+  in
+  let summary =
+    {
+      batch_size = n;
+      domains;
+      serial_cycles;
+      makespan_cycles;
+      speedup =
+        (if makespan_cycles = 0 then 1.0
+         else Float.of_int serial_cycles /. Float.of_int makespan_cycles);
+      throughput_inf_s =
+        (if makespan_cycles = 0 then 0.0
+         else Float.of_int n /. seconds_of_cycles makespan_cycles);
+      p50_cycles = (if n = 0 then 0.0 else Stats.percentile cycle_floats 50.0);
+      p95_cycles = (if n = 0 then 0.0 else Stats.percentile cycle_floats 95.0);
+      dynamic_energy_uj = dynamic_pj /. 1.0e6;
+      static_energy_uj = static_pj /. 1.0e6;
+      total_energy_uj = (dynamic_pj +. static_pj) /. 1.0e6;
+    }
+  in
+  (responses, summary)
+
+let pp_summary fmt s =
+  Format.fprintf fmt
+    "@[<v>batch size          %d@,simulated nodes     %d@,\
+     makespan            %d cycles (serial %d, speedup %.2fx)@,\
+     throughput          %.1f inf/s (simulated)@,\
+     latency p50 / p95   %.0f / %.0f cycles@,\
+     energy              %.3f uJ (%.3f dynamic + %.3f static)@]"
+    s.batch_size s.domains s.makespan_cycles s.serial_cycles s.speedup
+    s.throughput_inf_s s.p50_cycles s.p95_cycles s.total_energy_uj
+    s.dynamic_energy_uj s.static_energy_uj

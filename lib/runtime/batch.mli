@@ -1,0 +1,82 @@
+(** Parallel batched-inference runtime.
+
+    Shards a batch of independent inference requests across per-domain
+    {!Puma_sim.Node} instances (the PUMA paper's throughput scenario,
+    Section 7.3: weights stay on the crossbars, only inputs move). The
+    host-side simulation parallelism comes from {!Puma_util.Pool};
+    simulated-time metrics model [domains] PUMA nodes serving the batch.
+
+    {b Determinism guarantee.} Serial and parallel runs are bit-identical
+    regardless of worker count:
+    - every worker's node is built from the same program with the same
+      [noise_seed], so all crossbar images match;
+    - each node performs one warm-up inference on all-zero inputs before
+      serving requests (a node's first run costs a few cold-start cycles
+      less; warming makes every request see identical steady state), and
+      the warm-up is excluded from all metrics;
+    - a request's outputs, cycle count and dynamic energy are functions of
+      the program and its own inputs only, never of which worker ran it or
+      in which order;
+    - aggregate metrics are computed from the per-request costs with a
+      deterministic greedy schedule over [domains] simulated nodes, not
+      from the host's work-stealing assignment. *)
+
+type request = {
+  index : int;  (** Position in the batch; responses are indexed by it. *)
+  inputs : (string * float array) list;
+}
+
+type response = {
+  index : int;
+  outputs : (string * float array) list;
+  cycles : int;  (** Simulated cycles of this inference alone. *)
+  dynamic_energy_pj : float;
+}
+
+type summary = {
+  batch_size : int;
+  domains : int;
+  serial_cycles : int;  (** Sum of per-request cycles (1-node makespan). *)
+  makespan_cycles : int;
+      (** Batch completion time on [domains] nodes under deterministic
+          greedy (least-loaded) scheduling in request order. *)
+  speedup : float;  (** [serial_cycles / makespan_cycles]. *)
+  throughput_inf_s : float;
+      (** Simulated inferences per second: batch over makespan wall-time
+          at the configured clock. *)
+  p50_cycles : float;
+  p95_cycles : float;  (** Per-request simulated-latency percentiles. *)
+  dynamic_energy_uj : float;
+  static_energy_uj : float;
+      (** Leakage/clock energy of the occupied tiles of all [domains]
+          nodes over the makespan. *)
+  total_energy_uj : float;
+}
+
+val input_lengths : Puma_isa.Program.t -> (string * int) list
+(** Logical input vectors of a program with their total lengths (from the
+    program's I/O bindings). *)
+
+val request_seed : seed:int -> index:int -> int
+(** Per-request RNG seed: a splitmix64-style mix of the batch seed and the
+    request index, so request [i]'s inputs are the same in any batch with
+    the same seed. *)
+
+val random_requests :
+  Puma_isa.Program.t -> batch:int -> seed:int -> request list
+(** [batch] requests with uniform random inputs in [-0.8, 0.8] drawn from
+    {!request_seed}-derived generators (the CLI / bench workload). *)
+
+val run :
+  ?domains:int ->
+  ?noise_seed:int ->
+  Puma_isa.Program.t ->
+  request list ->
+  response array * summary
+(** Execute the batch. [domains] defaults to
+    {!Puma_util.Pool.default_domains}; [noise_seed] is passed to every
+    node (default as {!Puma_sim.Node.create}). The response array is in
+    request-index order. Raises like {!Puma_sim.Node.run} on bad programs
+    or missing inputs. *)
+
+val pp_summary : Format.formatter -> summary -> unit

@@ -1,0 +1,40 @@
+type key = { descriptor : string; config : Puma_hwmodel.Config.t }
+
+type t = {
+  lock : Mutex.t;
+  table : (key, Puma_compiler.Compile.result) Hashtbl.t;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create () =
+  { lock = Mutex.create (); table = Hashtbl.create 8; hits = 0; misses = 0 }
+
+let get t ~config ~key build =
+  let k = { descriptor = key; config } in
+  Mutex.lock t.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.lock)
+    (fun () ->
+      match Hashtbl.find_opt t.table k with
+      | Some r ->
+          t.hits <- t.hits + 1;
+          r
+      | None ->
+          t.misses <- t.misses + 1;
+          let r = Puma_compiler.Compile.compile config (build ()) in
+          Hashtbl.replace t.table k r;
+          r)
+
+let get_network t ~config net =
+  get t ~config
+    ~key:(Puma_nn.Model_desc.to_string net)
+    (fun () -> Puma_nn.Network.build_graph net)
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let length t = with_lock t (fun () -> Hashtbl.length t.table)
+let hits t = with_lock t (fun () -> t.hits)
+let misses t = with_lock t (fun () -> t.misses)

@@ -1,0 +1,39 @@
+(** Compiled-program cache.
+
+    A serving system compiles each model once and simulates it many times;
+    this cache memoizes {!Puma_compiler.Compile.compile} keyed by a model
+    descriptor and the hardware configuration. Safe to share across
+    domains: lookups and fills are serialized by a mutex (compilation
+    itself also runs under the lock, so concurrent requests for the same
+    model compile it exactly once). *)
+
+type t
+
+val create : unit -> t
+
+val get :
+  t ->
+  config:Puma_hwmodel.Config.t ->
+  key:string ->
+  (unit -> Puma_graph.Graph.t) ->
+  Puma_compiler.Compile.result
+(** [get t ~config ~key build] returns the cached compilation of
+    [(key, config)], calling [build] and compiling its graph on the first
+    request. [key] must identify the model: two models with the same key
+    and configuration are assumed identical. *)
+
+val get_network :
+  t ->
+  config:Puma_hwmodel.Config.t ->
+  Puma_nn.Network.t ->
+  Puma_compiler.Compile.result
+(** {!get} keyed by the network's canonical textual descriptor
+    ({!Puma_nn.Model_desc.to_string}), so two structurally identical
+    networks share one compilation regardless of how they were built. *)
+
+val length : t -> int
+(** Distinct programs held. *)
+
+val hits : t -> int
+val misses : t -> int
+(** Lookup counters (a hit returns a memoized program). *)

@@ -1,0 +1,60 @@
+let default_domains () = Domain.recommended_domain_count ()
+
+(* Shared state of one fork-join region: a cursor over [0, n) that workers
+   advance by [chunk], and the first exception any task raised. *)
+type region = {
+  cursor : int Atomic.t;
+  n : int;
+  chunk : int;
+  failure : exn option Atomic.t;
+}
+
+let worker_loop region f =
+  let continue = ref true in
+  while !continue do
+    let start = Atomic.fetch_and_add region.cursor region.chunk in
+    if start >= region.n || Atomic.get region.failure <> None then
+      continue := false
+    else
+      let stop = min (start + region.chunk) region.n in
+      try
+        for i = start to stop - 1 do
+          f i
+        done
+      with e ->
+        (* Keep the first failure; losers of the race just stop early. *)
+        ignore (Atomic.compare_and_set region.failure None (Some e));
+        continue := false
+  done
+
+let run_region ~domains ~chunk ~n body =
+  if n < 0 then invalid_arg "Pool: negative task count";
+  if chunk <= 0 then invalid_arg "Pool: chunk must be positive";
+  let domains = max 1 (min domains (max 1 n)) in
+  let region =
+    { cursor = Atomic.make 0; n; chunk; failure = Atomic.make None }
+  in
+  if domains = 1 then body region ~worker:0
+  else begin
+    let helpers =
+      List.init (domains - 1) (fun k ->
+          Domain.spawn (fun () -> body region ~worker:(k + 1)))
+    in
+    body region ~worker:0;
+    List.iter Domain.join helpers
+  end;
+  match Atomic.get region.failure with Some e -> raise e | None -> ()
+
+let parallel_for ?(domains = default_domains ()) ?(chunk = 1) ~n f =
+  run_region ~domains ~chunk ~n (fun region ~worker:_ -> worker_loop region f)
+
+let map_init ?(domains = default_domains ()) ?(chunk = 1) ~n ~init f =
+  let results = Array.make n None in
+  run_region ~domains ~chunk ~n (fun region ~worker ->
+      (* Build the worker state lazily: a worker that finds the range
+         already drained never pays for it. *)
+      let state = lazy (init ~worker) in
+      worker_loop region (fun i -> results.(i) <- Some (f (Lazy.force state) i)));
+  Array.map
+    (function Some r -> r | None -> invalid_arg "Pool.map_init: task skipped")
+    results

@@ -1,0 +1,41 @@
+(** Domain-based worker pool.
+
+    A minimal fork-join primitive over OCaml 5 domains: a fixed set of
+    workers drains a range of task indices by chunked work-stealing over a
+    shared atomic counter. Used by the batched-inference runtime to shard
+    independent simulations across domains; usable by any future parallel
+    pass whose tasks are indexed and independent.
+
+    With [domains = 1] no domain is spawned and tasks run in submission
+    order on the calling domain, so a serial run is an ordinary loop (and
+    deterministic scheduling is trivial). With more domains, which worker
+    executes which index is scheduling-dependent; callers that need
+    reproducible results must make each task's outcome a function of its
+    index alone. *)
+
+val default_domains : unit -> int
+(** [Domain.recommended_domain_count ()] — the host parallelism to use
+    when the caller does not choose. *)
+
+val parallel_for : ?domains:int -> ?chunk:int -> n:int -> (int -> unit) -> unit
+(** [parallel_for ~domains ~chunk ~n f] runs [f i] for every [0 <= i < n].
+    Workers repeatedly claim [chunk] consecutive indices (default 1) from
+    an atomic cursor until the range is exhausted. The first exception
+    raised by any task is re-raised on the caller after all workers have
+    stopped claiming work. [domains] defaults to {!default_domains};
+    values are clamped to [1, n]. *)
+
+val map_init :
+  ?domains:int ->
+  ?chunk:int ->
+  n:int ->
+  init:(worker:int -> 's) ->
+  ('s -> int -> 'a) ->
+  'a array
+(** [map_init ~domains ~chunk ~n ~init f] is like {!parallel_for} but
+    collects results: returns [|r0; ...; r(n-1)|] where [ri = f state i]
+    and [state] is the worker-local state built once per worker by
+    [init ~worker] (workers are numbered from 0). Use the state for
+    resources that are expensive to build and unsafe to share — e.g. one
+    simulated node per domain. [init] for worker 0 runs on the calling
+    domain. *)

@@ -149,12 +149,32 @@ let gen_instr : Instr.t QCheck.Gen.t =
           (fun op a b -> Instr.Alu_int { op; dest = a; src1 = b; src2 = (a + b) mod 16 })
           (oneofl [ Instr.Iadd; Isub; Ieq; Ine; Igt ])
           (int_range 0 15) (int_range 0 15) );
+      ( 1,
+        map3
+          (fun d s v -> Instr.Load { dest = d; addr = Sreg_addr s; vec_width = v })
+          reg (int_range 0 15) vec );
+      ( 1,
+        map3
+          (fun s a v ->
+            Instr.Store
+              { src = s; addr = Sreg_addr (a mod 16); count = a mod 256; vec_width = v })
+          reg (int_range 0 65535) vec );
+      (1, return Instr.Halt);
     ]
 
 let prop_encode_roundtrip =
   QCheck.Test.make ~name:"random encode roundtrip" ~count:1000
     (QCheck.make gen_instr)
     (fun i -> Encode.decode (Encode.encode i) = i)
+
+let prop_encode_program_roundtrip =
+  (* Whole streams survive concatenated encoding: position independence of
+     the 7-byte fixed-width format. *)
+  QCheck.Test.make ~name:"random program encode roundtrip" ~count:200
+    QCheck.(make Gen.(list_size (int_range 0 64) gen_instr))
+    (fun instrs ->
+      let p = Array.of_list instrs in
+      Encode.decode_program (Encode.encode_program p) = p)
 
 let test_encode_boundary_fields () =
   (* Largest legal values of each field must round-trip. *)
@@ -286,6 +306,7 @@ let () =
           Alcotest.test_case "rejects oversized" `Quick test_encode_rejects_oversized;
           Alcotest.test_case "boundary fields" `Quick test_encode_boundary_fields;
           QCheck_alcotest.to_alcotest prop_encode_roundtrip;
+          QCheck_alcotest.to_alcotest prop_encode_program_roundtrip;
         ] );
       ( "usage",
         [

@@ -1,0 +1,251 @@
+(* The batched-inference runtime: worker pool, program cache, and the
+   serial-vs-sharded differential guarantee every later performance PR
+   regresses against. *)
+
+module B = Puma_graph.Builder
+module Tensor = Puma_util.Tensor
+module Rng = Puma_util.Rng
+module Pool = Puma_util.Pool
+module Config = Puma_hwmodel.Config
+module Compile = Puma_compiler.Compile
+module Node = Puma_sim.Node
+module Energy = Puma_hwmodel.Energy
+module Batch = Puma_runtime.Batch
+module Cache = Puma_runtime.Program_cache
+
+(* ---- Pool ---- *)
+
+let test_pool_covers_range () =
+  List.iter
+    (fun (domains, chunk, n) ->
+      let visits = Array.make n 0 in
+      Pool.parallel_for ~domains ~chunk ~n (fun i ->
+          visits.(i) <- visits.(i) + 1);
+      Alcotest.(check (array int))
+        (Printf.sprintf "each index once (d=%d c=%d n=%d)" domains chunk n)
+        (Array.make n 1) visits)
+    [ (1, 1, 17); (2, 3, 100); (4, 1, 5); (8, 16, 3); (3, 5, 0) ]
+
+let test_pool_map_init () =
+  let squares = Pool.map_init ~domains:4 ~n:50 ~init:(fun ~worker:_ -> ()) (fun () i -> i * i) in
+  Alcotest.(check (array int)) "map" (Array.init 50 (fun i -> i * i)) squares;
+  (* Worker state is built per worker and threaded into every call. *)
+  let stamped =
+    Pool.map_init ~domains:3 ~n:20
+      ~init:(fun ~worker -> worker)
+      (fun w i -> (w, i))
+  in
+  Array.iteri
+    (fun i (w, j) ->
+      Alcotest.(check int) "index" i j;
+      Alcotest.(check bool) "worker id in range" true (w >= 0 && w < 3))
+    stamped;
+  Alcotest.(check (array int)) "empty range" [||]
+    (Pool.map_init ~domains:4 ~n:0 ~init:(fun ~worker:_ -> ()) (fun () i -> i))
+
+let test_pool_propagates_exception () =
+  Alcotest.(check bool) "exception reraised" true
+    (try
+       Pool.parallel_for ~domains:2 ~n:100 (fun i ->
+           if i = 42 then failwith "boom");
+       false
+     with Failure msg -> msg = "boom")
+
+(* ---- Program cache ---- *)
+
+let test_cache_compiles_once () =
+  let cache = Cache.create () in
+  let config = { Config.sweetspot with mvmu_dim = 32 } in
+  let net = Puma_nn.Models.mini_mlp in
+  let r1 = Cache.get_network cache ~config net in
+  let r2 = Cache.get_network cache ~config net in
+  Alcotest.(check bool) "same compilation" true (r1 == r2);
+  Alcotest.(check int) "one miss" 1 (Cache.misses cache);
+  Alcotest.(check int) "one hit" 1 (Cache.hits cache);
+  (* A different configuration is a different program. *)
+  let r3 = Cache.get_network cache ~config:{ config with mvmu_dim = 64 } net in
+  Alcotest.(check bool) "distinct program" true (r1 != r3);
+  Alcotest.(check int) "two programs" 2 (Cache.length cache)
+
+let test_cache_by_key () =
+  let cache = Cache.create () in
+  let config = { Config.sweetspot with mvmu_dim = 32 } in
+  let builds = ref 0 in
+  let build () =
+    incr builds;
+    Puma_nn.Network.build_graph Puma_nn.Models.mini_mlp
+  in
+  ignore (Cache.get cache ~config ~key:"mlp" build);
+  ignore (Cache.get cache ~config ~key:"mlp" build);
+  Alcotest.(check int) "built once" 1 !builds
+
+(* ---- Batched runtime ---- *)
+
+let config =
+  {
+    Config.default with
+    mvmu_dim = 32;
+    mvmus_per_core = 2;
+    cores_per_tile = 2;
+    tiles_per_node = 64;
+    vfu_width = 4;
+  }
+
+let small_mlp () =
+  let rng = Rng.create 21 in
+  let m = B.create "batch-mlp" in
+  let x = B.input m ~name:"x" ~len:48 in
+  let w1 = B.const_matrix m ~name:"W1" (Tensor.mat_rand rng 40 48 0.1) in
+  let w2 = B.const_matrix m ~name:"W2" (Tensor.mat_rand rng 12 40 0.1) in
+  B.output m ~name:"y" (B.sigmoid m (B.mvm m w2 (B.relu m (B.mvm m w1 x))));
+  B.finish m
+
+let compiled = lazy ((Compile.compile config (small_mlp ())).Compile.program)
+
+let test_requests_deterministic () =
+  let program = Lazy.force compiled in
+  let a = Batch.random_requests program ~batch:4 ~seed:9 in
+  let b = Batch.random_requests program ~batch:4 ~seed:9 in
+  Alcotest.(check bool) "same seed, same requests" true (a = b);
+  let c = Batch.random_requests program ~batch:4 ~seed:10 in
+  Alcotest.(check bool) "different seed differs" true (a <> c);
+  (* A request's inputs depend on its index, not on the batch size. *)
+  let big = Batch.random_requests program ~batch:8 ~seed:9 in
+  List.iteri
+    (fun i (r : Batch.request) ->
+      Alcotest.(check bool) "prefix stable" true
+        (r.inputs = (List.nth big i).Batch.inputs))
+    a
+
+(* The differential anchor: a batch run through the runtime with 1, 2 and
+   4 domains must be bit-identical — outputs, per-request cycles, dynamic
+   energy — to a serial warmed Puma_sim.Node run. *)
+let test_differential_serial_vs_sharded () =
+  let program = Lazy.force compiled in
+  let batch = 8 in
+  let requests = Batch.random_requests program ~batch ~seed:3 in
+  (* Serial reference: one node, one warm-up inference (the runtime's
+     documented steady-state guarantee), then every request in order. *)
+  let node = Node.create program in
+  let zeros =
+    List.map (fun (name, len) -> (name, Array.make len 0.0))
+      (Batch.input_lengths program)
+  in
+  ignore (Node.run node ~inputs:zeros);
+  let reference =
+    List.map
+      (fun (r : Batch.request) ->
+        let c0 = Node.cycles node in
+        let e0 = Energy.total_pj (Node.energy node) in
+        let outputs = Node.run node ~inputs:r.inputs in
+        ( outputs,
+          Node.cycles node - c0,
+          Energy.total_pj (Node.energy node) -. e0 ))
+      requests
+  in
+  List.iter
+    (fun domains ->
+      let responses, summary = Batch.run ~domains program requests in
+      Alcotest.(check int) "batch size" batch summary.Batch.batch_size;
+      List.iteri
+        (fun i (outputs, cycles, energy) ->
+          let r = responses.(i) in
+          Alcotest.(check int)
+            (Printf.sprintf "request %d index (domains=%d)" i domains)
+            i r.Batch.index;
+          List.iter
+            (fun (name, want) ->
+              let got = List.assoc name r.Batch.outputs in
+              Alcotest.(check bool)
+                (Printf.sprintf "request %d output %s bit-identical (domains=%d)"
+                   i name domains)
+                true (want = got))
+            outputs;
+          Alcotest.(check int)
+            (Printf.sprintf "request %d cycles (domains=%d)" i domains)
+            cycles r.Batch.cycles;
+          Alcotest.(check (float 1e-9))
+            (Printf.sprintf "request %d dynamic energy (domains=%d)" i domains)
+            energy r.Batch.dynamic_energy_pj)
+        reference)
+    [ 1; 2; 4 ]
+
+let test_batch_throughput_scales () =
+  let program = Lazy.force compiled in
+  let requests = Batch.random_requests program ~batch:8 ~seed:3 in
+  let _, s1 = Batch.run ~domains:1 program requests in
+  let _, s4 = Batch.run ~domains:4 program requests in
+  Alcotest.(check bool) "serial makespan is the request sum" true
+    (s1.Batch.makespan_cycles = s1.Batch.serial_cycles);
+  Alcotest.(check bool)
+    (Printf.sprintf "4-domain simulated throughput > 1.8x (got %.2fx)"
+       (s4.Batch.throughput_inf_s /. s1.Batch.throughput_inf_s))
+    true
+    (s4.Batch.throughput_inf_s > 1.8 *. s1.Batch.throughput_inf_s);
+  Alcotest.(check bool) "speedup consistent" true
+    (Float.abs
+       (s4.Batch.speedup
+       -. Float.of_int s4.Batch.serial_cycles
+          /. Float.of_int s4.Batch.makespan_cycles)
+    < 1e-9);
+  Alcotest.(check bool) "percentiles ordered" true
+    (s4.Batch.p50_cycles <= s4.Batch.p95_cycles);
+  Alcotest.(check bool) "energy positive" true (s4.Batch.total_energy_uj > 0.0);
+  Alcotest.(check bool) "static grows with nodes" true
+    (s4.Batch.static_energy_uj > 0.0
+    && s1.Batch.dynamic_energy_uj = s4.Batch.dynamic_energy_uj)
+
+let test_noise_seeded_nodes_agree () =
+  (* With write noise enabled, every worker's crossbars must be programmed
+     identically (same noise_seed), or sharded outputs would drift. *)
+  let noisy = { config with write_noise_sigma = 0.05 } in
+  let program = (Compile.compile noisy (small_mlp ())).Compile.program in
+  let requests = Batch.random_requests program ~batch:6 ~seed:5 in
+  let run domains =
+    let responses, _ = Batch.run ~domains ~noise_seed:11 program requests in
+    Array.map (fun (r : Batch.response) -> r.Batch.outputs) responses
+  in
+  let serial = run 1 in
+  List.iter
+    (fun domains ->
+      Alcotest.(check bool)
+        (Printf.sprintf "noisy outputs bit-identical (domains=%d)" domains)
+        true
+        (serial = run domains))
+    [ 2; 4 ]
+
+let test_empty_batch () =
+  let program = Lazy.force compiled in
+  let responses, summary = Batch.run ~domains:4 program [] in
+  Alcotest.(check int) "no responses" 0 (Array.length responses);
+  Alcotest.(check int) "no cycles" 0 summary.Batch.makespan_cycles;
+  Alcotest.(check (float 0.0)) "no throughput" 0.0 summary.Batch.throughput_inf_s
+
+let () =
+  Alcotest.run "runtime"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "covers range" `Quick test_pool_covers_range;
+          Alcotest.test_case "map with worker state" `Quick test_pool_map_init;
+          Alcotest.test_case "exception propagation" `Quick
+            test_pool_propagates_exception;
+        ] );
+      ( "program-cache",
+        [
+          Alcotest.test_case "compiles once" `Quick test_cache_compiles_once;
+          Alcotest.test_case "keyed lookup" `Quick test_cache_by_key;
+        ] );
+      ( "batch",
+        [
+          Alcotest.test_case "deterministic requests" `Quick
+            test_requests_deterministic;
+          Alcotest.test_case "differential serial vs 1/2/4 domains" `Quick
+            test_differential_serial_vs_sharded;
+          Alcotest.test_case "throughput scales" `Quick
+            test_batch_throughput_scales;
+          Alcotest.test_case "noise-seeded nodes agree" `Quick
+            test_noise_seeded_nodes_agree;
+          Alcotest.test_case "empty batch" `Quick test_empty_batch;
+        ] );
+    ]

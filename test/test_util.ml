@@ -79,6 +79,47 @@ let prop_fixed_roundtrip_raw =
     (QCheck.int_range Fixed.min_raw Fixed.max_raw)
     (fun r -> Fixed.to_raw (Fixed.of_raw r) = r)
 
+(* Representable range of the Q format, endpoints included. *)
+let representable =
+  QCheck.float_range
+    (Float.of_int Fixed.min_raw /. Fixed.scale)
+    (Float.of_int Fixed.max_raw /. Fixed.scale)
+
+let prop_fixed_float_roundtrip_1ulp =
+  QCheck.Test.make ~name:"float conversion roundtrip within 1 ulp" ~count:1000
+    representable
+    (fun f ->
+      Float.abs (Fixed.to_float (Fixed.of_float f) -. f) <= 1.0 /. Fixed.scale)
+
+let prop_fixed_mul_commutes =
+  QCheck.Test.make ~name:"fixed mul commutes" ~count:500
+    (QCheck.pair (QCheck.float_range (-8.0) 8.0) (QCheck.float_range (-8.0) 8.0))
+    (fun (a, b) ->
+      let fa = Fixed.of_float a and fb = Fixed.of_float b in
+      Fixed.equal (Fixed.mul fa fb) (Fixed.mul fb fa))
+
+let prop_fixed_saturates_in_range =
+  QCheck.Test.make ~name:"every operation stays in the raw range" ~count:500
+    (QCheck.pair (QCheck.float_range (-100.0) 100.0)
+       (QCheck.float_range (-100.0) 100.0))
+    (fun (a, b) ->
+      let fa = Fixed.of_float a and fb = Fixed.of_float b in
+      List.for_all
+        (fun v ->
+          let r = Fixed.to_raw v in
+          r >= Fixed.min_raw && r <= Fixed.max_raw)
+        [
+          Fixed.add fa fb; Fixed.sub fa fb; Fixed.mul fa fb; Fixed.div fa fb;
+          Fixed.neg fa; Fixed.abs fa; Fixed.shift_left fa 3;
+        ])
+
+let prop_fixed_add_neg_is_sub =
+  QCheck.Test.make ~name:"a + (-b) = a - b away from saturation" ~count:500
+    (QCheck.pair (QCheck.float_range (-3.0) 3.0) (QCheck.float_range (-3.0) 3.0))
+    (fun (a, b) ->
+      let fa = Fixed.of_float a and fb = Fixed.of_float b in
+      Fixed.equal (Fixed.add fa (Fixed.neg fb)) (Fixed.sub fa fb))
+
 (* ---- Rng ---- *)
 
 let test_rng_deterministic () =
@@ -210,7 +251,12 @@ let test_table_render () =
 
 let () =
   let qc = List.map QCheck_alcotest.to_alcotest
-      [ prop_fixed_add_commutes; prop_fixed_of_acc_matches_mul; prop_fixed_roundtrip_raw ]
+      [
+        prop_fixed_add_commutes; prop_fixed_of_acc_matches_mul;
+        prop_fixed_roundtrip_raw; prop_fixed_float_roundtrip_1ulp;
+        prop_fixed_mul_commutes; prop_fixed_saturates_in_range;
+        prop_fixed_add_neg_is_sub;
+      ]
   in
   Alcotest.run "util"
     [
