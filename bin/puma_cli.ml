@@ -2,6 +2,7 @@
 
    dune exec bin/puma_cli.exe -- models
    dune exec bin/puma_cli.exe -- compile mlp --asm
+   dune exec bin/puma_cli.exe -- analyze --all --json
    dune exec bin/puma_cli.exe -- run lstm
    dune exec bin/puma_cli.exe -- batch --model mlp --batch-size 16 --domains 4
    dune exec bin/puma_cli.exe -- estimate BigLSTM --batch 16
@@ -276,6 +277,81 @@ let exec_cmd =
     (Cmd.info "exec" ~doc:"Load a compiled program file and simulate it")
     Term.(const run $ file $ seed)
 
+(* ---- analyze ---- *)
+
+let analyze_cmd =
+  let targets =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"TARGET"
+          ~doc:
+            "Zoo model name, .model description file, or compiled program \
+             file (as written by compile -o).")
+  in
+  let all =
+    Arg.(
+      value & flag
+      & info [ "all" ] ~doc:"Analyze every simulation-scale zoo model.")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit one JSON document instead of text.")
+  in
+  let run targets all json dim =
+    let config = config_of_dim dim in
+    let targets = if all then List.map fst mini_models else targets in
+    if targets = [] then
+      exit_err "nothing to analyze (name a model or program file, or use --all)";
+    let report_of target =
+      (* A compiled program file analyzes as-is (even if broken); anything
+         else resolves through the model registry and compiles first. *)
+      let from_model m =
+        (* Gate off so a failing program still yields its full report. *)
+        let options =
+          { Compile.default_options with analysis_gate = false }
+        in
+        (Compile.compile ~options config (graph_of m)).Compile.analysis
+      in
+      if Sys.file_exists target && not (Sys.is_directory target) then
+        match Puma_isa.Program_io.load target with
+        | Ok program -> Puma_analysis.Analyze.program program
+        | Error _ -> (
+            match find_mini target with
+            | Ok m -> from_model m
+            | Error e -> exit_err e)
+      else
+        match find_mini target with
+        | Ok m -> from_model m
+        | Error e -> exit_err e
+    in
+    let reports = List.map (fun t -> (t, report_of t)) targets in
+    let total_errors =
+      List.fold_left
+        (fun acc (_, r) -> acc + r.Puma_analysis.Analyze.errors)
+        0 reports
+    in
+    if json then begin
+      let bodies =
+        List.map
+          (fun (name, r) -> Puma_analysis.Analyze.to_json ~name r)
+          reports
+      in
+      Printf.printf "{\"programs\":[%s],\"errors\":%d}\n"
+        (String.concat "," bodies) total_errors
+    end
+    else
+      List.iter
+        (fun (name, r) ->
+          Format.printf "== %s ==@.%a" name Puma_analysis.Analyze.pp r)
+        reports;
+    if total_errors > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"Run the static dataflow/deadlock analyzer on compiled programs")
+    Term.(const run $ targets $ all $ json $ dim_arg)
+
 (* ---- batch ---- *)
 
 let batch_cmd =
@@ -461,6 +537,7 @@ let () =
           [
             models_cmd;
             compile_cmd;
+            analyze_cmd;
             graph_cmd;
             exec_cmd;
             run_cmd;

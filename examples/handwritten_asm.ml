@@ -3,7 +3,7 @@
    The compiler is optional: this example writes a one-core program in
    textual assembly (docs/ISA.md), assembles it with Puma_isa.Asm, binds
    a crossbar image and I/O addresses by hand, validates it with the
-   static checker and runs it on the simulated node.
+   static checker and analyzer and runs it on the simulated node.
 
    The program computes y = relu(W x) - 0.25 for a 32-wide input:
 
@@ -67,6 +67,12 @@ let () =
     }
   in
   Puma_isa.Check.check_exn program;
+  (* The full static analyzer (dataflow, consumer counts, channels): a
+     hand-written program earns the same scrutiny compiled ones get. *)
+  let report = Puma_analysis.Analyze.program program in
+  Format.printf "analyzer: %a" Puma_analysis.Analyze.pp report;
+  if Puma_analysis.Analyze.has_errors report then
+    failwith "static analysis found errors";
   let session = Puma.Session.of_program program in
   let x = Tensor.vec_rand rng 32 1.0 in
   let y = List.assoc "y" (Puma.Session.infer session [ ("x", x) ]) in

@@ -1,0 +1,83 @@
+module Check = Puma_isa.Check
+module Operand = Puma_isa.Operand
+module Program = Puma_isa.Program
+
+type report = {
+  diags : Diag.t list;
+  errors : int;
+  warnings : int;
+  infos : int;
+}
+
+let make_report diags =
+  let count sev =
+    List.length (List.filter (fun (d : Diag.t) -> d.severity = sev) diags)
+  in
+  {
+    diags;
+    errors = count Diag.Error;
+    warnings = count Diag.Warning;
+    infos = count Diag.Info;
+  }
+
+let has_errors r = r.errors > 0
+
+let program (p : Program.t) =
+  let structural = Check.diagnose p in
+  let has_structural_errors =
+    List.exists (fun (d : Diag.t) -> d.severity = Diag.Error) structural
+  in
+  let diags =
+    if has_structural_errors then
+      structural
+      @ [
+          Diag.info ~code:"I-SKIP"
+            "dataflow, shared-memory and channel analyses skipped: the \
+             program is structurally invalid";
+        ]
+    else begin
+      let layout = Operand.layout p.config in
+      let regflow = ref [] in
+      Array.iter
+        (fun (tp : Program.tile_program) ->
+          Array.iteri
+            (fun core code ->
+              if Array.length code > 0 then
+                regflow :=
+                  Regflow.analyze ~layout ~tile:tp.tile_index ~core code
+                  :: !regflow)
+            tp.core_code)
+        p.tiles;
+      structural
+      @ List.concat (List.rev !regflow)
+      @ Smem.analyze p @ Channel.analyze p
+    end
+  in
+  make_report (List.sort Diag.compare diags)
+
+let pp ppf r =
+  if r.diags = [] then Format.fprintf ppf "no diagnostics@."
+  else begin
+    List.iter (fun d -> Format.fprintf ppf "%a@." Diag.pp d) r.diags;
+    Format.fprintf ppf "%d error(s), %d warning(s), %d info(s)@." r.errors
+      r.warnings r.infos
+  end
+
+let to_string r = Format.asprintf "%a" pp r
+
+let to_json ?name r =
+  let buf = Buffer.create 256 in
+  Buffer.add_char buf '{';
+  (match name with
+  | Some n -> Buffer.add_string buf (Printf.sprintf "\"name\":\"%s\"," (Diag.json_escape n))
+  | None -> ());
+  Buffer.add_string buf
+    (Printf.sprintf "\"errors\":%d,\"warnings\":%d,\"infos\":%d,\"diagnostics\":["
+       r.errors r.warnings r.infos);
+  List.iteri
+    (fun i d ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (Diag.to_json d))
+    r.diags;
+  Buffer.add_string buf "]}";
+  Buffer.contents buf

@@ -1,0 +1,35 @@
+(** Whole-program static analysis driver for compiled PUMA programs.
+
+    Runs, in order: the structural checker ({!Puma_isa.Check.diagnose}),
+    per-core register dataflow ({!Regflow}), shared tile-memory
+    consumer-count analysis ({!Smem}) and inter-tile channel / deadlock
+    analysis ({!Channel}). If the structural pass reports any error the
+    semantic passes are skipped (and an [I-SKIP] info says so), since
+    their preconditions do not hold on malformed programs.
+
+    Diagnostics are sorted by location (tile, core, pc), then severity,
+    then code. *)
+
+type report = {
+  diags : Diag.t list;
+  errors : int;
+  warnings : int;
+  infos : int;
+}
+
+val program : Puma_isa.Program.t -> report
+
+val has_errors : report -> bool
+
+val make_report : Diag.t list -> report
+(** Wrap an already-collected diagnostic list (counts severities). *)
+
+val pp : Format.formatter -> report -> unit
+(** One line per diagnostic plus a count summary; "no diagnostics" when
+    the report is empty. *)
+
+val to_string : report -> string
+
+val to_json : ?name:string -> report -> string
+(** One JSON object: [{"name":..., "errors":n, "warnings":n, "infos":n,
+    "diagnostics":[...]}]; [name] is included when given. *)

@@ -1,0 +1,105 @@
+module Instr = Puma_isa.Instr
+
+type block = {
+  first : int;
+  last : int;
+  succs : int list;
+}
+
+type t = {
+  code : Instr.t array;
+  blocks : block array;
+  block_of_pc : int array;
+  reachable : bool array;
+}
+
+(* Successor pcs of the instruction at [pc]; edges to [len] (falling off
+   the end of the stream) are the implicit exit and are dropped. *)
+let instr_succs code pc =
+  let len = Array.length code in
+  let keep t = if t >= 0 && t < len then [ t ] else [] in
+  match code.(pc) with
+  | Instr.Halt -> []
+  | Instr.Jmp { pc = target } -> keep target
+  | Instr.Brn { pc = target; _ } ->
+      let fall = keep (pc + 1) in
+      let jump = keep target in
+      (* Avoid a duplicate edge when the branch targets the next pc. *)
+      if jump <> [] && fall <> [] && List.hd jump = List.hd fall then fall
+      else jump @ fall
+  | _ -> keep (pc + 1)
+
+let build code =
+  let len = Array.length code in
+  if len = 0 then
+    { code; blocks = [||]; block_of_pc = [||]; reachable = [||] }
+  else begin
+    (* Leaders: pc 0, every control-flow target, every fall-through point
+       after a control-flow instruction. *)
+    let leader = Array.make len false in
+    leader.(0) <- true;
+    Array.iteri
+      (fun pc i ->
+        match i with
+        | Instr.Jmp _ | Instr.Brn _ | Instr.Halt ->
+            if pc + 1 < len then leader.(pc + 1) <- true;
+            List.iter (fun t -> leader.(t) <- true) (instr_succs code pc)
+        | _ -> ())
+      code;
+    let block_of_pc = Array.make len 0 in
+    let nblocks = ref 0 in
+    for pc = 0 to len - 1 do
+      if leader.(pc) && pc > 0 then incr nblocks;
+      block_of_pc.(pc) <- !nblocks
+    done;
+    let nblocks = !nblocks + 1 in
+    let bounds = Array.make nblocks (max_int, min_int) in
+    for pc = 0 to len - 1 do
+      let b = block_of_pc.(pc) in
+      let lo, hi = bounds.(b) in
+      bounds.(b) <- (min lo pc, max hi pc)
+    done;
+    let blocks =
+      Array.map
+        (fun (first, last) ->
+          let succs =
+            instr_succs code last
+            |> List.map (fun t -> block_of_pc.(t))
+            |> List.sort_uniq Stdlib.compare
+          in
+          { first; last; succs })
+        bounds
+    in
+    let reachable = Array.make nblocks false in
+    let rec visit b =
+      if not reachable.(b) then begin
+        reachable.(b) <- true;
+        List.iter visit blocks.(b).succs
+      end
+    in
+    visit 0;
+    { code; blocks; block_of_pc; reachable }
+  end
+
+let num_blocks t = Array.length t.blocks
+
+let preds t =
+  let p = Array.make (num_blocks t) [] in
+  Array.iteri
+    (fun b blk -> List.iter (fun s -> p.(s) <- b :: p.(s)) blk.succs)
+    t.blocks;
+  p
+
+let reachable_pc t pc =
+  Array.length t.block_of_pc > pc && t.reachable.(t.block_of_pc.(pc))
+
+let unreachable_pcs t =
+  let acc = ref [] in
+  Array.iteri
+    (fun b blk ->
+      if not t.reachable.(b) then
+        for pc = blk.last downto blk.first do
+          acc := pc :: !acc
+        done)
+    t.blocks;
+  !acc

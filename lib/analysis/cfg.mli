@@ -1,0 +1,34 @@
+(** Control-flow graph over one instruction stream (a core's code, or the
+    tile control unit's). Basic blocks are maximal straight-line runs;
+    edges follow jump/branch targets and fall-through; falling off the
+    end of the stream (or [Halt]) is the implicit exit. *)
+
+type block = {
+  first : int;  (** First pc of the block. *)
+  last : int;  (** Last pc of the block (inclusive). *)
+  succs : int list;  (** Successor block indices, deduplicated. *)
+}
+
+type t = {
+  code : Puma_isa.Instr.t array;
+  blocks : block array;  (** Ordered by [first]; block 0 is the entry. *)
+  block_of_pc : int array;
+  reachable : bool array;  (** Per block, from the entry. *)
+}
+
+val build : Puma_isa.Instr.t array -> t
+(** Assumes targets were structurally validated; out-of-stream targets
+    are treated as the exit. *)
+
+val instr_succs : Puma_isa.Instr.t array -> int -> int list
+(** Successor pcs of one instruction (exit edges dropped). *)
+
+val num_blocks : t -> int
+
+val preds : t -> int list array
+(** Predecessor block indices, from the edge set. *)
+
+val reachable_pc : t -> int -> bool
+
+val unreachable_pcs : t -> int list
+(** All pcs in blocks unreachable from the entry, ascending. *)

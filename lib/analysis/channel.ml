@@ -1,0 +1,221 @@
+module Instr = Puma_isa.Instr
+module Program = Puma_isa.Program
+
+(* A tile stream op, with its pc. Streams are linear (the structural
+   checker rejects control flow in tile streams), so static order is
+   dynamic order; we truncate at the first Halt. *)
+type op =
+  | Osend of { pc : int; fifo : int; target : int; width : int }
+  | Orecv of { pc : int; fifo : int; width : int }
+
+let tile_ops (tp : Program.tile_program) =
+  let ops = ref [] and halted = ref false in
+  Array.iteri
+    (fun pc i ->
+      if not !halted then
+        match i with
+        | Instr.Send { fifo_id; target; vec_width; _ } ->
+            ops := Osend { pc; fifo = fifo_id; target; width = vec_width } :: !ops
+        | Instr.Receive { fifo_id; vec_width; _ } ->
+            ops := Orecv { pc; fifo = fifo_id; width = vec_width } :: !ops
+        | Instr.Halt -> halted := true
+        | _ -> ())
+    tp.tile_code;
+  Array.of_list (List.rev !ops)
+
+(* ---- Per-channel send/receive matching. ---- *)
+
+type chan = {
+  mutable sends : (int * int * int) list;  (* sender tile, pc, width; rev *)
+  mutable recvs : (int * int) list;  (* pc, width; rev *)
+}
+
+let matching (streams : (int * op array) array) =
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  let chans : (int * int, chan) Hashtbl.t = Hashtbl.create 16 in
+  let chan key =
+    match Hashtbl.find_opt chans key with
+    | Some c -> c
+    | None ->
+        let c = { sends = []; recvs = [] } in
+        Hashtbl.add chans key c;
+        c
+  in
+  Array.iter
+    (fun (tile, ops) ->
+      Array.iter
+        (fun op ->
+          match op with
+          | Osend { pc; fifo; target; width } ->
+              let c = chan (target, fifo) in
+              c.sends <- (tile, pc, width) :: c.sends
+          | Orecv { pc; fifo; width } ->
+              let c = chan (tile, fifo) in
+              c.recvs <- (pc, width) :: c.recvs)
+        ops)
+    streams;
+  let keys =
+    Hashtbl.fold (fun k _ acc -> k :: acc) chans []
+    |> List.sort Stdlib.compare
+  in
+  List.iter
+    (fun ((dst, fifo) as key) ->
+      let c = Hashtbl.find chans key in
+      let sends = List.rev c.sends and recvs = List.rev c.recvs in
+      let senders =
+        List.sort_uniq Stdlib.compare (List.map (fun (t, _, _) -> t) sends)
+      in
+      match senders with
+      | _ :: _ :: _ ->
+          add
+            (Diag.warning ~code:"W-FIFOSHARE" ~tile:dst
+               "fifo %d is written by %d tiles (%s); per-message pairing \
+                not checked"
+               fifo (List.length senders)
+               (String.concat ", "
+                  (List.map (fun t -> Printf.sprintf "tile %d" t) senders)));
+          let ns = List.length sends and nr = List.length recvs in
+          if ns <> nr then
+            add
+              (Diag.error
+                 ~code:(if ns > nr then "E-SENDU" else "E-RECVU")
+                 ~tile:dst "fifo %d carries %d send(s) but %d receive(s)"
+                 fifo ns nr)
+      | _ ->
+          let rec pair k sends recvs =
+            match (sends, recvs) with
+            | (st, spc, sw) :: sends', (rpc, rw) :: recvs' ->
+                if sw <> rw then
+                  add
+                    (Diag.error ~code:"E-CHANW" ~tile:dst ~pc:rpc
+                       "receive #%d on fifo %d expects %d word(s) but the \
+                        matching send (tile %d pc %d) carries %d"
+                       k fifo rw st spc sw);
+                pair (k + 1) sends' recvs'
+            | (st, spc, _) :: sends', [] ->
+                add
+                  (Diag.error ~code:"E-SENDU" ~tile:st ~pc:spc
+                     "send on fifo %d to tile %d has no matching receive"
+                     fifo dst);
+                pair (k + 1) sends' []
+            | [], (rpc, _) :: recvs' ->
+                add
+                  (Diag.error ~code:"E-RECVU" ~tile:dst ~pc:rpc
+                     "receive on fifo %d has no matching send" fifo);
+                pair (k + 1) [] recvs'
+            | [], [] -> ()
+          in
+          pair 0 sends recvs)
+    keys;
+  List.rev !diags
+
+(* ---- Deadlock detection by abstract execution. ----
+
+   Sends never block (the runtime FIFOs are virtualized queues); a
+   receive blocks until its channel holds a token. Running every stream
+   to a fixpoint is exact for linear streams: if some stream is wedged,
+   each blocked tile waits on a channel whose remaining senders (if any)
+   are themselves blocked, and any cycle in that wait-for graph is a real
+   deadlock. Blocked tiles with no remaining sender are reported by the
+   matching pass as [E-RECVU] instead. *)
+
+let deadlocks (streams : (int * op array) array) =
+  let n = Array.length streams in
+  let ptr = Array.make n 0 in
+  let tokens : (int * int, int) Hashtbl.t = Hashtbl.create 16 in
+  let avail key = Option.value ~default:0 (Hashtbl.find_opt tokens key) in
+  let progress = ref true in
+  while !progress do
+    progress := false;
+    Array.iteri
+      (fun idx (tile, ops) ->
+        let running = ref true in
+        while !running && ptr.(idx) < Array.length ops do
+          match ops.(ptr.(idx)) with
+          | Osend { fifo; target; _ } ->
+              Hashtbl.replace tokens (target, fifo) (avail (target, fifo) + 1);
+              ptr.(idx) <- ptr.(idx) + 1;
+              progress := true
+          | Orecv { fifo; _ } ->
+              let key = (tile, fifo) in
+              if avail key > 0 then begin
+                Hashtbl.replace tokens key (avail key - 1);
+                ptr.(idx) <- ptr.(idx) + 1;
+                progress := true
+              end
+              else running := false
+        done)
+      streams
+  done;
+  let blocked idx = ptr.(idx) < Array.length (snd streams.(idx)) in
+  let idx_of_tile = Hashtbl.create 16 in
+  Array.iteri (fun idx (tile, _) -> Hashtbl.add idx_of_tile tile idx) streams;
+  (* Wait-for edges between blocked stream indices. *)
+  let waits idx =
+    match (snd streams.(idx)).(ptr.(idx)) with
+    | Orecv { fifo; pc; _ } -> (fifo, pc)
+    | Osend _ -> assert false
+  in
+  let edges idx =
+    let tile = fst streams.(idx) in
+    let fifo, _ = waits idx in
+    let out = ref [] in
+    Array.iteri
+      (fun j (_, ops) ->
+        if blocked j then
+          let pending = ref false in
+          for k = ptr.(j) to Array.length ops - 1 do
+            match ops.(k) with
+            | Osend { fifo = f; target; _ } when target = tile && f = fifo ->
+                pending := true
+            | _ -> ()
+          done;
+          if !pending then out := j :: !out)
+      streams;
+    List.sort_uniq Stdlib.compare !out
+  in
+  (* DFS with gray/black coloring; a gray hit closes a cycle. *)
+  let color = Array.make n 0 in
+  let cycles = ref [] in
+  let rec visit path idx =
+    if color.(idx) = 1 then begin
+      (* [path] is most-recent-first; the cycle is everything back to the
+         revisited node, restored to call order. *)
+      let rec take = function
+        | [] -> []
+        | x :: rest -> if x = idx then [ x ] else x :: take rest
+      in
+      cycles := List.rev (take path) :: !cycles
+    end
+    else if color.(idx) = 0 then begin
+      color.(idx) <- 1;
+      List.iter (visit (idx :: path)) (edges idx);
+      color.(idx) <- 2
+    end
+  in
+  for idx = 0 to n - 1 do
+    if blocked idx && color.(idx) = 0 then visit [] idx
+  done;
+  List.rev_map
+    (fun cycle ->
+      let describe idx =
+        let tile = fst streams.(idx) in
+        let fifo, pc = waits idx in
+        Printf.sprintf "tile %d (pc %d waits on fifo %d)" tile pc fifo
+      in
+      let head = List.hd cycle in
+      let tile = fst streams.(head) in
+      let _, pc = waits head in
+      Diag.error ~code:"E-DEADLOCK" ~tile ~pc
+        "cross-tile wait cycle: %s -> back to tile %d"
+        (String.concat " -> " (List.map describe cycle))
+        tile)
+    !cycles
+  |> List.rev
+
+let analyze (p : Program.t) =
+  let streams =
+    Array.map (fun tp -> (tp.Program.tile_index, tile_ops tp)) p.tiles
+  in
+  matching streams @ deadlocks streams

@@ -1,0 +1,17 @@
+(** Inter-tile communication analysis.
+
+    Tile control streams are linear (no control flow), so their static
+    send/receive order is exact. Two passes:
+
+    - {b matching}: for every channel (destination tile, fifo id), the
+      k-th send is paired with the k-th receive. Width mismatches are
+      [E-CHANW], unmatched sends [E-SENDU], unmatched receives
+      [E-RECVU]. When several tiles write one fifo the interleaving is
+      dynamic, so pairing is skipped and [W-FIFOSHARE] (warning) is
+      reported with a totals-only check.
+    - {b deadlock}: abstract execution with non-blocking sends and
+      blocking receives, run to a fixpoint. Any cycle in the resulting
+      wait-for graph between wedged tiles is a true deadlock and is
+      reported as [E-DEADLOCK] with the cycle's tiles, pcs and fifos. *)
+
+val analyze : Puma_isa.Program.t -> Diag.t list

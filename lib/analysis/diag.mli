@@ -1,0 +1,7 @@
+(** Re-export of {!Puma_isa.Diag}: the diagnostics core lives next to the
+    structural checker so both layers share one report type; analyzer
+    passes refer to it as [Puma_analysis.Diag]. *)
+
+include module type of struct
+  include Puma_isa.Diag
+end

@@ -1,0 +1,243 @@
+module Instr = Puma_isa.Instr
+module Operand = Puma_isa.Operand
+
+(* Compact bitsets over the combined register space: one bit per vector
+   register word, then one bit per scalar register. *)
+module Bset = struct
+  let create n = Bytes.make ((n + 7) / 8) '\000'
+
+  let full n =
+    let b = Bytes.make ((n + 7) / 8) '\255' in
+    let rem = n land 7 in
+    if rem <> 0 then
+      Bytes.set b (Bytes.length b - 1) (Char.chr ((1 lsl rem) - 1));
+    b
+
+  let copy = Bytes.copy
+  let equal = Bytes.equal
+
+  let get b i = Char.code (Bytes.get b (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+  let set b i =
+    Bytes.set b (i lsr 3)
+      (Char.chr (Char.code (Bytes.get b (i lsr 3)) lor (1 lsl (i land 7))))
+
+  let clear b i =
+    Bytes.set b (i lsr 3)
+      (Char.chr (Char.code (Bytes.get b (i lsr 3)) land lnot (1 lsl (i land 7))))
+
+  let inter_into dst src =
+    for k = 0 to Bytes.length dst - 1 do
+      Bytes.set dst k
+        (Char.chr (Char.code (Bytes.get dst k) land Char.code (Bytes.get src k)))
+    done
+
+  let union_into dst src =
+    for k = 0 to Bytes.length dst - 1 do
+      Bytes.set dst k
+        (Char.chr (Char.code (Bytes.get dst k) lor Char.code (Bytes.get src k)))
+    done
+end
+
+(* Register effects of one instruction. [strict] uses participate in the
+   def-before-use check; [soft] uses only keep values live (the MVM unit
+   reads its whole XbarIn vector, but elements past the operand the
+   program actually staged are legitimately zero). *)
+type effects = {
+  defs : (int * int) list;
+  strict : (int * int) list;
+  soft : (int * int) list;
+}
+
+let effects (layout : Operand.layout) (i : Instr.t) : effects =
+  let total = layout.Operand.total in
+  let dim = layout.Operand.mvmu_dim in
+  let num_mvmus = Operand.size_of layout Operand.Xbar_in / dim in
+  let sreg s = (total + s, 1) in
+  let sreg_of_addr = function
+    | Instr.Imm_addr _ -> []
+    | Instr.Sreg_addr s -> [ sreg s ]
+  in
+  let none = { defs = []; strict = []; soft = [] } in
+  match i with
+  | Mvm { mask; _ } ->
+      let ranges base =
+        List.filter_map
+          (fun m ->
+            if m < num_mvmus && mask land (1 lsl m) <> 0 then
+              Some (base + (m * dim), dim)
+            else None)
+          (List.init num_mvmus Fun.id)
+      in
+      {
+        defs = ranges (Operand.base_of layout Operand.Xbar_out);
+        strict = [];
+        soft = ranges (Operand.base_of layout Operand.Xbar_in);
+      }
+  | Alu { op; dest; src1; src2; vec_width } ->
+      let w1 = if op = Instr.Subsample then 2 * vec_width else vec_width in
+      let strict =
+        if Instr.alu_op_arity op = 1 then [ (src1, w1) ]
+        else [ (src1, w1); (src2, vec_width) ]
+      in
+      { defs = [ (dest, vec_width) ]; strict; soft = [] }
+  | Alui { dest; src1; vec_width; _ } ->
+      { defs = [ (dest, vec_width) ]; strict = [ (src1, vec_width) ]; soft = [] }
+  | Alu_int { dest; src1; src2; _ } ->
+      { defs = [ sreg dest ]; strict = [ sreg src1; sreg src2 ]; soft = [] }
+  | Set { dest; _ } -> { defs = [ (dest, 1) ]; strict = []; soft = [] }
+  | Set_sreg { dest; _ } -> { defs = [ sreg dest ]; strict = []; soft = [] }
+  | Copy { dest; src; vec_width } ->
+      { defs = [ (dest, vec_width) ]; strict = [ (src, vec_width) ]; soft = [] }
+  | Load { dest; addr; vec_width } ->
+      { defs = [ (dest, vec_width) ]; strict = sreg_of_addr addr; soft = [] }
+  | Store { src; addr; vec_width; _ } ->
+      { defs = []; strict = (src, vec_width) :: sreg_of_addr addr; soft = [] }
+  | Brn { src1; src2; _ } ->
+      { defs = []; strict = [ sreg src1; sreg src2 ]; soft = [] }
+  | Jmp _ | Halt | Send _ | Receive _ -> none
+
+let reg_name (layout : Operand.layout) idx =
+  if idx < layout.Operand.total then
+    Format.asprintf "%a" (Operand.pp_reg layout) idx
+  else Printf.sprintf "s%d" (idx - layout.Operand.total)
+
+let clip width (base, w) =
+  let lo = max 0 base and hi = min width (base + w) in
+  (lo, max 0 (hi - lo))
+
+let analyze ~(layout : Operand.layout) ~tile ~core code =
+  let width = layout.Operand.total + Operand.num_scalar_regs in
+  let cfg = Cfg.build code in
+  let nb = Cfg.num_blocks cfg in
+  if nb = 0 then []
+  else begin
+    let diags = ref [] in
+    let eff = Array.map (effects layout) code in
+    let iter_range set (base, w) =
+      let lo, w = clip width (base, w) in
+      for k = lo to lo + w - 1 do
+        set k
+      done
+    in
+    let preds = Cfg.preds cfg in
+    (* ---- Forward must-defined analysis (def before use). ---- *)
+    let inb =
+      Array.init nb (fun b -> if b = 0 then Bset.create width else Bset.full width)
+    in
+    let transfer b =
+      let s = Bset.copy inb.(b) in
+      let blk = cfg.Cfg.blocks.(b) in
+      for pc = blk.Cfg.first to blk.Cfg.last do
+        List.iter (iter_range (Bset.set s)) eff.(pc).defs
+      done;
+      s
+    in
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      let outs = Array.init nb transfer in
+      for b = 1 to nb - 1 do
+        match preds.(b) with
+        | [] -> ()
+        | ps ->
+            let ni = Bset.full width in
+            List.iter (fun p -> Bset.inter_into ni outs.(p)) ps;
+            (* The entry has an implicit undefined-state predecessor. *)
+            if not (Bset.equal ni inb.(b)) then begin
+              inb.(b) <- ni;
+              changed := true
+            end
+      done
+    done;
+    for b = 0 to nb - 1 do
+      if cfg.Cfg.reachable.(b) then begin
+        let cur = Bset.copy inb.(b) in
+        let blk = cfg.Cfg.blocks.(b) in
+        for pc = blk.Cfg.first to blk.Cfg.last do
+          let missing = ref None in
+          List.iter
+            (fun r ->
+              iter_range
+                (fun k ->
+                  if !missing = None && not (Bset.get cur k) then
+                    missing := Some k)
+                r)
+            eff.(pc).strict;
+          (match !missing with
+          | Some k ->
+              diags :=
+                Diag.error ~code:"E-UBD" ~tile ~core ~pc
+                  "register %s is read but not written on every path here"
+                  (reg_name layout k)
+                :: !diags
+          | None -> ());
+          List.iter (iter_range (Bset.set cur)) eff.(pc).defs
+        done
+      end
+    done;
+    (* ---- Backward liveness (dead register writes). ---- *)
+    let live_in = Array.init nb (fun _ -> Bset.create width) in
+    let live_out b =
+      let s = Bset.create width in
+      List.iter
+        (fun succ -> Bset.union_into s live_in.(succ))
+        cfg.Cfg.blocks.(b).Cfg.succs;
+      s
+    in
+    let back_transfer b =
+      let s = live_out b in
+      let blk = cfg.Cfg.blocks.(b) in
+      for pc = blk.Cfg.last downto blk.Cfg.first do
+        List.iter (iter_range (Bset.clear s)) eff.(pc).defs;
+        List.iter (iter_range (Bset.set s)) eff.(pc).strict;
+        List.iter (iter_range (Bset.set s)) eff.(pc).soft
+      done;
+      s
+    in
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      for b = nb - 1 downto 0 do
+        let ni = back_transfer b in
+        if not (Bset.equal ni live_in.(b)) then begin
+          live_in.(b) <- ni;
+          changed := true
+        end
+      done
+    done;
+    for b = 0 to nb - 1 do
+      if cfg.Cfg.reachable.(b) then begin
+        let live = live_out b in
+        let blk = cfg.Cfg.blocks.(b) in
+        for pc = blk.Cfg.last downto blk.Cfg.first do
+          let e = eff.(pc) in
+          if e.defs <> [] then begin
+            let any_live = ref false in
+            List.iter
+              (fun r ->
+                iter_range (fun k -> if Bset.get live k then any_live := true) r)
+              e.defs;
+            if not !any_live then
+              diags :=
+                Diag.warning ~code:"W-DEADSTORE" ~tile ~core ~pc
+                  "value written to %s is never read"
+                  (reg_name layout (fst (List.hd e.defs)))
+                :: !diags
+          end;
+          List.iter (iter_range (Bset.clear live)) e.defs;
+          List.iter (iter_range (Bset.set live)) e.strict;
+          List.iter (iter_range (Bset.set live)) e.soft
+        done
+      end
+    done;
+    (match Cfg.unreachable_pcs cfg with
+    | [] -> ()
+    | pc :: _ as pcs ->
+        diags :=
+          Diag.info ~code:"I-UNREACH" ~tile ~core ~pc
+            "%d instruction(s) unreachable from the stream entry"
+            (List.length pcs)
+          :: !diags);
+    List.rev !diags
+  end

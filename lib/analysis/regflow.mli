@@ -1,0 +1,27 @@
+(** Register dataflow over one core's instruction stream.
+
+    Word-granular over the flat vector register space (XbarIn / XbarOut /
+    GPR, honoring each operand's [vec_width]) plus the scalar register
+    file. Two passes over the {!Cfg}:
+
+    - forward must-defined analysis: a register word read by an
+      instruction before any write reaches it on every path is reported
+      as [E-UBD] (error);
+    - backward liveness: a write none of whose words is ever read again
+      is reported as [W-DEADSTORE] (warning).
+
+    The MVM instruction defines the XbarOut vectors of every MVMU in its
+    mask and observes the matching XbarIn vectors for liveness only —
+    elements past the staged operand are legitimately unwritten, so they
+    are exempt from the def-before-use check.
+
+    Unreachable instructions are skipped by both passes and summarized as
+    [I-UNREACH] (info). Assumes the stream already passed
+    {!Puma_isa.Check.diagnose}. *)
+
+val analyze :
+  layout:Puma_isa.Operand.layout ->
+  tile:int ->
+  core:int ->
+  Puma_isa.Instr.t array ->
+  Diag.t list

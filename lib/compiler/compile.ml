@@ -3,6 +3,7 @@ type options = {
   coalesce_mvms : bool;
   wrap_batch_loop : bool;
   optimize_graph : bool;
+  analysis_gate : bool;
 }
 
 let default_options =
@@ -11,10 +12,12 @@ let default_options =
     coalesce_mvms = true;
     wrap_batch_loop = false;
     optimize_graph = true;
+    analysis_gate = true;
   }
 
 type result = {
   program : Puma_isa.Program.t;
+  analysis : Puma_analysis.Analyze.report;
   codegen_stats : Codegen.stats;
   optimize_stats : Optimize.stats option;
   edge_stats : Partition.edge_stats;
@@ -56,8 +59,15 @@ let compile ?(options = default_options) (config : Puma_hwmodel.Config.t) g =
             acc)
       0 (Lgraph.nodes lg)
   in
+  let analysis = Puma_analysis.Analyze.program program in
+  if options.analysis_gate && Puma_analysis.Analyze.has_errors analysis then
+    failwith
+      (Format.asprintf
+         "Compile.compile: generated program fails static analysis:@.%a"
+         Puma_analysis.Analyze.pp analysis);
   {
     program;
+    analysis;
     codegen_stats;
     optimize_stats;
     edge_stats = Partition.edge_stats part lg;

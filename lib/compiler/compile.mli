@@ -13,12 +13,20 @@ type options = {
           CNN workloads). *)
   optimize_graph : bool;
       (** Run {!Optimize} (CSE + DCE) before tiling (default on). *)
+  analysis_gate : bool;
+      (** Fail compilation when the post-codegen static analysis reports
+          errors (default on). Turning it off still runs the analysis and
+          records the report in {!result.analysis}. *)
 }
 
 val default_options : options
 
 type result = {
   program : Puma_isa.Program.t;
+  analysis : Puma_analysis.Analyze.report;
+      (** Post-codegen static analysis report ({!Puma_analysis.Analyze}).
+          [compile] fails if it contains errors; warnings and infos are
+          kept here for callers to surface. *)
   codegen_stats : Codegen.stats;
   optimize_stats : Optimize.stats option;
   edge_stats : Partition.edge_stats;

@@ -13,4 +13,6 @@ val parse_instr : Operand.layout -> string -> (Instr.t, string) result
 
 val parse_program : Operand.layout -> string -> (Instr.t array, string) result
 (** Parse a whole listing; lines may carry the printer's "NNNN:" PC
-    prefix, [;] starts a comment, and blank lines are skipped. *)
+    prefix, [;] starts a comment, and blank lines are skipped. Errors are
+    prefixed with ["line N:"] where [N] is the 1-based physical line in
+    the input (comment and blank lines count). *)

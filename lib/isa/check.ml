@@ -2,157 +2,176 @@ type violation = { where : string; what : string }
 
 let pp_violation fmt v = Format.fprintf fmt "%s: %s" v.where v.what
 
-let check (p : Program.t) =
+let to_violation (d : Diag.t) =
+  { where = Diag.loc_to_string d.loc; what = Printf.sprintf "[%s] %s" d.code d.message }
+
+let diagnose (p : Program.t) =
   let config = p.config in
   let layout = Operand.layout config in
   let smem_words = config.smem_bytes / 2 in
   let num_tiles = Array.length p.tiles in
-  let violations = ref [] in
-  let report where fmt =
-    Printf.ksprintf (fun what -> violations := { where; what } :: !violations) fmt
+  let diags = ref [] in
+  let report ~code ?tile ?core ?pc fmt =
+    Printf.ksprintf
+      (fun message ->
+        diags :=
+          { Diag.code; severity = Diag.Error; loc = { tile; core; pc }; message }
+          :: !diags)
+      fmt
   in
   (* A vector operand must stay inside one register space. *)
-  let check_vec_reg where name base width =
+  let check_vec_reg ~tile ~core ~pc name base width =
     if base < 0 || base >= layout.Operand.total then
-      report where "%s register %d out of range" name base
-    else if width < 1 then report where "%s width %d < 1" name width
+      report ~code:"E-REG" ~tile ~core ~pc "%s register %d out of range" name
+        base
+    else if width < 1 then
+      report ~code:"E-REG" ~tile ~core ~pc "%s width %d < 1" name width
     else begin
       let space = Operand.space_of layout base in
       let space_end = Operand.base_of layout space + Operand.size_of layout space in
       if base + width > space_end then
-        report where "%s range [%d, %d) crosses out of the %s space" name base
+        report ~code:"E-REG" ~tile ~core ~pc
+          "%s range [%d, %d) crosses out of the %s space" name base
           (base + width)
           (Operand.space_name space)
     end
   in
-  let check_sreg where name s =
+  let check_sreg ~tile ~core ~pc name s =
     if s < 0 || s >= Operand.num_scalar_regs then
-      report where "%s scalar register %d out of range" name s
+      report ~code:"E-SREG" ~tile ~core ~pc "%s scalar register %d out of range"
+        name s
   in
-  let check_smem where addr width =
+  let check_smem ~tile ?core ~pc addr width =
     if addr < 0 || width < 1 || addr + width > smem_words then
-      report where "shared-memory range [%d, %d) out of %d words" addr
-        (addr + width) smem_words
+      report ~code:"E-SMEM" ~tile ?core ~pc
+        "shared-memory range [%d, %d) out of %d words" addr (addr + width)
+        smem_words
   in
-  let check_addr where addr width =
+  let check_addr ~tile ~core ~pc addr width =
     match addr with
-    | Instr.Imm_addr a -> check_smem where a width
-    | Instr.Sreg_addr s -> check_sreg where "address" s
+    | Instr.Imm_addr a -> check_smem ~tile ~core ~pc a width
+    | Instr.Sreg_addr s -> check_sreg ~tile ~core ~pc "address" s
   in
-  let check_count where count =
-    if count < 0 || count > 255 then report where "count %d out of 0..255" count
+  let check_count ~tile ?core ~pc count =
+    if count < 0 || count > 255 then
+      report ~code:"E-COUNT" ~tile ?core ~pc "count %d out of 0..255" count
   in
-  let check_core_instr where len pc (i : Instr.t) =
+  let check_core_instr ~tile ~core ~pc len (i : Instr.t) =
     match i with
     | Mvm { mask; _ } ->
-        if mask = 0 then report where "MVM with empty mask"
+        if mask = 0 then report ~code:"E-MASK" ~tile ~core ~pc "MVM with empty mask"
         else if mask lsr config.mvmus_per_core <> 0 then
-          report where "MVM mask 0x%x names a missing MVMU" mask
+          report ~code:"E-MASK" ~tile ~core ~pc "MVM mask 0x%x names a missing MVMU"
+            mask
     | Alu { op; dest; src1; src2; vec_width } ->
-        check_vec_reg where "dest" dest vec_width;
-        check_vec_reg where "src1" src1
+        check_vec_reg ~tile ~core ~pc "dest" dest vec_width;
+        check_vec_reg ~tile ~core ~pc "src1" src1
           (if op = Subsample then 2 * vec_width else vec_width);
         if Instr.alu_op_arity op = 2 then
-          check_vec_reg where "src2" src2 vec_width
+          check_vec_reg ~tile ~core ~pc "src2" src2 vec_width
     | Alui { dest; src1; vec_width; _ } ->
-        check_vec_reg where "dest" dest vec_width;
-        check_vec_reg where "src1" src1 vec_width
+        check_vec_reg ~tile ~core ~pc "dest" dest vec_width;
+        check_vec_reg ~tile ~core ~pc "src1" src1 vec_width
     | Alu_int { dest; src1; src2; _ } ->
-        check_sreg where "dest" dest;
-        check_sreg where "src1" src1;
-        check_sreg where "src2" src2
-    | Set { dest; _ } -> check_vec_reg where "dest" dest 1
-    | Set_sreg { dest; _ } -> check_sreg where "dest" dest
+        check_sreg ~tile ~core ~pc "dest" dest;
+        check_sreg ~tile ~core ~pc "src1" src1;
+        check_sreg ~tile ~core ~pc "src2" src2
+    | Set { dest; _ } -> check_vec_reg ~tile ~core ~pc "dest" dest 1
+    | Set_sreg { dest; _ } -> check_sreg ~tile ~core ~pc "dest" dest
     | Copy { dest; src; vec_width } ->
-        check_vec_reg where "dest" dest vec_width;
-        check_vec_reg where "src" src vec_width
+        check_vec_reg ~tile ~core ~pc "dest" dest vec_width;
+        check_vec_reg ~tile ~core ~pc "src" src vec_width
     | Load { dest; addr; vec_width } ->
-        check_vec_reg where "dest" dest vec_width;
-        check_addr where addr vec_width
+        check_vec_reg ~tile ~core ~pc "dest" dest vec_width;
+        check_addr ~tile ~core ~pc addr vec_width
     | Store { src; addr; count; vec_width } ->
-        check_vec_reg where "src" src vec_width;
-        check_addr where addr vec_width;
-        check_count where count
+        check_vec_reg ~tile ~core ~pc "src" src vec_width;
+        check_addr ~tile ~core ~pc addr vec_width;
+        check_count ~tile ~core ~pc count
     | Jmp { pc = target } ->
         if target < 0 || target > len then
-          report where "jump target %d outside stream of %d" target len
+          report ~code:"E-TARGET" ~tile ~core ~pc
+            "jump target %d outside stream of %d" target len
     | Brn { op = _; src1; src2; pc = target } ->
-        check_sreg where "src1" src1;
-        check_sreg where "src2" src2;
+        check_sreg ~tile ~core ~pc "src1" src1;
+        check_sreg ~tile ~core ~pc "src2" src2;
         if target < 0 || target > len then
-          report where "branch target %d outside stream of %d" target len
+          report ~code:"E-TARGET" ~tile ~core ~pc
+            "branch target %d outside stream of %d" target len
     | Halt -> ()
     | Send _ | Receive _ ->
-        report where "tile instruction in core stream at pc %d" pc
+        report ~code:"E-STREAM" ~tile ~core ~pc
+          "tile instruction in core stream at pc %d" pc
   in
-  let check_tile_instr where (i : Instr.t) =
+  let check_tile_instr ~tile ~pc (i : Instr.t) =
     match i with
     | Send { mem_addr; fifo_id; target; vec_width } ->
-        check_smem where mem_addr vec_width;
+        check_smem ~tile ~pc mem_addr vec_width;
         if fifo_id < 0 || fifo_id >= config.num_fifos then
-          report where "fifo %d out of %d" fifo_id config.num_fifos;
+          report ~code:"E-FIFO" ~tile ~pc "fifo %d out of %d" fifo_id
+            config.num_fifos;
         if target < 0 || target >= num_tiles then
-          report where "send target tile %d out of %d" target num_tiles
+          report ~code:"E-TARGET" ~tile ~pc "send target tile %d out of %d"
+            target num_tiles
     | Receive { mem_addr; fifo_id; count; vec_width } ->
-        check_smem where mem_addr vec_width;
+        check_smem ~tile ~pc mem_addr vec_width;
         if fifo_id < 0 || fifo_id >= config.num_fifos then
-          report where "fifo %d out of %d" fifo_id config.num_fifos;
-        check_count where count
+          report ~code:"E-FIFO" ~tile ~pc "fifo %d out of %d" fifo_id
+            config.num_fifos;
+        check_count ~tile ~pc count
     | Halt -> ()
     | Mvm _ | Alu _ | Alui _ | Alu_int _ | Set _ | Set_sreg _ | Copy _
     | Load _ | Store _ | Jmp _ | Brn _ ->
-        report where "core instruction in tile stream"
+        report ~code:"E-STREAM" ~tile ~pc "core instruction in tile stream"
   in
   Array.iter
     (fun (tp : Program.tile_program) ->
-      let t = tp.tile_index in
+      let tile = tp.tile_index in
       if Array.length tp.core_code > config.cores_per_tile then
-        report (Printf.sprintf "tile %d" t) "more core streams than cores";
+        report ~code:"E-STREAM" ~tile "more core streams than cores";
       Array.iteri
-        (fun c code ->
+        (fun core code ->
           if Encode.program_bytes code > config.imem_core_bytes then
-            report
-              (Printf.sprintf "tile %d core %d" t c)
+            report ~code:"E-IMEM" ~tile ~core
               "stream of %d instructions exceeds the %d-byte instruction memory"
               (Array.length code) config.imem_core_bytes;
           Array.iteri
             (fun pc i ->
-              check_core_instr
-                (Printf.sprintf "tile %d core %d pc %d" t c pc)
-                (Array.length code) pc i)
+              check_core_instr ~tile ~core ~pc (Array.length code) i)
             code)
         tp.core_code;
       if Encode.program_bytes tp.tile_code > config.imem_tile_bytes then
-        report
-          (Printf.sprintf "tile %d" t)
+        report ~code:"E-IMEM" ~tile
           "tile stream of %d instructions exceeds the %d-byte instruction memory"
           (Array.length tp.tile_code)
           config.imem_tile_bytes;
-      Array.iteri
-        (fun pc i ->
-          check_tile_instr (Printf.sprintf "tile %d tcu pc %d" t pc) i)
-        tp.tile_code;
+      Array.iteri (fun pc i -> check_tile_instr ~tile ~pc i) tp.tile_code;
       List.iter
         (fun (img : Program.mvmu_image) ->
-          let where = Printf.sprintf "tile %d image" t in
           if img.core_index < 0 || img.core_index >= config.cores_per_tile then
-            report where "core index %d out of range" img.core_index;
+            report ~code:"E-IMAGE" ~tile "image core index %d out of range"
+              img.core_index;
           if img.mvmu_index < 0 || img.mvmu_index >= config.mvmus_per_core then
-            report where "mvmu index %d out of range" img.mvmu_index;
+            report ~code:"E-IMAGE" ~tile "image mvmu index %d out of range"
+              img.mvmu_index;
           if
             img.weights.Puma_util.Tensor.rows <> config.mvmu_dim
             || img.weights.Puma_util.Tensor.cols <> config.mvmu_dim
           then
-            report where "weights are %dx%d, expected %dx%d"
+            report ~code:"E-IMAGE" ~tile "image weights are %dx%d, expected %dx%d"
               img.weights.Puma_util.Tensor.rows img.weights.Puma_util.Tensor.cols
               config.mvmu_dim config.mvmu_dim)
         tp.mvmu_images)
     p.tiles;
   let check_binding kind (b : Program.io_binding) =
-    let where = Printf.sprintf "%s binding %s" kind b.name in
     if b.tile < 0 || b.tile >= num_tiles then
-      report where "tile %d out of range" b.tile
-    else check_smem where b.mem_addr b.length
+      report ~code:"E-BIND" "%s binding %S: tile %d out of range" kind b.name
+        b.tile
+    else if b.mem_addr < 0 || b.length < 1 || b.mem_addr + b.length > smem_words
+    then
+      report ~code:"E-BIND" ~tile:b.tile
+        "%s binding %S: shared-memory range [%d, %d) out of %d words" kind
+        b.name b.mem_addr (b.mem_addr + b.length) smem_words
   in
   List.iter (check_binding "input") p.inputs;
   List.iter (check_binding "output") p.outputs;
@@ -160,19 +179,20 @@ let check (p : Program.t) =
     (fun (b, data) ->
       check_binding "constant" b;
       if Array.length data <> b.Program.length then
-        report
-          (Printf.sprintf "constant binding at tile %d" b.Program.tile)
-          "data length %d <> binding length %d" (Array.length data)
-          b.Program.length)
+        report ~code:"E-BIND" ~tile:b.Program.tile
+          "constant binding data length %d <> binding length %d"
+          (Array.length data) b.Program.length)
     p.constants;
-  List.rev !violations
+  List.rev !diags
+
+let check p = List.map to_violation (diagnose p)
 
 let check_exn p =
-  match check p with
+  match diagnose p with
   | [] -> ()
-  | vs ->
+  | ds ->
       let buf = Buffer.create 256 in
       List.iter
-        (fun v -> Buffer.add_string buf (Printf.sprintf "%s: %s\n" v.where v.what))
-        vs;
+        (fun d -> Buffer.add_string buf (Diag.to_string d ^ "\n"))
+        ds;
       failwith ("Program check failed:\n" ^ Buffer.contents buf)

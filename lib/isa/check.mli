@@ -3,29 +3,44 @@
     A structural lint run over a {!Program.t}: every violation that would
     make the simulator (or hardware) misbehave is reported with its
     location. The compiler's output is checked in the integration tests;
-    hand-written programs and the CLI assembler use it as a front line. *)
+    hand-written programs and the CLI assembler use it as a front line.
+    Deeper semantic checks (dataflow, consumer counts, deadlock) live in
+    the [puma_analysis] library, which shares this module's {!Diag.t}
+    report type. *)
+
+val diagnose : Program.t -> Diag.t list
+(** Empty when the program is structurally well-formed; every finding is
+    error severity. Verified properties (stable diagnostic codes in
+    brackets, see [docs/ANALYSIS.md]):
+
+    - core streams contain no tile instructions and vice versa [E-STREAM];
+    - vector register operands lie within a single register space for
+      their full [vec_width] [E-REG]; scalar register indices are in
+      range [E-SREG];
+    - MVM masks are non-zero and only name existing MVMUs [E-MASK];
+    - jump, branch and send targets are within range [E-TARGET];
+    - shared-memory addresses fit the tile data memory [E-SMEM]; consumer
+      counts fit the encoding [E-COUNT]; FIFO ids exist [E-FIFO];
+    - instruction streams fit the core / tile instruction memories
+      [E-IMEM];
+    - crossbar images name existing cores/MVMUs and have the crossbar's
+      exact shape [E-IMAGE];
+    - I/O and constant bindings name existing tiles and fit the shared
+      memory [E-BIND]. *)
 
 type violation = {
   where : string;  (** e.g. "tile 2 core 1 pc 14". *)
   what : string;
 }
+(** Deprecated flat report; kept as a shim over {!Diag.t} for existing
+    callers. New code should use {!diagnose}. *)
+
+val to_violation : Diag.t -> violation
 
 val check : Program.t -> violation list
-(** Empty when the program is well-formed. Verified properties:
-
-    - core streams contain no tile instructions and vice versa;
-    - vector register operands lie within a single register space for
-      their full [vec_width]; scalar register indices are in range;
-    - MVM masks are non-zero and only name existing MVMUs;
-    - jump and branch targets are within the stream;
-    - shared-memory addresses (including I/O and constant bindings) fit
-      the tile data memory; consumer counts fit the encoding;
-    - send targets are existing tiles and FIFO ids exist;
-    - instruction streams fit the core / tile instruction memories;
-    - crossbar images name existing cores/MVMUs and have the crossbar's
-      exact shape. *)
+(** [List.map to_violation (diagnose p)]; kept for compatibility. *)
 
 val check_exn : Program.t -> unit
-(** Raises [Failure] with a readable report if {!check} is non-empty. *)
+(** Raises [Failure] with a readable report if {!diagnose} is non-empty. *)
 
 val pp_violation : Format.formatter -> violation -> unit

@@ -1,0 +1,82 @@
+type severity = Error | Warning | Info
+
+let severity_name = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
+
+type loc = { tile : int option; core : int option; pc : int option }
+
+let no_loc = { tile = None; core = None; pc = None }
+
+type t = { code : string; severity : severity; loc : loc; message : string }
+
+let make severity ~code ?tile ?core ?pc fmt =
+  Printf.ksprintf
+    (fun message -> { code; severity; loc = { tile; core; pc }; message })
+    fmt
+
+let error ~code = make Error ~code
+let warning ~code = make Warning ~code
+let info ~code = make Info ~code
+
+let loc_to_string { tile; core; pc } =
+  match (tile, core, pc) with
+  | None, None, None -> "program"
+  | Some t, None, None -> Printf.sprintf "tile %d" t
+  | Some t, Some c, None -> Printf.sprintf "tile %d core %d" t c
+  | Some t, Some c, Some pc -> Printf.sprintf "tile %d core %d pc %d" t c pc
+  | Some t, None, Some pc -> Printf.sprintf "tile %d tcu pc %d" t pc
+  | None, Some c, pc ->
+      (* Not produced by the analyzers, but render something sensible. *)
+      Printf.sprintf "core %d%s" c
+        (match pc with Some pc -> Printf.sprintf " pc %d" pc | None -> "")
+  | None, None, Some pc -> Printf.sprintf "pc %d" pc
+
+let compare a b =
+  let key d =
+    ( d.loc.tile,
+      d.loc.core,
+      d.loc.pc,
+      severity_rank d.severity,
+      d.code,
+      d.message )
+  in
+  Stdlib.compare (key a) (key b)
+
+let pp fmt d =
+  Format.fprintf fmt "%s[%s] %s: %s"
+    (severity_name d.severity)
+    d.code (loc_to_string d.loc) d.message
+
+let to_string d = Format.asprintf "%a" pp d
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_int_opt = function
+  | Some v -> string_of_int v
+  | None -> "null"
+
+let to_json d =
+  Printf.sprintf
+    "{\"code\":\"%s\",\"severity\":\"%s\",\"tile\":%s,\"core\":%s,\"pc\":%s,\"message\":\"%s\"}"
+    (json_escape d.code)
+    (severity_name d.severity)
+    (json_int_opt d.loc.tile) (json_int_opt d.loc.core) (json_int_opt d.loc.pc)
+    (json_escape d.message)

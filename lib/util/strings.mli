@@ -1,0 +1,5 @@
+(** Tiny string helpers missing from the stdlib. *)
+
+val contains : sub:string -> string -> bool
+(** [contains ~sub s] is true iff [sub] occurs in [s] ([sub = ""] always
+    does). *)

@@ -1,0 +1,487 @@
+(* Static analyzer tests: clean bills of health for everything the
+   compiler emits, plus a mutation corpus — one seeded defect per
+   analysis class, each caught with its stable diagnostic code. *)
+
+module Analyze = Puma_analysis.Analyze
+module Cfg = Puma_analysis.Cfg
+module Diag = Puma_analysis.Diag
+module Regflow = Puma_analysis.Regflow
+module Check = Puma_isa.Check
+module Instr = Puma_isa.Instr
+module Operand = Puma_isa.Operand
+module Program = Puma_isa.Program
+module Compile = Puma_compiler.Compile
+module Config = Puma_hwmodel.Config
+module Models = Puma_nn.Models
+module Network = Puma_nn.Network
+
+let config dim = { Config.sweetspot with mvmu_dim = dim }
+
+let compile ?(dim = 128) ?(wrap = false) g =
+  let options =
+    {
+      Compile.default_options with
+      wrap_batch_loop = wrap;
+      analysis_gate = false;
+    }
+  in
+  Compile.compile ~options (config dim) g
+
+let mlp () = Network.build_graph Models.mini_mlp
+
+let error_codes (r : Analyze.report) =
+  List.filter_map
+    (fun (d : Diag.t) ->
+      if d.severity = Diag.Error then Some d.code else None)
+    r.Analyze.diags
+  |> List.sort_uniq Stdlib.compare
+
+(* Deep-copy a program so a mutation cannot leak between tests. *)
+let clone (p : Program.t) =
+  {
+    p with
+    Program.tiles =
+      Array.map
+        (fun (tp : Program.tile_program) ->
+          {
+            tp with
+            Program.core_code = Array.map Array.copy tp.core_code;
+            tile_code = Array.copy tp.tile_code;
+          })
+        p.tiles;
+  }
+
+(* ---- The zoo analyzes clean ---- *)
+
+let test_zoo_clean () =
+  let zoo =
+    [
+      ("mlp", Network.build_graph Models.mini_mlp, 128);
+      ("mlp-32", Network.build_graph Models.mini_mlp, 32);
+      ("lstm", Network.build_graph Models.mini_lstm, 128);
+      ("rnn", Network.build_graph Models.mini_rnn, 128);
+      ("bm", Models.mini_bm, 128);
+      ("rbm", Models.mini_rbm, 128);
+    ]
+  in
+  List.iter
+    (fun (name, g, dim) ->
+      let r = (compile ~dim g).Compile.analysis in
+      Alcotest.(check int) (name ^ " errors") 0 r.Analyze.errors;
+      Alcotest.(check int) (name ^ " warnings") 0 r.Analyze.warnings)
+    zoo
+
+let test_batch_loop_clean () =
+  (* wrap_batch_loop adds Set_sreg/Iadd/Brn control flow: the dataflow
+     passes must tolerate the resulting loops without false positives. *)
+  let r = (compile ~wrap:true (mlp ())).Compile.analysis in
+  Alcotest.(check int) "errors" 0 r.Analyze.errors;
+  Alcotest.(check int) "warnings" 0 r.Analyze.warnings
+
+let test_lenet5_imem_overflow () =
+  (* Known limitation: lenet5 does not fit the 4 KB core instruction
+     memory at any crossbar dim, so the structural pass must say so and
+     the semantic passes must skip. *)
+  let r =
+    (compile (Network.build_graph Models.lenet5)).Compile.analysis
+  in
+  Alcotest.(check bool) "has errors" true (Analyze.has_errors r);
+  Alcotest.(check (list string)) "imem" [ "E-IMEM" ] (error_codes r);
+  Alcotest.(check bool) "skipped" true
+    (List.exists (fun (d : Diag.t) -> d.code = "I-SKIP") r.Analyze.diags)
+
+let test_compile_gate () =
+  match
+    Compile.compile (config 128) (Network.build_graph Models.lenet5)
+  with
+  | _ -> Alcotest.fail "expected the analysis gate to reject lenet5"
+  | exception Failure msg ->
+      Alcotest.(check bool) "mentions code" true
+        (Puma_util.Strings.contains ~sub:"E-IMEM" msg)
+
+(* ---- Mutation corpus: one seeded defect per analysis class ---- *)
+
+let test_mutation_drop_send () =
+  let p = clone (compile ~dim:32 (mlp ())).Compile.program in
+  let dropped = ref false in
+  Array.iter
+    (fun (tp : Program.tile_program) ->
+      if not !dropped then
+        match
+          Array.to_list tp.tile_code
+          |> List.exists (function Instr.Send _ -> true | _ -> false)
+        with
+        | false -> ()
+        | true ->
+            let keep = ref true in
+            tp.Program.core_code |> ignore;
+            let filtered =
+              Array.to_list tp.tile_code
+              |> List.filter (fun i ->
+                     match i with
+                     | Instr.Send _ when !keep ->
+                         keep := false;
+                         false
+                     | _ -> true)
+            in
+            p.Program.tiles.(tp.tile_index) <-
+              { tp with Program.tile_code = Array.of_list filtered };
+            dropped := true)
+    p.Program.tiles;
+  Alcotest.(check bool) "found a send to drop" true !dropped;
+  let r = Analyze.program p in
+  Alcotest.(check bool) "unmatched receive" true
+    (List.mem "E-RECVU" (error_codes r))
+
+let test_mutation_skew_count () =
+  let p = clone (compile ~dim:32 (mlp ())).Compile.program in
+  let skewed = ref false in
+  Array.iter
+    (fun (tp : Program.tile_program) ->
+      Array.iter
+        (fun code ->
+          Array.iteri
+            (fun pc i ->
+              match i with
+              | Instr.Store ({ count; _ } as s) when count > 0 && not !skewed
+                ->
+                  code.(pc) <- Instr.Store { s with count = count + 1 };
+                  skewed := true
+              | _ -> ())
+            code)
+        tp.core_code)
+    p.Program.tiles;
+  Alcotest.(check bool) "found a counted store" true !skewed;
+  let r = Analyze.program p in
+  Alcotest.(check (list string)) "only consumer-count error" [ "E-CONSUME" ]
+    (error_codes r)
+
+let test_mutation_clobber_def () =
+  (* Replace one defining instruction with a no-op jump; some later read
+     of its destination must trip the def-before-use check. Register
+     reuse means not every candidate yields a UBD, so scan for one that
+     produces exactly that error. *)
+  let base = (compile ~dim:32 (mlp ())).Compile.program in
+  let found = ref false in
+  Array.iteri
+    (fun t (tp : Program.tile_program) ->
+      Array.iteri
+        (fun c code ->
+          Array.iteri
+            (fun pc i ->
+              if not !found then
+                match i with
+                | Instr.Alu _ | Instr.Alui _ | Instr.Copy _ ->
+                    let p = clone base in
+                    p.Program.tiles.(t).Program.core_code.(c).(pc) <-
+                      Instr.Jmp { pc = pc + 1 };
+                    let r = Analyze.program p in
+                    if error_codes r = [ "E-UBD" ] then found := true
+                | _ -> ())
+            code)
+        tp.core_code)
+    base.Program.tiles;
+  Alcotest.(check bool) "some clobbered def trips E-UBD" true !found
+
+let test_mutation_deadlock () =
+  let p = clone (compile ~dim:32 (mlp ())).Compile.program in
+  let smem_words = p.Program.config.Config.smem_bytes / 2 in
+  (* Fresh fifo id, unused anywhere. *)
+  let fresh = ref 0 in
+  Program.iter_instrs p (fun i ->
+      match i with
+      | Instr.Send { fifo_id; _ } | Instr.Receive { fifo_id; _ } ->
+          fresh := max !fresh (fifo_id + 1)
+      | _ -> ());
+  let g = !fresh in
+  (* Pick the first cross-tile send: tile a -> tile b. *)
+  let edge = ref None in
+  Array.iter
+    (fun (tp : Program.tile_program) ->
+      Array.iter
+        (fun i ->
+          match i with
+          | Instr.Send { target; _ } when !edge = None ->
+              edge := Some (tp.tile_index, target)
+          | _ -> ())
+        tp.tile_code)
+    p.Program.tiles;
+  let a, b =
+    match !edge with
+    | Some e -> e
+    | None -> Alcotest.fail "mlp at dim 32 should span tiles"
+  in
+  (* Tile a now first waits for a message on fifo g — which tile b only
+     sends after all its own receives, i.e. after a has sent. A classic
+     circular wait. *)
+  let ta = p.Program.tiles.(a) and tb = p.Program.tiles.(b) in
+  p.Program.tiles.(a) <-
+    {
+      ta with
+      Program.tile_code =
+        Array.append
+          [|
+            Instr.Receive
+              {
+                mem_addr = smem_words - 1;
+                fifo_id = g;
+                count = 0;
+                vec_width = 1;
+              };
+          |]
+          ta.tile_code;
+    };
+  let strip_halt arr =
+    Array.of_list
+      (List.filter (fun i -> i <> Instr.Halt) (Array.to_list arr))
+  in
+  p.Program.tiles.(b) <-
+    {
+      tb with
+      Program.tile_code =
+        Array.concat
+          [
+            strip_halt tb.tile_code;
+            [|
+              Instr.Send
+                {
+                  mem_addr = smem_words - 1;
+                  fifo_id = g;
+                  target = a;
+                  vec_width = 1;
+                };
+              Instr.Halt;
+            |];
+          ];
+    };
+  let r = Analyze.program p in
+  let codes = error_codes r in
+  Alcotest.(check bool) "deadlock reported" true
+    (List.mem "E-DEADLOCK" codes);
+  let msg =
+    List.find
+      (fun (d : Diag.t) -> d.code = "E-DEADLOCK")
+      r.Analyze.diags
+  in
+  Alcotest.(check bool) "cycle names both tiles" true
+    (Puma_util.Strings.contains ~sub:(Printf.sprintf "tile %d" a)
+       msg.Diag.message
+    && Puma_util.Strings.contains ~sub:(Printf.sprintf "tile %d" b)
+         msg.Diag.message)
+
+let test_mutation_channel_width () =
+  let p = clone (compile ~dim:32 (mlp ())).Compile.program in
+  let widened = ref false in
+  Array.iter
+    (fun (tp : Program.tile_program) ->
+      Array.iteri
+        (fun pc i ->
+          match i with
+          | Instr.Receive ({ vec_width; _ } as rc) when not !widened ->
+              tp.tile_code.(pc) <-
+                Instr.Receive { rc with vec_width = vec_width + 1 };
+              widened := true
+          | _ -> ())
+        tp.tile_code)
+    p.Program.tiles;
+  Alcotest.(check bool) "found a receive" true !widened;
+  let r = Analyze.program p in
+  Alcotest.(check bool) "width mismatch" true
+    (List.mem "E-CHANW" (error_codes r))
+
+(* ---- Synthetic unit tests for the passes ---- *)
+
+let layout = Operand.layout (config 32)
+let gpr n = Operand.gpr layout n
+
+let test_cfg_shape () =
+  let code =
+    [|
+      Instr.Set_sreg { dest = 0; imm = 0 };
+      Instr.Brn { op = Instr.Blt; src1 = 0; src2 = 0; pc = 0 };
+      Instr.Halt;
+      Instr.Jmp { pc = 3 };
+    |]
+  in
+  let cfg = Cfg.build code in
+  (* Leaders at 0 (entry), 2 (branch fall-through/target) and 3 (after
+     Halt): pcs 0-1 form one block. *)
+  Alcotest.(check int) "blocks" 3 (Cfg.num_blocks cfg);
+  Alcotest.(check bool) "halt reachable" true (Cfg.reachable_pc cfg 2);
+  Alcotest.(check (list int)) "self jump unreachable" [ 3 ]
+    (Cfg.unreachable_pcs cfg);
+  let preds = Cfg.preds cfg in
+  Alcotest.(check (list int)) "entry loops on itself" [ 0 ] preds.(0);
+  Alcotest.(check (list int)) "exit pred" [ 0 ] preds.(1)
+
+let run_regflow code = Regflow.analyze ~layout ~tile:0 ~core:0 code
+
+let codes_of diags =
+  List.map (fun (d : Diag.t) -> d.code) diags |> List.sort_uniq compare
+
+let test_regflow_ubd () =
+  let code =
+    [|
+      Instr.Alu
+        { op = Instr.Relu; dest = gpr 0; src1 = gpr 1; src2 = gpr 1; vec_width = 4 };
+      Instr.Halt;
+    |]
+  in
+  Alcotest.(check (list string)) "undefined src" [ "E-UBD"; "W-DEADSTORE" ]
+    (codes_of (run_regflow code))
+
+let test_regflow_partial_width () =
+  (* Defining 4 words then reading 8 must flag the missing upper half. *)
+  let code =
+    [|
+      Instr.Set { dest = gpr 0; imm = 0 };
+      Instr.Copy { dest = gpr 0; src = gpr 0; vec_width = 1 };
+      Instr.Store
+        { src = gpr 0; addr = Instr.Imm_addr 0; count = 0; vec_width = 2 };
+      Instr.Halt;
+    |]
+  in
+  let diags = run_regflow code in
+  Alcotest.(check (list string)) "upper word undefined" [ "E-UBD" ]
+    (codes_of diags);
+  let d = List.hd diags in
+  Alcotest.(check (option int)) "at the store" (Some 2) d.Diag.loc.Diag.pc
+
+let test_regflow_branch_join () =
+  (* r0 defined on only one arm of a branch: reading it after the join
+     is an error; defining it on both arms is fine. *)
+  let template both =
+    [|
+      Instr.Set_sreg { dest = 0; imm = 0 };
+      Instr.Brn { op = Instr.Beq; src1 = 0; src2 = 0; pc = 4 };
+      Instr.Set { dest = gpr 0; imm = 1 };
+      Instr.Jmp { pc = 5 };
+      (if both then Instr.Set { dest = gpr 0; imm = 2 }
+       else Instr.Alu_int { op = Instr.Iadd; dest = 1; src1 = 0; src2 = 0 });
+      Instr.Store
+        { src = gpr 0; addr = Instr.Imm_addr 0; count = 0; vec_width = 1 };
+      Instr.Halt;
+    |]
+  in
+  Alcotest.(check bool) "one-arm def is flagged" true
+    (List.mem "E-UBD" (codes_of (run_regflow (template false))));
+  Alcotest.(check bool) "both-arm def is clean" false
+    (List.mem "E-UBD" (codes_of (run_regflow (template true))))
+
+let test_regflow_deadstore () =
+  let code =
+    [|
+      Instr.Set { dest = gpr 0; imm = 7 };
+      Instr.Set { dest = gpr 1; imm = 8 };
+      Instr.Store
+        { src = gpr 1; addr = Instr.Imm_addr 0; count = 0; vec_width = 1 };
+      Instr.Halt;
+    |]
+  in
+  let diags = run_regflow code in
+  Alcotest.(check (list string)) "dead first set" [ "W-DEADSTORE" ]
+    (codes_of diags);
+  Alcotest.(check (option int)) "at pc 0" (Some 0)
+    (List.hd diags).Diag.loc.Diag.pc
+
+let test_regflow_loop_carried () =
+  (* A value defined before a loop and consumed inside it on every
+     iteration must stay live around the back edge — no UBD, no dead
+     store. Mirrors wrap_batch_loop's shape. *)
+  let code =
+    [|
+      Instr.Set { dest = gpr 0; imm = 3 };
+      Instr.Set_sreg { dest = 0; imm = 0 };
+      Instr.Set_sreg { dest = 1; imm = 1 };
+      Instr.Set_sreg { dest = 2; imm = 4 };
+      Instr.Copy { dest = gpr 1; src = gpr 0; vec_width = 1 };
+      Instr.Alu_int { op = Instr.Iadd; dest = 0; src1 = 0; src2 = 1 };
+      Instr.Brn { op = Instr.Blt; src1 = 0; src2 = 2; pc = 4 };
+      Instr.Store
+        { src = gpr 1; addr = Instr.Imm_addr 0; count = 0; vec_width = 1 };
+      Instr.Halt;
+    |]
+  in
+  Alcotest.(check (list string)) "loop is clean" []
+    (codes_of (run_regflow code))
+
+(* ---- Diag plumbing ---- *)
+
+let test_diag_render () =
+  let d = Diag.error ~code:"E-X" ~tile:1 ~core:2 ~pc:3 "bad %s" "thing" in
+  Alcotest.(check string) "text" "error[E-X] tile 1 core 2 pc 3: bad thing"
+    (Diag.to_string d);
+  let j = Diag.to_json (Diag.warning ~code:"W-Y" ~tile:0 "say \"hi\"") in
+  Alcotest.(check bool) "json escapes" true
+    (Puma_util.Strings.contains ~sub:"\\\"hi\\\"" j);
+  Alcotest.(check bool) "json severity" true
+    (Puma_util.Strings.contains ~sub:"\"severity\":\"warning\"" j)
+
+let test_diag_order () =
+  let a = Diag.error ~code:"E-A" ~tile:0 ~core:0 ~pc:5 "x" in
+  let b = Diag.warning ~code:"W-B" ~tile:0 ~core:0 ~pc:2 "x" in
+  let c = Diag.info ~code:"I-C" "x" in
+  let sorted = List.sort Diag.compare [ a; b; c ] in
+  Alcotest.(check (list string)) "location-major order"
+    [ "I-C"; "W-B"; "E-A" ]
+    (List.map (fun (d : Diag.t) -> d.Diag.code) sorted)
+
+let test_check_shim () =
+  (* The legacy Check.check API survives, now carrying codes in [what]. *)
+  let p = clone (compile ~dim:32 (mlp ())).Compile.program in
+  p.Program.tiles.(0).Program.core_code.(0).(0) <-
+    Instr.Set { dest = 100_000; imm = 0 };
+  match Check.check p with
+  | [] -> Alcotest.fail "expected a violation"
+  | v :: _ ->
+      Alcotest.(check bool) "code in what" true
+        (Puma_util.Strings.contains ~sub:"[E-REG]" v.Check.what);
+      Alcotest.(check bool) "where names the core" true
+        (Puma_util.Strings.contains ~sub:"tile 0 core 0" v.Check.where)
+
+let test_report_json () =
+  let r = (compile ~dim:32 (mlp ())).Compile.analysis in
+  let j = Analyze.to_json ~name:"mlp" r in
+  Alcotest.(check bool) "name" true
+    (Puma_util.Strings.contains ~sub:"\"name\":\"mlp\"" j);
+  Alcotest.(check bool) "errors" true
+    (Puma_util.Strings.contains ~sub:"\"errors\":0" j)
+
+let () =
+  Alcotest.run "analysis"
+    [
+      ( "clean",
+        [
+          Alcotest.test_case "zoo" `Quick test_zoo_clean;
+          Alcotest.test_case "batch loop" `Quick test_batch_loop_clean;
+          Alcotest.test_case "lenet5 imem" `Quick test_lenet5_imem_overflow;
+          Alcotest.test_case "compile gate" `Quick test_compile_gate;
+        ] );
+      ( "mutations",
+        [
+          Alcotest.test_case "drop send" `Quick test_mutation_drop_send;
+          Alcotest.test_case "skew count" `Quick test_mutation_skew_count;
+          Alcotest.test_case "clobber def" `Quick test_mutation_clobber_def;
+          Alcotest.test_case "deadlock" `Quick test_mutation_deadlock;
+          Alcotest.test_case "channel width" `Quick
+            test_mutation_channel_width;
+        ] );
+      ( "passes",
+        [
+          Alcotest.test_case "cfg shape" `Quick test_cfg_shape;
+          Alcotest.test_case "ubd" `Quick test_regflow_ubd;
+          Alcotest.test_case "partial width" `Quick
+            test_regflow_partial_width;
+          Alcotest.test_case "branch join" `Quick test_regflow_branch_join;
+          Alcotest.test_case "dead store" `Quick test_regflow_deadstore;
+          Alcotest.test_case "loop carried" `Quick
+            test_regflow_loop_carried;
+        ] );
+      ( "diag",
+        [
+          Alcotest.test_case "render" `Quick test_diag_render;
+          Alcotest.test_case "order" `Quick test_diag_order;
+          Alcotest.test_case "check shim" `Quick test_check_shim;
+          Alcotest.test_case "report json" `Quick test_report_json;
+        ] );
+    ]

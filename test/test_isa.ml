@@ -255,6 +255,16 @@ let test_asm_parse_errors () =
       "set q5, #1";
     ]
 
+let test_asm_parse_error_line_numbers () =
+  (* Errors must carry the 1-based physical line, counting comment and
+     blank lines, so editor jump-to-line works on the original text. *)
+  let text = "; header comment\n\nhalt\nbogus r0\nhalt\n" in
+  match Asm.parse_program layout text with
+  | Ok _ -> Alcotest.fail "expected a parse error"
+  | Error e ->
+      Alcotest.(check bool) ("prefix of: " ^ e) true
+        (String.length e >= 7 && String.sub e 0 7 = "line 4:")
+
 (* ---- Usage (Figure 4 classification) ---- *)
 
 let test_usage_classification () =
@@ -321,5 +331,7 @@ let () =
           Alcotest.test_case "parse program" `Quick test_asm_parse_program_roundtrip;
           Alcotest.test_case "comments/blanks" `Quick test_asm_parse_comments_and_blanks;
           Alcotest.test_case "parse errors" `Quick test_asm_parse_errors;
+          Alcotest.test_case "error line numbers" `Quick
+            test_asm_parse_error_line_numbers;
         ] );
     ]
