@@ -697,6 +697,65 @@ let run_ablation_pipeline () =
     (workloads ());
   [ t ]
 
+let run_profile_occupancy () =
+  (* Where the cycles go: per-workload core occupancy from the cycle-level
+     profiler — busy (split by unit), stalled (split by reason), idle. *)
+  let t =
+    Table.create ~title:"Profile: core occupancy by workload"
+      ~headers:
+        [ "Workload"; "Cycles"; "Busy"; "Stalled"; "Idle"; "Top stall" ]
+  in
+  List.iter
+    (fun (label, net, is_cnn) ->
+      let options =
+        (* Gate off: lenet5 has a known core-imem overflow (E-IMEM) but
+           still simulates — the profile is the point here. *)
+        { Compile.default_options with wrap_batch_loop = is_cnn;
+          analysis_gate = false }
+      in
+      let r = Compile.compile ~options mini_config (Network.build_graph net) in
+      let node = Puma_sim.Node.create r.Compile.program in
+      let profile = Puma_profile.Profile.create () in
+      Puma_profile.Profile.attach profile node;
+      let rng = Puma_util.Rng.create 5 in
+      let x =
+        Puma_util.Tensor.vec_rand rng (input_len r.Compile.program) 0.8
+      in
+      ignore (Puma_sim.Node.run node ~inputs:[ ("x", x) ]);
+      let tot = Puma_profile.Profile.totals profile in
+      let entity_cycles =
+        tot.Puma_profile.Profile.busy_cycles
+        + tot.Puma_profile.Profile.stalled_cycles
+        + tot.Puma_profile.Profile.idle_cycles
+      in
+      let pct n =
+        if entity_cycles = 0 then "-"
+        else Table.fmt_pct (fi n /. fi entity_cycles)
+      in
+      let top_stall =
+        match
+          List.sort
+            (fun (_, a) (_, b) -> compare b a)
+            tot.Puma_profile.Profile.by_stall
+        with
+        | (reason, n) :: _ when n > 0 ->
+            Printf.sprintf "%s (%s)"
+              (Puma_arch.Core.stall_name reason)
+              (pct n)
+        | _ -> "-"
+      in
+      Table.add_row t
+        [
+          label;
+          string_of_int tot.Puma_profile.Profile.cycles;
+          pct tot.Puma_profile.Profile.busy_cycles;
+          pct tot.Puma_profile.Profile.stalled_cycles;
+          pct tot.Puma_profile.Profile.idle_cycles;
+          top_stall;
+        ])
+    mini_workloads;
+  [ t ]
+
 (* ------------------------------------------------------------------ *)
 
 let all_experiments =
@@ -715,4 +774,5 @@ let all_experiments =
     ("digital_mvmu", run_digital_mvmu);
     ("ablation_fifo", run_ablation_fifo);
     ("ablation_pipeline", run_ablation_pipeline);
+    ("profile_occupancy", run_profile_occupancy);
   ]

@@ -383,7 +383,15 @@ let batch_cmd =
             "Batch RNG seed; request $(i)'s inputs depend only on the seed \
              and $(i), never on the worker count.")
   in
-  let run model batch_size domains seed dim =
+  let profile =
+    Arg.(
+      value & flag
+      & info [ "profile" ]
+          ~doc:
+            "Attach the cycle-level profiler to every worker node and report \
+             the batch's stall decomposition.")
+  in
+  let run model batch_size domains seed profile dim =
     match find_mini model with
     | Error e -> exit_err e
     | Ok m ->
@@ -405,7 +413,7 @@ let batch_cmd =
         in
         let t0 = Unix.gettimeofday () in
         let responses, summary =
-          Puma_runtime.Batch.run ~domains program requests
+          Puma_runtime.Batch.run ~domains ~profile program requests
         in
         let host_s = Unix.gettimeofday () -. t0 in
         (* Spot-check the first request against the float reference. *)
@@ -432,7 +440,103 @@ let batch_cmd =
          "Serve a batch of inferences across parallel simulated nodes \
           (deterministic: outputs and per-request cycles are bit-identical \
           for any --domains)")
-    Term.(const run $ model $ batch_size $ domains $ seed $ dim_arg)
+    Term.(const run $ model $ batch_size $ domains $ seed $ profile $ dim_arg)
+
+(* ---- profile ---- *)
+
+let profile_cmd =
+  let target =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"MODEL"
+          ~doc:
+            "Zoo model name, .model description file, or compiled program \
+             file (as written by compile -o).")
+  in
+  let runs =
+    Arg.(
+      value & opt int 1
+      & info [ "runs" ] ~doc:"Number of inferences to profile.")
+  in
+  let seed = Arg.(value & opt int 7 & info [ "seed" ] ~doc:"Input RNG seed.") in
+  let top =
+    Arg.(
+      value & opt int 10
+      & info [ "top" ] ~doc:"Entries in the top-stall ranking.")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit the profile as one JSON document.")
+  in
+  let chrome =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "chrome-trace" ] ~docv:"FILE"
+          ~doc:
+            "Also write a Chrome trace-event file (load in chrome://tracing \
+             or ui.perfetto.dev; 1 trace microsecond = 1 simulated cycle).")
+  in
+  let run target runs seed top json chrome dim =
+    if runs <= 0 then exit_err "--runs must be positive";
+    (* Gate off, as in analyze/bench: a program that fails static analysis
+       (lenet5's known core-imem overflow) still simulates, and profiling
+       it is exactly the point. *)
+    let compile_model m =
+      let options = { Compile.default_options with analysis_gate = false } in
+      (Compile.compile ~options (config_of_dim dim) (graph_of m))
+        .Compile.program
+    in
+    let program =
+      if Sys.file_exists target && not (Sys.is_directory target) then
+        match Puma_isa.Program_io.load target with
+        | Ok program ->
+            Puma_isa.Check.check_exn program;
+            program
+        | Error _ -> (
+            match find_mini target with
+            | Ok m -> compile_model m
+            | Error e -> exit_err e)
+      else
+        match find_mini target with
+        | Ok m -> compile_model m
+        | Error e -> exit_err e
+    in
+    let node = Puma_sim.Node.create program in
+    let profile = Puma_profile.Profile.create () in
+    Puma_profile.Profile.attach profile node;
+    let rng = Puma_util.Rng.create seed in
+    let lengths = Puma_runtime.Batch.input_lengths program in
+    for _ = 1 to runs do
+      let inputs =
+        List.map
+          (fun (name, len) -> (name, Puma_util.Tensor.vec_rand rng len 0.8))
+          lengths
+      in
+      ignore (Puma_sim.Node.run node ~inputs)
+    done;
+    Puma_sim.Node.finish_energy node;
+    if json then
+      print_endline
+        (Puma_util.Json.to_string (Puma_profile.Profile.to_json profile))
+    else print_string (Puma_profile.Profile.report ~top profile);
+    match chrome with
+    | Some path ->
+        Puma_profile.Chrome_trace.write path profile;
+        Printf.printf "wrote Chrome trace to %s (%d slices%s)\n" path
+          (List.length (Puma_profile.Profile.slices profile))
+          (let d = Puma_profile.Profile.dropped_slices profile in
+           if d > 0 then Printf.sprintf ", %d dropped" d else "")
+    | None -> ()
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Simulate with the cycle-level profiler attached: stall accounting, \
+          per-tile energy attribution, optional Chrome trace export")
+    Term.(const run $ target $ runs $ seed $ top $ json $ chrome $ dim_arg)
 
 (* ---- estimate ---- *)
 
@@ -542,6 +646,7 @@ let () =
             exec_cmd;
             run_cmd;
             batch_cmd;
+            profile_cmd;
             estimate_cmd;
             table3_cmd;
             accuracy_cmd;

@@ -8,10 +8,36 @@ type mem_iface = {
   store : addr:int -> values:int array -> count:int -> bool;
 }
 
+type stall =
+  | Stall_smem_read
+  | Stall_smem_write
+  | Stall_recv_fifo
+  | Stall_mvmu
+
+let stall_name = function
+  | Stall_smem_read -> "smem-read"
+  | Stall_smem_write -> "smem-write"
+  | Stall_recv_fifo -> "recv-fifo"
+  | Stall_mvmu -> "mvmu"
+
+let stall_index = function
+  | Stall_smem_read -> 0
+  | Stall_smem_write -> 1
+  | Stall_recv_fifo -> 2
+  | Stall_mvmu -> 3
+
+let all_stalls = [ Stall_smem_read; Stall_smem_write; Stall_recv_fifo; Stall_mvmu ]
+let num_stalls = 4
+
 type step_result =
   | Retired of { cycles : int; instr : Instr.t }
-  | Blocked
+  | Blocked of stall
   | Halted
+
+(* Preallocated results: a blocked step must not allocate (it is retried
+   every scheduler iteration until the dependency resolves). *)
+let blocked_smem_read = Blocked Stall_smem_read
+let blocked_smem_write = Blocked Stall_smem_write
 
 type t = {
   config : Puma_hwmodel.Config.t;
@@ -176,7 +202,7 @@ let step t ~mem =
     | Load { dest; addr; vec_width } -> (
         let a = resolve_addr t addr in
         match mem.load ~addr:a ~width:vec_width with
-        | None -> Blocked
+        | None -> blocked_smem_read
         | Some values ->
             Regfile.write_vec t.regfile dest values;
             charge_reg_range t dest vec_width;
@@ -194,7 +220,7 @@ let step t ~mem =
           Energy.add t.energy Attr 1;
           retire t ~cycles:(Latency.store c ~vec_width) instr
         end
-        else Blocked
+        else blocked_smem_write
     | Jmp { pc } -> retire_jump t ~cycles:Latency.jump ~target:pc instr
     | Brn { op; src1; src2; pc } ->
         Energy.add t.energy Sfu 1;

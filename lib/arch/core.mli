@@ -20,10 +20,34 @@ type mem_iface = {
           blocks). *)
 }
 
+(** Why an entity could not advance this cycle — the stall taxonomy used
+    by the profiling layer ({!Puma_profile.Profile}). Every blocking point
+    of the execution model maps to exactly one class. *)
+type stall =
+  | Stall_smem_read
+      (** Consumer waiting on a shared-memory word that is not yet valid
+          (load, or a send whose operand has not been produced). *)
+  | Stall_smem_write
+      (** Producer waiting on a shared-memory word still valid with
+          pending consumers (store, or a receive whose destination has
+          not drained). *)
+  | Stall_recv_fifo
+      (** Receive waiting on an empty receive-buffer FIFO (the message
+          has not arrived). *)
+  | Stall_mvmu
+      (** Reserved: MVMU occupied. The current model executes an MVM in
+          one blocking latency, so this class is always zero; it exists
+          so the taxonomy covers the paper's pipelined-MVMU variant. *)
+
+val stall_name : stall -> string
+val stall_index : stall -> int
+val all_stalls : stall list
+val num_stalls : int
+
 type step_result =
   | Retired of { cycles : int; instr : Puma_isa.Instr.t }
       (** One instruction completed, occupying the core for [cycles]. *)
-  | Blocked  (** Waiting on shared memory; PC unchanged. *)
+  | Blocked of stall  (** Waiting (see {!stall}); PC unchanged. *)
   | Halted  (** Executed [Halt] or ran off the end of the stream. *)
 
 type t

@@ -1,0 +1,100 @@
+module Json = Puma_util.Json
+module Instr = Puma_isa.Instr
+
+let unit_slice_name = function
+  | Instr.U_mvm -> "mvm"
+  | Instr.U_vfu -> "vfu"
+  | Instr.U_sfu -> "sfu"
+  | Instr.U_control -> "control"
+  | Instr.U_inter_core -> "load/store"
+  | Instr.U_inter_tile -> "send/receive"
+
+let meta ~pid ~tid ~name ~value =
+  let args = [ ("name", Json.String value) ] in
+  let base =
+    [
+      ("ph", Json.String "M");
+      ("name", Json.String name);
+      ("pid", Json.Int pid);
+      ("args", Json.Obj args);
+    ]
+  in
+  Json.Obj (match tid with None -> base | Some t -> base @ [ ("tid", Json.Int t) ])
+
+let slice_event (s : Profile.slice) =
+  Json.Obj
+    [
+      ("ph", Json.String "X");
+      ("name", Json.String (unit_slice_name s.Profile.unit_class));
+      ("cat", Json.String "instr");
+      ("ts", Json.Int s.Profile.ts);
+      ("dur", Json.Int s.Profile.dur);
+      ("pid", Json.Int s.Profile.s_tile);
+      ("tid", Json.Int (s.Profile.s_core + 1));
+    ]
+
+let counter_event ~name ~pid ~ts ~series ~value =
+  Json.Obj
+    [
+      ("ph", Json.String "C");
+      ("name", Json.String name);
+      ("pid", Json.Int pid);
+      ("ts", Json.Int ts);
+      ("args", Json.Obj [ (series, value) ]);
+    ]
+
+let to_json p =
+  let ntiles = Profile.num_tiles p in
+  let cores = Profile.cores_per_tile p in
+  let events = ref [] in
+  let push e = events := e :: !events in
+  (* Track metadata: tiles as processes, entities as threads. *)
+  for ti = 0 to ntiles - 1 do
+    push
+      (meta ~pid:ti ~tid:None ~name:"process_name"
+         ~value:(Printf.sprintf "tile %d" ti));
+    push (meta ~pid:ti ~tid:(Some 0) ~name:"thread_name" ~value:"tcu");
+    for c = 0 to cores - 1 do
+      push
+        (meta ~pid:ti ~tid:(Some (c + 1)) ~name:"thread_name"
+           ~value:(Printf.sprintf "core %d" c))
+    done
+  done;
+  push (meta ~pid:ntiles ~tid:None ~name:"process_name" ~value:"node");
+  (* Execution slices. *)
+  List.iter (fun s -> push (slice_event s)) (Profile.slices p);
+  (* Counter tracks: per-tile FIFO occupancy, cumulative energy. *)
+  List.iter
+    (fun (f : Profile.fifo_sample) ->
+      push
+        (counter_event
+           ~name:(Printf.sprintf "recv-fifo t%d" f.Profile.f_tile)
+           ~pid:f.Profile.f_tile ~ts:f.Profile.f_ts ~series:"packets"
+           ~value:(Json.Int f.Profile.depth)))
+    (Profile.fifo_samples p);
+  List.iter
+    (fun (e : Profile.energy_sample) ->
+      push
+        (counter_event ~name:"energy (uJ)" ~pid:ntiles ~ts:e.Profile.e_ts
+           ~series:"uJ"
+           ~value:(Json.Float (e.Profile.total_pj /. 1e6))))
+    (Profile.energy_samples p);
+  Json.Obj
+    [
+      ("traceEvents", Json.List (List.rev !events));
+      ("displayTimeUnit", Json.String "ms");
+      ( "otherData",
+        Json.Obj
+          [
+            ("tool", Json.String "puma_profile");
+            ("time_unit", Json.String "1 trace us = 1 simulated cycle");
+          ] );
+    ]
+
+let to_string p = Json.to_string (to_json p)
+
+let write path p =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string p))

@@ -1,0 +1,20 @@
+(** Chrome trace-event export of a profile.
+
+    Serialises the profiler's retained window as a trace-event JSON object
+    ([{"traceEvents": [...]}]) loadable in [chrome://tracing] / Perfetto:
+
+    - one process per tile ([pid] = tile index), one thread per entity
+      ([tid] 0 = tile control unit, [tid] [c+1] = core [c]), named via
+      ["M"] metadata events;
+    - one ["X"] complete slice per retired instruction in the window,
+      named by its execution-unit class, with [ts]/[dur] in simulated
+      cycles (the viewer displays 1 cycle as 1 µs);
+    - ["C"] counter tracks for each tile's receive-FIFO occupancy and for
+      cumulative node energy (µJ) on a pseudo-process ([pid] = number of
+      tiles) named "node". *)
+
+val to_json : Profile.t -> Puma_util.Json.t
+val to_string : Profile.t -> string
+
+val write : string -> Profile.t -> unit
+(** Write {!to_string} to a file path. *)

@@ -1,0 +1,599 @@
+module Instr = Puma_isa.Instr
+module Core = Puma_arch.Core
+module Energy = Puma_hwmodel.Energy
+module Node = Puma_sim.Node
+module Json = Puma_util.Json
+module Table = Puma_util.Table
+
+(* Unit classes in a fixed array order (Instr.all_units is display order). *)
+let units =
+  [|
+    Instr.U_mvm;
+    Instr.U_vfu;
+    Instr.U_sfu;
+    Instr.U_control;
+    Instr.U_inter_core;
+    Instr.U_inter_tile;
+  |]
+
+let num_units = Array.length units
+
+let unit_index = function
+  | Instr.U_mvm -> 0
+  | Instr.U_vfu -> 1
+  | Instr.U_sfu -> 2
+  | Instr.U_control -> 3
+  | Instr.U_inter_core -> 4
+  | Instr.U_inter_tile -> 5
+
+let unit_short = function
+  | Instr.U_mvm -> "mvm"
+  | Instr.U_vfu -> "vfu"
+  | Instr.U_sfu -> "sfu"
+  | Instr.U_control -> "ctrl"
+  | Instr.U_inter_core -> "ld/st"
+  | Instr.U_inter_tile -> "send/recv"
+
+(* ---- fixed-capacity rings of int tuples (hot path: no allocation) ---- *)
+
+type ring = {
+  cap : int;
+  width : int;
+  data : int array;
+  mutable len : int;
+  mutable head : int;  (* slot index of the oldest entry *)
+  mutable dropped : int;
+}
+
+let ring_create cap width =
+  { cap; width; data = Array.make (cap * width) 0; len = 0; head = 0; dropped = 0 }
+
+(* Base offset for the next entry, evicting the oldest when full. *)
+let ring_slot r =
+  if r.len < r.cap then begin
+    let slot = (r.head + r.len) mod r.cap in
+    r.len <- r.len + 1;
+    slot * r.width
+  end
+  else begin
+    let slot = r.head in
+    r.head <- (r.head + 1) mod r.cap;
+    r.dropped <- r.dropped + 1;
+    slot * r.width
+  end
+
+let ring_fold r f acc =
+  let acc = ref acc in
+  for k = 0 to r.len - 1 do
+    acc := f !acc (((r.head + k) mod r.cap) * r.width)
+  done;
+  !acc
+
+(* ---- per-entity accounting ---- *)
+
+type entity = {
+  ent_tile : int;
+  ent_core : int;  (* -1 = tile control unit *)
+  busy_by_unit : int array;  (* num_units *)
+  stall_by_reason : int array;  (* Core.num_stalls *)
+  mutable idle : int;
+  mutable retired : int;
+  (* state machine *)
+  mutable free_since : int;  (* cycle the entity last became free *)
+  mutable last_stall : int;  (* stall_index of the episode in progress, -1 *)
+  mutable halted_at : int;  (* first observed halt cycle, -1 = live *)
+  mutable last_unit : int;  (* unit of the most recent retire (clamping) *)
+}
+
+type t = {
+  slice_capacity : int;
+  mutable entities : entity array;  (* [||] before the first attach *)
+  mutable ntiles : int;
+  mutable cores_per_tile : int;
+  mutable nruns : int;
+  mutable cycles_total : int;
+  mutable run_start : int;
+  mutable ledger : Energy.t option;
+  (* slice ring: ts, dur, tile, core, unit index *)
+  slice_ring : ring;
+  (* fifo-depth counter: ts, tile, depth (across the tile's FIFOs) *)
+  fifo_ring : ring;
+  mutable fifo_depth : int array;  (* per tile, inferred from events *)
+  (* cumulative-energy counter, sampled every [energy_stride] slices *)
+  e_ts : int array;
+  e_pj : float array;
+  mutable e_len : int;
+  mutable since_energy_sample : int;
+}
+
+let energy_stride = 64
+let energy_cap = 4096
+
+let create ?(slice_capacity = 65536) () =
+  if slice_capacity < 1 then invalid_arg "Profile.create: slice_capacity < 1";
+  {
+    slice_capacity;
+    entities = [||];
+    ntiles = 0;
+    cores_per_tile = 0;
+    nruns = 0;
+    cycles_total = 0;
+    run_start = 0;
+    ledger = None;
+    slice_ring = ring_create slice_capacity 5;
+    fifo_ring = ring_create slice_capacity 3;
+    fifo_depth = [||];
+    e_ts = Array.make energy_cap 0;
+    e_pj = Array.make energy_cap 0.;
+    e_len = 0;
+    since_energy_sample = 0;
+  }
+
+(* Entity slot: TCU first, then the cores of the tile. *)
+let ent_index t ~tile ~core = (tile * (t.cores_per_tile + 1)) + core + 1
+
+(* Close the gap between the entity's free time and [now]: a stall episode
+   when a blocked attempt was observed, idle otherwise. *)
+let charge_gap e ~now =
+  let gap = now - e.free_since in
+  if gap > 0 then
+    if e.last_stall >= 0 then
+      e.stall_by_reason.(e.last_stall) <- e.stall_by_reason.(e.last_stall) + gap
+    else e.idle <- e.idle + gap
+
+let sample_energy t ~now =
+  match t.ledger with
+  | None -> ()
+  | Some en ->
+      if t.e_len < energy_cap then begin
+        t.e_ts.(t.e_len) <- now;
+        t.e_pj.(t.e_len) <- Energy.total_pj en;
+        t.e_len <- t.e_len + 1
+      end
+
+let on_run_start t ~now =
+  t.nruns <- t.nruns + 1;
+  t.run_start <- now;
+  Array.iter
+    (fun e ->
+      e.free_since <- now;
+      e.last_stall <- -1;
+      e.halted_at <- -1)
+    t.entities
+
+let on_retire t ~now ~tile ~core ~cycles instr =
+  let e = t.entities.(ent_index t ~tile ~core) in
+  charge_gap e ~now;
+  let u = unit_index (Instr.unit_of instr) in
+  e.busy_by_unit.(u) <- e.busy_by_unit.(u) + cycles;
+  e.retired <- e.retired + 1;
+  e.free_since <- now + cycles;
+  e.last_stall <- -1;
+  e.last_unit <- u;
+  let base = ring_slot t.slice_ring in
+  let d = t.slice_ring.data in
+  d.(base) <- now;
+  d.(base + 1) <- cycles;
+  d.(base + 2) <- tile;
+  d.(base + 3) <- core;
+  d.(base + 4) <- u;
+  t.since_energy_sample <- t.since_energy_sample + 1;
+  if t.since_energy_sample >= energy_stride then begin
+    t.since_energy_sample <- 0;
+    sample_energy t ~now
+  end;
+  (match instr with
+  | Instr.Receive _ ->
+      let depth = t.fifo_depth.(tile) in
+      let depth = if depth > 0 then depth - 1 else 0 in
+      t.fifo_depth.(tile) <- depth;
+      let base = ring_slot t.fifo_ring in
+      let d = t.fifo_ring.data in
+      d.(base) <- now;
+      d.(base + 1) <- tile;
+      d.(base + 2) <- depth
+  | _ -> ())
+
+let on_stall t ~now:_ ~tile ~core reason =
+  let e = t.entities.(ent_index t ~tile ~core) in
+  e.last_stall <- Core.stall_index reason
+
+let on_halt t ~now ~tile ~core =
+  let e = t.entities.(ent_index t ~tile ~core) in
+  if e.halted_at < 0 then begin
+    charge_gap e ~now;
+    e.last_stall <- -1;
+    e.free_since <- now;
+    e.halted_at <- now
+  end
+
+let on_deliver t ~now ~tile ~fifo:_ ~occupancy:_ =
+  t.fifo_depth.(tile) <- t.fifo_depth.(tile) + 1;
+  let base = ring_slot t.fifo_ring in
+  let d = t.fifo_ring.data in
+  d.(base) <- now;
+  d.(base + 1) <- tile;
+  d.(base + 2) <- t.fifo_depth.(tile)
+
+let on_run_end t ~now =
+  t.cycles_total <- t.cycles_total + (now - t.run_start);
+  Array.iter
+    (fun e ->
+      if e.halted_at >= 0 then e.idle <- e.idle + (now - e.halted_at)
+      else if e.free_since > now then begin
+        (* A run can complete while an entity's last instruction is still
+           draining its issue latency (a core whose pc ran past its stream
+           counts as halted without another step). Clamp that
+           instruction's busy charge to the makespan. *)
+        let over = e.free_since - now in
+        e.busy_by_unit.(e.last_unit) <- e.busy_by_unit.(e.last_unit) - over
+      end
+      else charge_gap e ~now;
+      e.free_since <- now)
+    t.entities;
+  sample_energy t ~now
+
+let probe_of t : Node.probe =
+  {
+    on_run_start = (fun ~now -> on_run_start t ~now);
+    on_retire =
+      (fun ~now ~tile ~core ~cycles instr ->
+        on_retire t ~now ~tile ~core ~cycles instr);
+    on_stall = (fun ~now ~tile ~core reason -> on_stall t ~now ~tile ~core reason);
+    on_halt = (fun ~now ~tile ~core -> on_halt t ~now ~tile ~core);
+    on_deliver =
+      (fun ~now ~tile ~fifo ~occupancy -> on_deliver t ~now ~tile ~fifo ~occupancy);
+    on_run_end = (fun ~now -> on_run_end t ~now);
+  }
+
+let attach t node =
+  let ntiles = Node.num_tiles node in
+  let cpt = (Node.config node).Puma_hwmodel.Config.cores_per_tile in
+  let nent = ntiles * (cpt + 1) in
+  if Array.length t.entities <> nent || t.cores_per_tile <> cpt then begin
+    t.ntiles <- ntiles;
+    t.cores_per_tile <- cpt;
+    t.entities <-
+      Array.init nent (fun i ->
+          {
+            ent_tile = i / (cpt + 1);
+            ent_core = (i mod (cpt + 1)) - 1;
+            busy_by_unit = Array.make num_units 0;
+            stall_by_reason = Array.make Core.num_stalls 0;
+            idle = 0;
+            retired = 0;
+            free_since = 0;
+            last_stall = -1;
+            halted_at = -1;
+            last_unit = 0;
+          });
+    t.fifo_depth <- Array.make ntiles 0
+  end;
+  let en = Node.energy node in
+  if not (Energy.attribution_enabled en && Energy.attributed_tiles en = ntiles)
+  then Energy.enable_attribution en ~num_tiles:ntiles;
+  t.ledger <- Some en;
+  Node.set_probe node (Some (probe_of t))
+
+let detach node =
+  Node.set_probe node None;
+  Energy.disable_attribution (Node.energy node)
+
+(* ---- aggregate views ---- *)
+
+type entity_stat = {
+  tile : int;
+  core : int;
+  busy : int;
+  busy_by_unit : (Instr.unit_class * int) list;
+  stalled : int;
+  stalls : (Core.stall * int) list;
+  idle : int;
+  retired : int;
+}
+
+let stat_of (e : entity) =
+  let busy = Array.fold_left ( + ) 0 e.busy_by_unit in
+  let stalled = Array.fold_left ( + ) 0 e.stall_by_reason in
+  let busy_by_unit =
+    List.filteri (fun i _ -> e.busy_by_unit.(i) > 0) (Array.to_list units)
+    |> List.map (fun u -> (u, e.busy_by_unit.(unit_index u)))
+  in
+  let stalls =
+    List.filter (fun s -> e.stall_by_reason.(Core.stall_index s) > 0) Core.all_stalls
+    |> List.map (fun s -> (s, e.stall_by_reason.(Core.stall_index s)))
+  in
+  {
+    tile = e.ent_tile;
+    core = e.ent_core;
+    busy;
+    busy_by_unit;
+    stalled;
+    stalls;
+    idle = e.idle;
+    retired = e.retired;
+  }
+
+let entity_stats t = Array.to_list t.entities |> List.map stat_of
+
+type totals = {
+  cycles : int;
+  busy_cycles : int;
+  stalled_cycles : int;
+  idle_cycles : int;
+  by_unit : (Instr.unit_class * int) list;
+  by_stall : (Core.stall * int) list;
+  retired : int;
+}
+
+let totals t =
+  let by_unit = Array.make num_units 0 in
+  let by_stall = Array.make Core.num_stalls 0 in
+  let idle = ref 0 and retired = ref 0 in
+  Array.iter
+    (fun (e : entity) ->
+      Array.iteri (fun i n -> by_unit.(i) <- by_unit.(i) + n) e.busy_by_unit;
+      Array.iteri (fun i n -> by_stall.(i) <- by_stall.(i) + n) e.stall_by_reason;
+      idle := !idle + e.idle;
+      retired := !retired + e.retired)
+    t.entities;
+  {
+    cycles = t.cycles_total;
+    busy_cycles = Array.fold_left ( + ) 0 by_unit;
+    stalled_cycles = Array.fold_left ( + ) 0 by_stall;
+    idle_cycles = !idle;
+    by_unit = Array.to_list units |> List.map (fun u -> (u, by_unit.(unit_index u)));
+    by_stall =
+      List.map (fun s -> (s, by_stall.(Core.stall_index s))) Core.all_stalls;
+    retired = !retired;
+  }
+
+let runs t = t.nruns
+let total_cycles t = t.cycles_total
+let num_tiles t = t.ntiles
+let cores_per_tile t = t.cores_per_tile
+let energy t = t.ledger
+
+(* ---- trace window ---- *)
+
+type slice = {
+  ts : int;
+  dur : int;
+  s_tile : int;
+  s_core : int;
+  unit_class : Instr.unit_class;
+}
+
+type fifo_sample = { f_ts : int; f_tile : int; depth : int }
+type energy_sample = { e_ts : int; total_pj : float }
+
+let slices t =
+  ring_fold t.slice_ring
+    (fun acc base ->
+      let d = t.slice_ring.data in
+      {
+        ts = d.(base);
+        dur = d.(base + 1);
+        s_tile = d.(base + 2);
+        s_core = d.(base + 3);
+        unit_class = units.(d.(base + 4));
+      }
+      :: acc)
+    []
+  |> List.rev
+
+let fifo_samples t =
+  ring_fold t.fifo_ring
+    (fun acc base ->
+      let d = t.fifo_ring.data in
+      { f_ts = d.(base); f_tile = d.(base + 1); depth = d.(base + 2) } :: acc)
+    []
+  |> List.rev
+
+let energy_samples t =
+  List.init t.e_len (fun i -> { e_ts = t.e_ts.(i); total_pj = t.e_pj.(i) })
+
+let dropped_slices t = t.slice_ring.dropped
+
+(* ---- reports ---- *)
+
+let entity_name (s : entity_stat) =
+  if s.core < 0 then Printf.sprintf "t%d.tcu" s.tile
+  else Printf.sprintf "t%d.c%d" s.tile s.core
+
+let pct num den = if den <= 0 then "-" else Table.fmt_pct (float_of_int num /. float_of_int den)
+
+let occupancy_table t =
+  let tbl =
+    Table.create ~title:"Occupancy (cycles per entity)"
+      ~headers:
+        [ "entity"; "retired"; "busy"; "stalled"; "idle"; "busy%"; "stall%" ]
+  in
+  let last_tile = ref (-1) in
+  List.iter
+    (fun (s : entity_stat) ->
+      if s.retired > 0 || s.stalled > 0 then begin
+        if !last_tile >= 0 && s.tile <> !last_tile then Table.add_sep tbl;
+        last_tile := s.tile;
+        let total = s.busy + s.stalled + s.idle in
+        Table.add_row tbl
+          [
+            entity_name s;
+            string_of_int s.retired;
+            string_of_int s.busy;
+            string_of_int s.stalled;
+            string_of_int s.idle;
+            pct s.busy total;
+            pct s.stalled total;
+          ]
+      end)
+    (entity_stats t);
+  tbl
+
+let stall_table ?(top = 10) t =
+  let tbl =
+    Table.create ~title:(Printf.sprintf "Top stalls (by cycles, top %d)" top)
+      ~headers:[ "entity"; "reason"; "cycles"; "of entity" ]
+  in
+  let rows =
+    entity_stats t
+    |> List.concat_map (fun (s : entity_stat) ->
+           let total = s.busy + s.stalled + s.idle in
+           List.map (fun (reason, cyc) -> (s, reason, cyc, total)) s.stalls)
+    |> List.sort (fun (_, _, a, _) (_, _, b, _) -> compare b a)
+  in
+  List.iteri
+    (fun i (s, reason, cyc, total) ->
+      if i < top then
+        Table.add_row tbl
+          [
+            entity_name s;
+            Core.stall_name reason;
+            string_of_int cyc;
+            pct cyc total;
+          ])
+    rows;
+  tbl
+
+let unit_table t =
+  let tot = totals t in
+  let tbl =
+    Table.create ~title:"Busy cycles by execution unit"
+      ~headers:[ "unit"; "cycles"; "of busy" ]
+  in
+  List.iter
+    (fun (u, cyc) ->
+      if cyc > 0 then
+        Table.add_row tbl
+          [ Instr.unit_name u; string_of_int cyc; pct cyc tot.busy_cycles ])
+    tot.by_unit;
+  tbl
+
+let energy_table t =
+  match t.ledger with
+  | Some en when Energy.attribution_enabled en ->
+      let cats =
+        (* Columns: categories with nonzero energy anywhere. *)
+        List.filter
+          (fun c -> Energy.energy_pj en c <> 0.)
+          Energy.all_categories
+      in
+      let tbl =
+        Table.create ~title:"Energy by tile (pJ)"
+          ~headers:
+            ("tile" :: List.map Energy.category_name cats @ [ "total" ])
+      in
+      let rows = Energy.attributed_tiles en in
+      for ti = 0 to rows - 1 do
+        let total = Energy.tile_total_pj en ~tile:ti in
+        if total <> 0. then
+          Table.add_row tbl
+            (Printf.sprintf "t%d" ti
+            :: List.map
+                 (fun c -> Table.fmt_float (Energy.tile_energy_pj en ~tile:ti c))
+                 cats
+            @ [ Table.fmt_float total ])
+      done;
+      let unattributed = Energy.unattributed_total_pj en in
+      if unattributed <> 0. then begin
+        Table.add_sep tbl;
+        Table.add_row tbl
+          ("(other)"
+          :: List.map (fun _ -> "") cats
+          @ [ Table.fmt_float unattributed ])
+      end;
+      Some tbl
+  | _ -> None
+
+let report ?(top = 10) t =
+  let buf = Buffer.create 4096 in
+  let tot = totals t in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "profile: %d run(s), %d cycles, %d instructions retired, %d entities\n"
+       t.nruns t.cycles_total tot.retired (Array.length t.entities));
+  if t.slice_ring.dropped > 0 then
+    Buffer.add_string buf
+      (Printf.sprintf
+         "note: trace window dropped %d oldest slice(s) (capacity %d)\n"
+         t.slice_ring.dropped t.slice_capacity);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (Table.render (occupancy_table t));
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (Table.render (unit_table t));
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (Table.render (stall_table ~top t));
+  (match energy_table t with
+  | Some tbl ->
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf (Table.render tbl)
+  | None -> ());
+  Buffer.contents buf
+
+let to_json t =
+  let tot = totals t in
+  let entity_json s =
+    Json.Obj
+      [
+        ("tile", Json.Int s.tile);
+        ("core", Json.Int s.core);
+        ("retired", Json.Int s.retired);
+        ("busy", Json.Int s.busy);
+        ("stalled", Json.Int s.stalled);
+        ("idle", Json.Int s.idle);
+        ( "busy_by_unit",
+          Json.Obj
+            (List.map
+               (fun (u, n) -> (unit_short u, Json.Int n))
+               s.busy_by_unit) );
+        ( "stalls",
+          Json.Obj
+            (List.map (fun (r, n) -> (Core.stall_name r, Json.Int n)) s.stalls)
+        );
+      ]
+  in
+  let energy_json =
+    match t.ledger with
+    | Some en when Energy.attribution_enabled en ->
+        let tiles =
+          List.init (Energy.attributed_tiles en) (fun ti ->
+              Json.Obj
+                [
+                  ("tile", Json.Int ti);
+                  ("total_pj", Json.Float (Energy.tile_total_pj en ~tile:ti));
+                  ( "by_category",
+                    Json.Obj
+                      (List.map
+                         (fun (c, pj) ->
+                           (Energy.category_name c, Json.Float pj))
+                         (Energy.tile_breakdown en ~tile:ti)) );
+                ])
+        in
+        [
+          ("total_pj", Json.Float (Energy.total_pj en));
+          ("unattributed_pj", Json.Float (Energy.unattributed_total_pj en));
+          ("tiles", Json.List tiles);
+        ]
+    | _ -> []
+  in
+  Json.Obj
+    [
+      ("runs", Json.Int t.nruns);
+      ("cycles", Json.Int t.cycles_total);
+      ("retired", Json.Int tot.retired);
+      ("num_tiles", Json.Int t.ntiles);
+      ("cores_per_tile", Json.Int t.cores_per_tile);
+      ("busy_cycles", Json.Int tot.busy_cycles);
+      ("stalled_cycles", Json.Int tot.stalled_cycles);
+      ("idle_cycles", Json.Int tot.idle_cycles);
+      ( "by_unit",
+        Json.Obj
+          (List.map (fun (u, n) -> (unit_short u, Json.Int n)) tot.by_unit) );
+      ( "by_stall",
+        Json.Obj
+          (List.map (fun (s, n) -> (Core.stall_name s, Json.Int n)) tot.by_stall)
+      );
+      ("dropped_slices", Json.Int t.slice_ring.dropped);
+      ("energy", Json.Obj energy_json);
+      ("entities", Json.List (entity_stats t |> List.map entity_json));
+    ]

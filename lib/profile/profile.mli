@@ -1,0 +1,120 @@
+(** Cycle-level profiler over PUMAsim.
+
+    An opt-in observability layer: attach a profiler to a
+    {!Puma_sim.Node} and every core cycle of each subsequent run is
+    classified as busy (split by execution-unit class), stalled (split by
+    the {!Puma_arch.Core.stall} taxonomy) or idle, while the shared
+    {!Puma_hwmodel.Energy} ledger additionally attributes dynamic energy
+    and event counts to tiles. The profiler also retains a bounded window
+    of execution slices and counter samples that {!Chrome_trace} exports
+    as Chrome trace-event JSON.
+
+    {b Non-interference guarantee.} Attaching a profiler never changes
+    simulation results: outputs, cycle counts, retired-instruction counts
+    and every energy total are bit-identical with and without a profiler
+    (pinned by the differential test over the whole model zoo). When no
+    profiler is attached the simulator's hot path pays one branch per
+    event and allocates nothing.
+
+    {b Accounting invariant.} For every entity (each core and each tile
+    control unit), [busy + stalled + idle = total profiled cycles], where
+    the total is the sum of the profiled runs' makespans — the same value
+    {!Puma_sim.Node.cycles} accumulates. *)
+
+type t
+
+val create : ?slice_capacity:int -> unit -> t
+(** A profiler retaining at most [slice_capacity] execution slices for
+    trace export (default 65536; aggregate accounting is exact regardless
+    — eviction only affects the exported window, see
+    {!dropped_slices}). *)
+
+val attach : t -> Puma_sim.Node.t -> unit
+(** Start profiling [node]: installs the instrumentation probe and
+    enables per-tile attribution on the node's energy ledger. A profiler
+    observes one node at a time; attaching to a node replaces any probe
+    previously installed on it, and re-attaching the same profiler to a
+    node of the same shape accumulates across runs. *)
+
+val detach : Puma_sim.Node.t -> unit
+(** Stop profiling [node]: clears the probe and disables energy
+    attribution. Collected data stays readable on the profiler. *)
+
+(** {1 Aggregate accounting} *)
+
+type entity_stat = {
+  tile : int;
+  core : int;  (** [-1] is the tile control unit. *)
+  busy : int;  (** Cycles executing retired instructions. *)
+  busy_by_unit : (Puma_isa.Instr.unit_class * int) list;
+      (** [busy] split by execution-unit class (nonzero entries). *)
+  stalled : int;  (** Cycles blocked, by {!Puma_arch.Core.stall} below. *)
+  stalls : (Puma_arch.Core.stall * int) list;  (** Nonzero entries. *)
+  idle : int;  (** Cycles after the entity ran out of work. *)
+  retired : int;
+}
+
+val entity_stats : t -> entity_stat list
+(** One entry per entity of the profiled node (tile control unit first,
+    then cores), tiles in index order. Empty before the first {!attach}. *)
+
+type totals = {
+  cycles : int;  (** Sum over profiled runs of the run makespan. *)
+  busy_cycles : int;
+  stalled_cycles : int;
+  idle_cycles : int;
+      (** Sums over entities: [busy + stalled + idle =
+          cycles * num_entities]. *)
+  by_unit : (Puma_isa.Instr.unit_class * int) list;  (** Complete. *)
+  by_stall : (Puma_arch.Core.stall * int) list;  (** Complete. *)
+  retired : int;
+}
+
+val totals : t -> totals
+(** Node-wide sums (cheap; used by the batch runtime to decompose each
+    request's makespan by snapshotting before/after). *)
+
+val runs : t -> int
+val total_cycles : t -> int
+
+(** {1 Trace-export window} *)
+
+type slice = {
+  ts : int;  (** Retirement start cycle. *)
+  dur : int;
+  s_tile : int;
+  s_core : int;  (** [-1] is the tile control unit. *)
+  unit_class : Puma_isa.Instr.unit_class;
+}
+
+type fifo_sample = { f_ts : int; f_tile : int; depth : int }
+(** Packets resident across the tile's receive FIFOs after a change. *)
+
+type energy_sample = { e_ts : int; total_pj : float }
+
+val slices : t -> slice list
+(** Retained window in retirement order ([ts] nondecreasing per
+    entity). *)
+
+val fifo_samples : t -> fifo_sample list
+val energy_samples : t -> energy_sample list
+
+val dropped_slices : t -> int
+(** Slices evicted from the bounded window (0 = the trace is complete). *)
+
+val num_tiles : t -> int
+val cores_per_tile : t -> int
+
+val energy : t -> Puma_hwmodel.Energy.t option
+(** The profiled node's ledger (for per-tile energy reporting). *)
+
+(** {1 Reports} *)
+
+val report : ?top:int -> t -> string
+(** Human-readable profile: per-entity occupancy table, top-[top]
+    (default 10) stall ranking, and — when the ledger carries per-tile
+    attribution — an energy-by-tile-by-category table. *)
+
+val to_json : t -> Puma_util.Json.t
+(** Machine-readable stats: totals, per-entity accounting and per-tile
+    energy (the [puma_cli profile --json] payload). *)

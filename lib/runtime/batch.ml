@@ -5,13 +5,18 @@ module Pool = Puma_util.Pool
 module Rng = Puma_util.Rng
 module Stats = Puma_util.Stats
 
+module Profile = Puma_profile.Profile
+
 type request = { index : int; inputs : (string * float array) list }
+
+type stall_split = (Puma_arch.Core.stall * int) list
 
 type response = {
   index : int;
   outputs : (string * float array) list;
   cycles : int;
   dynamic_energy_pj : float;
+  stalls : stall_split;
 }
 
 type summary = {
@@ -26,6 +31,8 @@ type summary = {
   dynamic_energy_uj : float;
   static_energy_uj : float;
   total_energy_uj : float;
+  busy_cycles : int;
+  stall_cycles : stall_split;
 }
 
 let input_lengths (program : Program.t) =
@@ -103,7 +110,29 @@ let greedy_makespan ~domains costs =
     costs;
   Array.fold_left max 0 loads
 
-let run ?domains ?noise_seed (program : Program.t) requests =
+(* Stall-cycle deltas between two profiler snapshots, nonzero only. *)
+let stall_delta (before : Profile.totals) (after : Profile.totals) =
+  List.filter_map
+    (fun (reason, b) ->
+      match List.assoc_opt reason before.Profile.by_stall with
+      | Some a when b - a > 0 -> Some (reason, b - a)
+      | None when b > 0 -> Some (reason, b)
+      | _ -> None)
+    after.Profile.by_stall
+
+let merge_stalls splits =
+  List.filter_map
+    (fun reason ->
+      let n =
+        List.fold_left
+          (fun acc split ->
+            acc + Option.value ~default:0 (List.assoc_opt reason split))
+          0 splits
+      in
+      if n > 0 then Some (reason, n) else None)
+    Puma_arch.Core.all_stalls
+
+let run ?domains ?noise_seed ?(profile = false) (program : Program.t) requests =
   let domains =
     match domains with
     | Some d when d >= 1 -> d
@@ -114,19 +143,44 @@ let run ?domains ?noise_seed (program : Program.t) requests =
   let n = Array.length requests in
   let responses =
     Pool.map_init ~domains ~n
-      ~init:(fun ~worker:_ -> warmed_node ?noise_seed program)
-      (fun node i ->
+      ~init:(fun ~worker:_ ->
+        (* Attach the profiler only after warm-up, so the profile (like
+           every other metric) covers exactly the served requests. *)
+        let node = warmed_node ?noise_seed program in
+        let prof =
+          if profile then begin
+            let p = Profile.create () in
+            Profile.attach p node;
+            Some p
+          end
+          else None
+        in
+        (node, prof))
+      (fun (node, prof) i ->
         let r = requests.(i) in
         let c0 = Node.cycles node in
         let e0 = Energy.total_pj (Node.energy node) in
+        let t0 = Option.map Profile.totals prof in
         let outputs = Node.run node ~inputs:r.inputs in
-        {
-          index = r.index;
-          outputs;
-          cycles = Node.cycles node - c0;
-          dynamic_energy_pj = Energy.total_pj (Node.energy node) -. e0;
-        })
+        let stalls, busy =
+          match (prof, t0) with
+          | Some p, Some before ->
+              let after = Profile.totals p in
+              ( stall_delta before after,
+                after.Profile.busy_cycles - before.Profile.busy_cycles )
+          | _ -> ([], 0)
+        in
+        ( {
+            index = r.index;
+            outputs;
+            cycles = Node.cycles node - c0;
+            dynamic_energy_pj = Energy.total_pj (Node.energy node) -. e0;
+            stalls;
+          },
+          busy ))
   in
+  let busy_cycles = Array.fold_left (fun acc (_, b) -> acc + b) 0 responses in
+  let responses = Array.map fst responses in
   let costs = Array.map (fun r -> r.cycles) responses in
   let serial_cycles = Array.fold_left ( + ) 0 costs in
   let makespan_cycles =
@@ -162,6 +216,9 @@ let run ?domains ?noise_seed (program : Program.t) requests =
       dynamic_energy_uj = dynamic_pj /. 1.0e6;
       static_energy_uj = static_pj /. 1.0e6;
       total_energy_uj = (dynamic_pj +. static_pj) /. 1.0e6;
+      busy_cycles;
+      stall_cycles =
+        merge_stalls (Array.to_list (Array.map (fun r -> r.stalls) responses));
     }
   in
   (responses, summary)
@@ -172,7 +229,18 @@ let pp_summary fmt s =
      makespan            %d cycles (serial %d, speedup %.2fx)@,\
      throughput          %.1f inf/s (simulated)@,\
      latency p50 / p95   %.0f / %.0f cycles@,\
-     energy              %.3f uJ (%.3f dynamic + %.3f static)@]"
+     energy              %.3f uJ (%.3f dynamic + %.3f static)"
     s.batch_size s.domains s.makespan_cycles s.serial_cycles s.speedup
     s.throughput_inf_s s.p50_cycles s.p95_cycles s.total_energy_uj
-    s.dynamic_energy_uj s.static_energy_uj
+    s.dynamic_energy_uj s.static_energy_uj;
+  if s.busy_cycles > 0 || s.stall_cycles <> [] then
+    Format.fprintf fmt "@,occupancy           %d busy cycles; stalled: %s"
+      s.busy_cycles
+      (if s.stall_cycles = [] then "none"
+       else
+         String.concat ", "
+           (List.map
+              (fun (reason, n) ->
+                Printf.sprintf "%d %s" n (Puma_arch.Core.stall_name reason))
+              s.stall_cycles));
+  Format.fprintf fmt "@]"

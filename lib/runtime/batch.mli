@@ -26,11 +26,17 @@ type request = {
   inputs : (string * float array) list;
 }
 
+type stall_split = (Puma_arch.Core.stall * int) list
+(** Core-cycles lost per stall reason (nonzero entries only). *)
+
 type response = {
   index : int;
   outputs : (string * float array) list;
   cycles : int;  (** Simulated cycles of this inference alone. *)
   dynamic_energy_pj : float;
+  stalls : stall_split;
+      (** This request's stall decomposition when {!run} was given
+          [~profile:true]; [[]] otherwise. *)
 }
 
 type summary = {
@@ -51,6 +57,11 @@ type summary = {
       (** Leakage/clock energy of the occupied tiles of all [domains]
           nodes over the makespan. *)
   total_energy_uj : float;
+  busy_cycles : int;
+      (** Core/TCU cycles spent executing instructions across the batch
+          (0 unless profiling). *)
+  stall_cycles : stall_split;
+      (** Batch-wide stall decomposition ([[]] unless profiling). *)
 }
 
 val input_lengths : Puma_isa.Program.t -> (string * int) list
@@ -70,6 +81,7 @@ val random_requests :
 val run :
   ?domains:int ->
   ?noise_seed:int ->
+  ?profile:bool ->
   Puma_isa.Program.t ->
   request list ->
   response array * summary
@@ -77,6 +89,12 @@ val run :
     {!Puma_util.Pool.default_domains}; [noise_seed] is passed to every
     node (default as {!Puma_sim.Node.create}). The response array is in
     request-index order. Raises like {!Puma_sim.Node.run} on bad programs
-    or missing inputs. *)
+    or missing inputs.
+
+    [profile] (default [false]) attaches a {!Puma_profile.Profile} to each
+    worker's node after its warm-up run, filling [response.stalls] and the
+    summary's [busy_cycles]/[stall_cycles] so a request's makespan
+    decomposes into stall classes. Profiling never changes outputs, cycle
+    counts or energy totals (pinned by the differential tests). *)
 
 val pp_summary : Format.formatter -> summary -> unit

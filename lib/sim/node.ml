@@ -7,6 +7,20 @@ module Fixed = Puma_util.Fixed
 
 exception Deadlock of string
 
+(* Low-level instrumentation callbacks fired by the run loop. [core = -1]
+   designates the tile control unit. The probe is the hook behind
+   [Puma_profile.Profile]; when it is [None] the run loop pays one branch
+   per event and allocates nothing. *)
+type probe = {
+  on_run_start : now:int -> unit;
+  on_retire :
+    now:int -> tile:int -> core:int -> cycles:int -> Puma_isa.Instr.t -> unit;
+  on_stall : now:int -> tile:int -> core:int -> Core.stall -> unit;
+  on_halt : now:int -> tile:int -> core:int -> unit;
+  on_deliver : now:int -> tile:int -> fifo:int -> occupancy:int -> unit;
+  on_run_end : now:int -> unit;
+}
+
 type t = {
   program : Program.t;
   config : Puma_hwmodel.Config.t;
@@ -19,6 +33,7 @@ type t = {
   mutable total_cycles : int;
   mutable retire_hook :
     (cycle:int -> tile:int -> core:int -> Puma_isa.Instr.t -> unit) option;
+  mutable probe : probe option;
 }
 
 let cycle_cap = 200_000_000
@@ -64,11 +79,13 @@ let create ?(noise_seed = 42) (program : Program.t) =
     now = 0;
     total_cycles = 0;
     retire_hook = None;
+    probe = None;
   }
 
 let config t = t.config
 let energy t = t.energy
 let cycles t = t.total_cycles
+let num_tiles t = Array.length t.tiles
 
 let retired_instructions t =
   Array.fold_left
@@ -80,14 +97,13 @@ let retired_instructions t =
       acc + !per_core)
     0 t.tiles
 
+let tile_busy (tp : Program.tile_program) =
+  Array.exists (fun code -> Array.length code > 0) tp.core_code
+  || Array.length tp.tile_code > 0
+
 let tiles_used t =
   Array.fold_left
-    (fun acc (tp : Program.tile_program) ->
-      let busy =
-        Array.exists (fun code -> Array.length code > 0) tp.core_code
-        || Array.length tp.tile_code > 0
-      in
-      if busy then acc + 1 else acc)
+    (fun acc tp -> if tile_busy tp then acc + 1 else acc)
     0 t.program.tiles
 
 let inject_inputs t inputs =
@@ -149,13 +165,16 @@ let run t ~inputs =
   Array.iter Tile.reset t.tiles;
   let ntiles = Array.length t.tiles in
   let start = t.now in
+  (match t.probe with Some p -> p.on_run_start ~now:start | None -> ());
   let finished = ref false in
   while not !finished do
     if t.now - start > cycle_cap then failwith "Node.run: cycle cap exceeded";
     let progress = ref false in
-    (* Drain tile outgoing queues into the network. *)
+    (* Drain tile outgoing queues into the network. NoC (and off-chip)
+       energy is attributed to the sending tile. *)
     Array.iter
       (fun tile ->
+        Energy.set_scope t.energy (Tile.index tile);
         let rec drain () =
           match Tile.pop_outgoing tile with
           | None -> ()
@@ -174,28 +193,48 @@ let run t ~inputs =
       t.tiles;
     (* Deliver every arrived message; a full destination FIFO pushes the
        message back with a one-cycle retry so it stays visible to the
-       time-advance logic. *)
+       time-advance logic. FIFO push energy lands on the destination. *)
     let rec deliver () =
       match Network.pop_arrived t.network ~now:t.now with
       | None -> ()
       | Some msg ->
+          Energy.set_scope t.energy msg.Network.dst_tile;
           if
             Tile.deliver t.tiles.(msg.Network.dst_tile) ~fifo:msg.fifo_id
               ~src_tile:msg.src_tile ~payload:msg.payload
-          then progress := true
+          then begin
+            progress := true;
+            match t.probe with
+            | Some p ->
+                let rb = Tile.recv_buffer t.tiles.(msg.Network.dst_tile) in
+                p.on_deliver ~now:t.now ~tile:msg.dst_tile ~fifo:msg.fifo_id
+                  ~occupancy:(Puma_tile.Recv_buffer.occupancy rb ~fifo:msg.fifo_id)
+            | None -> ()
+          end
           else Network.requeue t.network ~now:t.now msg;
           deliver ()
     in
     deliver ();
-    (* Step ready entities. *)
+    (* Step ready entities (energy scoped to the stepping tile). *)
     for ti = 0 to ntiles - 1 do
       let tile = t.tiles.(ti) in
+      Energy.set_scope t.energy ti;
       if t.tcu_ready.(ti) <= t.now then begin
         match Tile.step_tcu tile ~now:t.now with
-        | Tile.Retired { cycles } ->
+        | Tile.Retired { cycles; instr } ->
             t.tcu_ready.(ti) <- t.now + cycles;
-            progress := true
-        | Tile.Blocked | Tile.Halted -> ()
+            progress := true;
+            (match t.probe with
+            | Some p -> p.on_retire ~now:t.now ~tile:ti ~core:(-1) ~cycles instr
+            | None -> ())
+        | Tile.Blocked reason -> (
+            match t.probe with
+            | Some p -> p.on_stall ~now:t.now ~tile:ti ~core:(-1) reason
+            | None -> ())
+        | Tile.Halted -> (
+            match t.probe with
+            | Some p -> p.on_halt ~now:t.now ~tile:ti ~core:(-1)
+            | None -> ())
       end;
       for c = 0 to Tile.num_cores tile - 1 do
         if t.core_ready.(ti).(c) <= t.now then begin
@@ -204,12 +243,23 @@ let run t ~inputs =
               (match t.retire_hook with
               | Some hook -> hook ~cycle:t.now ~tile:ti ~core:c instr
               | None -> ());
+              (match t.probe with
+              | Some p -> p.on_retire ~now:t.now ~tile:ti ~core:c ~cycles instr
+              | None -> ());
               t.core_ready.(ti).(c) <- t.now + cycles;
               progress := true
-          | Core.Blocked | Core.Halted -> ()
+          | Core.Blocked reason -> (
+              match t.probe with
+              | Some p -> p.on_stall ~now:t.now ~tile:ti ~core:c reason
+              | None -> ())
+          | Core.Halted -> (
+              match t.probe with
+              | Some p -> p.on_halt ~now:t.now ~tile:ti ~core:c
+              | None -> ())
         end
       done
     done;
+    Energy.set_scope t.energy (-1);
     (* Completion / time advance / deadlock. *)
     let all_halted = Array.for_all Tile.all_halted t.tiles in
     if all_halted && Network.in_flight t.network = 0 then finished := true
@@ -263,13 +313,28 @@ let run t ~inputs =
     end
   done;
   t.total_cycles <- t.total_cycles + (t.now - start);
+  (match t.probe with Some p -> p.on_run_end ~now:t.now | None -> ());
   read_outputs t
 
 let finish_energy t =
   Energy.add_static t.energy ~tiles:(tiles_used t)
-    ~cycles:(Float.of_int t.total_cycles)
+    ~cycles:(Float.of_int t.total_cycles);
+  (* Under per-tile attribution, spread the (already recorded) static
+     charge over the occupied tiles so the attributed rows account for the
+     whole ledger. *)
+  if Energy.attribution_enabled t.energy then begin
+    let share =
+      Energy.static_tile_pj t.config ~cycles:(Float.of_int t.total_cycles)
+    in
+    Array.iteri
+      (fun ti tp ->
+        if tile_busy tp then Energy.attribute_pj t.energy ~tile:ti Static share)
+      t.program.tiles
+  end
 
 let set_retire_hook t hook = t.retire_hook <- hook
+let set_probe t probe = t.probe <- probe
+let probe_attached t = t.probe <> None
 
 let iter_mvmus t f =
   Array.iteri

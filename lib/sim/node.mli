@@ -9,6 +9,36 @@
 
 exception Deadlock of string
 
+(** Low-level instrumentation callbacks fired by the run loop (the hook
+    behind {!Puma_profile.Profile}). In every callback [core = -1]
+    designates the tile control unit, and [now] is the simulated cycle.
+
+    Semantics the consumer can rely on:
+    - [on_run_start]/[on_run_end] bracket each {!run} (not fired when the
+      run aborts on deadlock or the cycle cap);
+    - [on_retire] fires once per retired instruction, which occupies the
+      entity for [cycles] starting at [now];
+    - [on_stall] fires on {e every} failed step attempt of a ready entity
+      (typically many times per stall episode, all with the same reason
+      until the dependency resolves);
+    - [on_halt] fires when a halted entity is stepped — the first time at
+      exactly the cycle the entity ran out of work, and again on every
+      later scheduler pass (consumers deduplicate);
+    - [on_deliver] fires when a message enters a receive FIFO, with the
+      occupancy after the push.
+
+    When no probe is attached the run loop pays one branch per event and
+    allocates nothing. *)
+type probe = {
+  on_run_start : now:int -> unit;
+  on_retire :
+    now:int -> tile:int -> core:int -> cycles:int -> Puma_isa.Instr.t -> unit;
+  on_stall : now:int -> tile:int -> core:int -> Puma_arch.Core.stall -> unit;
+  on_halt : now:int -> tile:int -> core:int -> unit;
+  on_deliver : now:int -> tile:int -> fifo:int -> occupancy:int -> unit;
+  on_run_end : now:int -> unit;
+}
+
 type t
 
 val create : ?noise_seed:int -> Puma_isa.Program.t -> t
@@ -18,6 +48,7 @@ val create : ?noise_seed:int -> Puma_isa.Program.t -> t
 
 val config : t -> Puma_hwmodel.Config.t
 val energy : t -> Puma_hwmodel.Energy.t
+val num_tiles : t -> int
 val cycles : t -> int
 (** Cycles elapsed in completed {!run} calls. *)
 
@@ -44,4 +75,12 @@ val iter_mvmus : t -> (Puma_xbar.Mvmu.t -> unit) -> unit
 val set_retire_hook :
   t -> (cycle:int -> tile:int -> core:int -> Puma_isa.Instr.t -> unit) option -> unit
 (** Install (or clear) a callback invoked at every retired core
-    instruction — the hook behind {!Trace}. *)
+    instruction — the hook behind {!Trace}. Independent of {!set_probe}
+    (a trace and a profiler can coexist). *)
+
+val set_probe : t -> probe option -> unit
+(** Install (or clear) the instrumentation probe. Attaching a probe never
+    changes simulation results: instruction semantics, cycle counts and
+    the energy ledger totals are bit-identical with and without one. *)
+
+val probe_attached : t -> bool

@@ -38,7 +38,7 @@ let entries t =
       | Some e -> e
       | None -> assert false)
 
-let unit_cycles t =
+let unit_counts t =
   let tally = Hashtbl.create 8 in
   List.iter
     (fun e ->
@@ -49,6 +49,8 @@ let unit_cycles t =
     (fun u ->
       Option.map (fun n -> (u, n)) (Hashtbl.find_opt tally u))
     Puma_isa.Instr.all_units
+
+let unit_cycles = unit_counts
 
 let pp_entry layout fmt e =
   Format.fprintf fmt "%10d  tile %2d core %d  %s" e.cycle e.tile e.core

@@ -33,9 +33,17 @@ val total_recorded : t -> int
 val entries : t -> entry list
 (** Retained entries in retirement order. *)
 
+val unit_counts : t -> (Puma_isa.Instr.unit_class * int) list
+(** Retired-instruction {e counts} per execution unit over the retained
+    window (number of instructions, not cycles — an instruction's issue
+    latency does not weight its entry; for cycle-weighted occupancy use
+    {!Puma_profile.Profile}). Units with no retired instructions are
+    omitted. *)
+
 val unit_cycles : t -> (Puma_isa.Instr.unit_class * int) list
-(** Retired-instruction counts per execution unit over the retained
-    window. *)
+  [@@ocaml.deprecated "misnamed: returns counts, not cycles — use unit_counts"]
+(** @deprecated Historical name for {!unit_counts}; it always returned
+    instruction counts, never cycles. *)
 
 val pp_entry : Puma_isa.Operand.layout -> Format.formatter -> entry -> unit
 

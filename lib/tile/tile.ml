@@ -10,7 +10,16 @@ type outgoing = {
   issue_cycle : int;
 }
 
-type step_result = Retired of { cycles : int } | Blocked | Halted
+type step_result =
+  | Retired of { cycles : int; instr : Instr.t }
+  | Blocked of Core.stall
+  | Halted
+
+(* Preallocated: blocked steps are retried every scheduler iteration and
+   must not allocate. *)
+let blocked_smem_read = Blocked Core.Stall_smem_read
+let blocked_smem_write = Blocked Core.Stall_smem_write
+let blocked_recv_fifo = Blocked Core.Stall_recv_fifo
 
 type t = {
   config : Puma_hwmodel.Config.t;
@@ -74,9 +83,9 @@ let step_tcu t ~now =
     | Halt ->
         t.tcu_halted <- true;
         Halted
-    | Send { mem_addr; fifo_id; target; vec_width } -> (
+    | Send { mem_addr; fifo_id; target; vec_width } as instr -> (
         match Shared_mem.read t.smem ~addr:mem_addr ~width:vec_width with
-        | None -> Blocked
+        | None -> blocked_smem_read
         | Some payload ->
             let cycles = Latency.send_occupancy t.config ~vec_width in
             Queue.add
@@ -91,10 +100,10 @@ let step_tcu t ~now =
             Energy.add t.energy Bus vec_width;
             Energy.add t.energy Attr 1;
             t.tcu_pc <- t.tcu_pc + 1;
-            Retired { cycles })
-    | Receive { mem_addr; fifo_id; count; vec_width } -> (
+            Retired { cycles; instr })
+    | Receive { mem_addr; fifo_id; count; vec_width } as instr -> (
         match Recv_buffer.peek t.recv ~fifo:fifo_id with
-        | None -> Blocked
+        | None -> blocked_recv_fifo
         | Some pkt ->
             if Array.length pkt.payload <> vec_width then
               invalid_arg
@@ -110,9 +119,9 @@ let step_tcu t ~now =
               Energy.add t.energy Bus vec_width;
               Energy.add t.energy Attr 1;
               t.tcu_pc <- t.tcu_pc + 1;
-              Retired { cycles }
+              Retired { cycles; instr }
             end
-            else Blocked)
+            else blocked_smem_write)
     | Mvm _ | Alu _ | Alui _ | Alu_int _ | Set _ | Set_sreg _ | Copy _
     | Load _ | Store _ | Jmp _ | Brn _ ->
         invalid_arg "Tile.step_tcu: core instruction in tile stream"

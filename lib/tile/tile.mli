@@ -14,8 +14,11 @@ type outgoing = {
 }
 
 type step_result =
-  | Retired of { cycles : int }
-  | Blocked
+  | Retired of { cycles : int; instr : Puma_isa.Instr.t }
+  | Blocked of Puma_arch.Core.stall
+      (** Waiting; the payload says on what (send → {!Puma_arch.Core.Stall_smem_read},
+          receive → [Stall_recv_fifo] while the packet is missing, then
+          [Stall_smem_write] until the destination words drain). *)
   | Halted
 
 type t

@@ -125,7 +125,7 @@ let run_core ?(mem = null_mem) code =
     if n > 10000 then Alcotest.fail "core did not halt";
     match Core.step core ~mem with
     | Core.Retired _ -> go (n + 1)
-    | Core.Blocked -> Alcotest.fail "core blocked unexpectedly"
+    | Core.Blocked _ -> Alcotest.fail "core blocked unexpectedly"
     | Core.Halted -> core
   in
   go 0
@@ -166,7 +166,7 @@ let test_core_mvm_instruction () =
   let rec go () =
     match Core.step core ~mem:null_mem with
     | Core.Retired _ -> go ()
-    | Core.Blocked -> Alcotest.fail "blocked"
+    | Core.Blocked _ -> Alcotest.fail "blocked"
     | Core.Halted -> ()
   in
   go ();
@@ -207,8 +207,8 @@ let test_core_blocking_load () =
     Core.create small_config ~energy
       [| Instr.Load { dest = r0; addr = Imm_addr 0; vec_width = 1 }; Instr.Halt |]
   in
-  Alcotest.(check bool) "blocked 1" true (Core.step core ~mem = Core.Blocked);
-  Alcotest.(check bool) "blocked 2" true (Core.step core ~mem = Core.Blocked);
+  Alcotest.(check bool) "blocked 1" true (Core.step core ~mem = Core.Blocked Core.Stall_smem_read);
+  Alcotest.(check bool) "blocked 2" true (Core.step core ~mem = Core.Blocked Core.Stall_smem_read);
   (match Core.step core ~mem with
   | Core.Retired _ -> ()
   | _ -> Alcotest.fail "expected retire");
@@ -302,7 +302,7 @@ let test_core_rand_deterministic_per_seed () =
     let rec go () =
       match Core.step core ~mem:null_mem with
       | Core.Retired _ -> go ()
-      | Core.Blocked -> Alcotest.fail "blocked"
+      | Core.Blocked _ -> Alcotest.fail "blocked"
       | Core.Halted -> Regfile.read_vec (Core.regfile core) r0 8
     in
     go ()
@@ -335,7 +335,7 @@ let test_core_copy_between_spaces () =
   let rec go () =
     match Core.step core ~mem:null_mem with
     | Core.Retired _ -> go ()
-    | Core.Blocked -> Alcotest.fail "blocked"
+    | Core.Blocked _ -> Alcotest.fail "blocked"
     | Core.Halted -> ()
   in
   go ();

@@ -1,0 +1,396 @@
+(* The profiling layer's contract: attaching a profiler never changes
+   simulation results (differential over the model zoo), the cycle
+   accounting is exhaustive (busy + stalled + idle = makespan for every
+   entity), per-tile energy rows sum back to the ledger total, and the
+   Chrome trace export is schema-valid and pinned on a tiny program. *)
+
+module B = Puma_graph.Builder
+module Tensor = Puma_util.Tensor
+module Rng = Puma_util.Rng
+module Json = Puma_util.Json
+module Config = Puma_hwmodel.Config
+module Energy = Puma_hwmodel.Energy
+module Compile = Puma_compiler.Compile
+module Node = Puma_sim.Node
+module Batch = Puma_runtime.Batch
+module Models = Puma_nn.Models
+module Profile = Puma_profile.Profile
+module Chrome_trace = Puma_profile.Chrome_trace
+
+let zoo =
+  [
+    ("mlp", Puma_nn.Network.build_graph Models.mini_mlp);
+    ("lstm", Puma_nn.Network.build_graph Models.mini_lstm);
+    ("rnn", Puma_nn.Network.build_graph Models.mini_rnn);
+    ("lenet5", Puma_nn.Network.build_graph Models.lenet5);
+    ("bm", Models.mini_bm);
+    ("rbm", Models.mini_rbm);
+  ]
+
+let compile_zoo graph =
+  (* Default crossbar dimension (rbm mis-simulates at 64 — pre-existing);
+     gate off: lenet5 has a known core-imem overflow but still simulates. *)
+  let options = { Compile.default_options with analysis_gate = false } in
+  (Compile.compile ~options Config.sweetspot graph).Compile.program
+
+let inputs_for program ~seed =
+  let rng = Rng.create seed in
+  List.map
+    (fun (name, len) -> (name, Tensor.vec_rand rng len 0.8))
+    (Batch.input_lengths program)
+
+(* ---- differential: profiler attached vs detached ---- *)
+
+let run_once program ~profiled =
+  let node = Node.create ~noise_seed:3 program in
+  let prof =
+    if profiled then begin
+      let p = Profile.create () in
+      Profile.attach p node;
+      Some p
+    end
+    else None
+  in
+  let outputs = Node.run node ~inputs:(inputs_for program ~seed:42) in
+  Node.finish_energy node;
+  (outputs, node, prof)
+
+let test_differential_zoo () =
+  List.iter
+    (fun (name, graph) ->
+      let program = compile_zoo graph in
+      let o1, n1, _ = run_once program ~profiled:false in
+      let o2, n2, prof = run_once program ~profiled:true in
+      Alcotest.(check bool)
+        (name ^ ": outputs bit-identical") true (o1 = o2);
+      Alcotest.(check int) (name ^ ": cycles") (Node.cycles n1) (Node.cycles n2);
+      Alcotest.(check int)
+        (name ^ ": retired instructions")
+        (Node.retired_instructions n1)
+        (Node.retired_instructions n2);
+      let e1 = Node.energy n1 and e2 = Node.energy n2 in
+      List.iter
+        (fun cat ->
+          Alcotest.(check int)
+            (Printf.sprintf "%s: %s count" name (Energy.category_name cat))
+            (Energy.count e1 cat) (Energy.count e2 cat);
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: %s energy bit-identical" name
+               (Energy.category_name cat))
+            true
+            (Energy.energy_pj e1 cat = Energy.energy_pj e2 cat))
+        Energy.all_categories;
+      Alcotest.(check bool)
+        (name ^ ": total energy bit-identical")
+        true
+        (Energy.total_pj e1 = Energy.total_pj e2);
+      (* The profiled run must have seen every retired core instruction
+         (the profiler additionally counts TCU send/receive retires). *)
+      let p = Option.get prof in
+      let core_retired =
+        List.fold_left
+          (fun acc (s : Profile.entity_stat) ->
+            if s.core >= 0 then acc + s.retired else acc)
+          0 (Profile.entity_stats p)
+      in
+      Alcotest.(check int)
+        (name ^ ": profiler retired count")
+        (Node.retired_instructions n2)
+        core_retired)
+    zoo
+
+(* ---- accounting invariants ---- *)
+
+let check_invariants ?(tol = 1e-9) p node =
+  let total = Profile.total_cycles p in
+  List.iter
+    (fun (s : Profile.entity_stat) ->
+      Alcotest.(check int)
+        (Printf.sprintf "t%d.c%d: busy+stalled+idle = makespan" s.tile s.core)
+        total
+        (s.busy + s.stalled + s.idle))
+    (Profile.entity_stats p);
+  let tot = Profile.totals p in
+  Alcotest.(check int) "totals sum over entities"
+    (total * List.length (Profile.entity_stats p))
+    (tot.Profile.busy_cycles + tot.Profile.stalled_cycles
+   + tot.Profile.idle_cycles);
+  let en = Node.energy node in
+  let total_pj = Energy.total_pj en in
+  let attributed = Energy.attributed_total_pj en in
+  Alcotest.(check bool)
+    (Printf.sprintf "tile rows sum to total (%.6f vs %.6f)" attributed total_pj)
+    true
+    (Float.abs (attributed -. total_pj) <= tol *. Float.max 1.0 total_pj)
+
+let test_invariants_zoo () =
+  List.iter
+    (fun (_, graph) ->
+      let program = compile_zoo graph in
+      let node = Node.create program in
+      let p = Profile.create () in
+      Profile.attach p node;
+      ignore (Node.run node ~inputs:(inputs_for program ~seed:9));
+      ignore (Node.run node ~inputs:(inputs_for program ~seed:10));
+      Node.finish_energy node;
+      Alcotest.(check int) "two runs profiled" 2 (Profile.runs p);
+      check_invariants p node)
+    zoo
+
+let random_mlp (n_in, n_hidden, seed) =
+  let rng = Rng.create (seed + 1) in
+  let m = B.create "rand-mlp" in
+  let x = B.input m ~name:"x" ~len:n_in in
+  let w1 =
+    B.const_matrix m ~name:"W1" (Tensor.mat_rand rng n_hidden n_in 0.1)
+  in
+  let w2 = B.const_matrix m ~name:"W2" (Tensor.mat_rand rng 8 n_hidden 0.1) in
+  B.output m ~name:"y"
+    (B.sigmoid m (B.mvm m w2 (B.sigmoid m (B.mvm m w1 x))));
+  B.finish m
+
+let prop_invariants_random_mlps =
+  QCheck.Test.make ~name:"accounting invariants on random MLPs" ~count:15
+    QCheck.(
+      triple (int_range 8 40) (int_range 8 40) (int_range 0 10_000))
+    (fun spec ->
+      let (n_in, _, _) = spec in
+      let config = { Config.sweetspot with mvmu_dim = 32 } in
+      let program = (Compile.compile config (random_mlp spec)).Compile.program in
+      let node = Node.create program in
+      let p = Profile.create () in
+      Profile.attach p node;
+      let rng = Rng.create 77 in
+      ignore (Node.run node ~inputs:[ ("x", Tensor.vec_rand rng n_in 0.8) ]);
+      Node.finish_energy node;
+      let total = Profile.total_cycles p in
+      List.for_all
+        (fun (s : Profile.entity_stat) -> s.busy + s.stalled + s.idle = total)
+        (Profile.entity_stats p)
+      &&
+      let en = Node.energy node in
+      Float.abs (Energy.attributed_total_pj en -. Energy.total_pj en)
+      <= 1e-9 *. Float.max 1.0 (Energy.total_pj en))
+
+(* ---- detach restores the unobserved hot path ---- *)
+
+let test_detach () =
+  let program = compile_zoo (List.assoc "mlp" zoo) in
+  let node = Node.create program in
+  let p = Profile.create () in
+  Profile.attach p node;
+  Alcotest.(check bool) "probe attached" true (Node.probe_attached node);
+  ignore (Node.run node ~inputs:(inputs_for program ~seed:1));
+  let runs_before = Profile.runs p in
+  Profile.detach node;
+  Alcotest.(check bool) "probe detached" false (Node.probe_attached node);
+  Alcotest.(check bool) "attribution off" false
+    (Energy.attribution_enabled (Node.energy node));
+  ignore (Node.run node ~inputs:(inputs_for program ~seed:2));
+  Alcotest.(check int) "detached run not profiled" runs_before (Profile.runs p)
+
+(* ---- Chrome trace export ---- *)
+
+let tiny_program () =
+  let rng = Rng.create 5 in
+  let m = B.create "tiny" in
+  let x = B.input m ~name:"x" ~len:16 in
+  let w = B.const_matrix m ~name:"W" (Tensor.mat_rand rng 16 16 0.1) in
+  B.output m ~name:"y" (B.mvm m w x);
+  let config = { Config.sweetspot with mvmu_dim = 16 } in
+  (Compile.compile config (B.finish m)).Compile.program
+
+let tiny_profile () =
+  let program = tiny_program () in
+  let node = Node.create program in
+  let p = Profile.create () in
+  Profile.attach p node;
+  ignore (Node.run node ~inputs:(inputs_for program ~seed:3));
+  Node.finish_energy node;
+  p
+
+let field name ev =
+  match Json.member name ev with
+  | Some v -> v
+  | None -> Alcotest.failf "event missing %S: %s" name (Json.to_string ev)
+
+let int_field name ev =
+  match Json.to_int (field name ev) with
+  | Some n -> n
+  | None -> Alcotest.failf "event field %S not an int" name
+
+let str_field name ev =
+  match Json.to_str (field name ev) with
+  | Some s -> s
+  | None -> Alcotest.failf "event field %S not a string" name
+
+let test_chrome_trace_schema () =
+  let p = tiny_profile () in
+  let doc =
+    match Json.parse (Chrome_trace.to_string p) with
+    | Ok doc -> doc
+    | Error e -> Alcotest.failf "trace does not parse: %s" e
+  in
+  let events =
+    match Option.bind (Json.member "traceEvents" doc) Json.to_list with
+    | Some l -> l
+    | None -> Alcotest.fail "traceEvents missing or not a list"
+  in
+  Alcotest.(check bool) "has events" true (events <> []);
+  let last_ts = Hashtbl.create 8 in
+  List.iter
+    (fun ev ->
+      match str_field "ph" ev with
+      | "M" -> ignore (int_field "pid" ev)
+      | "X" ->
+          let ts = int_field "ts" ev in
+          let dur = int_field "dur" ev in
+          let pid = int_field "pid" ev in
+          let tid = int_field "tid" ev in
+          Alcotest.(check bool) "ts >= 0" true (ts >= 0);
+          Alcotest.(check bool) "dur >= 0" true (dur >= 0);
+          Alcotest.(check bool) "pid/tid >= 0" true (pid >= 0 && tid >= 0);
+          let key = (pid, tid) in
+          let prev = Option.value ~default:(-1) (Hashtbl.find_opt last_ts key) in
+          Alcotest.(check bool) "ts monotone per track" true (ts >= prev);
+          Hashtbl.replace last_ts key ts
+      | "C" ->
+          ignore (int_field "ts" ev);
+          ignore (int_field "pid" ev);
+          (match Json.member "args" ev with
+          | Some (Json.Obj (_ :: _)) -> ()
+          | _ -> Alcotest.fail "counter without args")
+      | ph -> Alcotest.failf "unexpected phase %S" ph)
+    events
+
+let test_chrome_trace_golden () =
+  let p = tiny_profile () in
+  let events =
+    match
+      Option.bind (Json.member "traceEvents" (Chrome_trace.to_json p))
+        Json.to_list
+    with
+    | Some l -> l
+    | None -> Alcotest.fail "traceEvents missing"
+  in
+  let xs =
+    List.filter (fun ev -> str_field "ph" ev = "X") events
+    |> List.map (fun ev ->
+           Printf.sprintf "%s ts=%d dur=%d pid=%d tid=%d" (str_field "name" ev)
+             (int_field "ts" ev) (int_field "dur" ev) (int_field "pid" ev)
+             (int_field "tid" ev))
+  in
+  (* The tiny single-MVM program is fully deterministic: pin the first
+     slices of the trace (load x, move into XbarIn, the MVM on core 0). *)
+  let first n l = List.filteri (fun i _ -> i < n) l in
+  Alcotest.(check (list string))
+    "first slices"
+    [
+      "load/store ts=0 dur=5 pid=0 tid=1";
+      "vfu ts=5 dur=5 pid=0 tid=1";
+      "mvm ts=10 dur=288 pid=0 tid=1";
+    ]
+    (first 3 xs);
+  Alcotest.(check int) "no slices dropped" 0 (Profile.dropped_slices p)
+
+let test_slice_window_bounded () =
+  let program = compile_zoo (List.assoc "mlp" zoo) in
+  let node = Node.create program in
+  let p = Profile.create ~slice_capacity:8 () in
+  Profile.attach p node;
+  ignore (Node.run node ~inputs:(inputs_for program ~seed:4));
+  Alcotest.(check int) "window bounded" 8 (List.length (Profile.slices p));
+  Alcotest.(check bool) "drops counted" true (Profile.dropped_slices p > 0);
+  (* Aggregate accounting is exact regardless of eviction. *)
+  check_invariants p node
+
+(* ---- report / json surface ---- *)
+
+let test_report_renders () =
+  let p = tiny_profile () in
+  let r = Profile.report p in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool)
+        (Printf.sprintf "report mentions %S" needle)
+        true
+        (Puma_util.Strings.contains r ~sub:needle))
+    [ "Occupancy"; "Top stalls"; "Energy by tile"; "t0.c0" ]
+
+let test_to_json_roundtrip () =
+  let p = tiny_profile () in
+  let s = Json.to_string (Profile.to_json p) in
+  match Json.parse s with
+  | Error e -> Alcotest.failf "profile json does not parse: %s" e
+  | Ok doc ->
+      let cycles = Option.bind (Json.member "cycles" doc) Json.to_int in
+      Alcotest.(check (option int))
+        "cycles field" (Some (Profile.total_cycles p)) cycles
+
+(* ---- batch runtime integration ---- *)
+
+let test_batch_profile_differential () =
+  let program = compile_zoo (List.assoc "mlp" zoo) in
+  let requests = Batch.random_requests program ~batch:6 ~seed:13 in
+  let r_plain, s_plain = Batch.run ~domains:2 program requests in
+  let r_prof, s_prof = Batch.run ~domains:2 ~profile:true program requests in
+  Array.iteri
+    (fun i (plain : Batch.response) ->
+      let prof = r_prof.(i) in
+      Alcotest.(check bool)
+        (Printf.sprintf "request %d outputs" i)
+        true
+        (plain.Batch.outputs = prof.Batch.outputs);
+      Alcotest.(check int)
+        (Printf.sprintf "request %d cycles" i)
+        plain.Batch.cycles prof.Batch.cycles;
+      (* Same tolerance as the serial-vs-sharded differential: which
+         requests preceded this one on its worker's node shifts the float
+         accumulator history, profiled or not. *)
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "request %d energy" i)
+        plain.Batch.dynamic_energy_pj prof.Batch.dynamic_energy_pj;
+      Alcotest.(check bool) "plain run has no stalls recorded" true
+        (plain.Batch.stalls = []))
+    r_plain;
+  Alcotest.(check int) "same makespan" s_plain.Batch.makespan_cycles
+    s_prof.Batch.makespan_cycles;
+  Alcotest.(check bool) "profiled summary decomposes" true
+    (s_prof.Batch.busy_cycles > 0);
+  (* Each profiled request's stall split is bounded by its makespan times
+     the entity count (coarse sanity; exact accounting is pinned above). *)
+  Array.iter
+    (fun (r : Batch.response) ->
+      List.iter
+        (fun (_, n) -> Alcotest.(check bool) "stall positive" true (n > 0))
+        r.Batch.stalls)
+    r_prof
+
+let () =
+  let qc = List.map QCheck_alcotest.to_alcotest [ prop_invariants_random_mlps ] in
+  Alcotest.run "profile"
+    [
+      ( "differential",
+        [
+          Alcotest.test_case "zoo attached vs detached" `Quick
+            test_differential_zoo;
+          Alcotest.test_case "batch runtime" `Quick
+            test_batch_profile_differential;
+        ] );
+      ( "accounting",
+        [
+          Alcotest.test_case "zoo invariants" `Quick test_invariants_zoo;
+          Alcotest.test_case "detach" `Quick test_detach;
+          Alcotest.test_case "bounded window" `Quick test_slice_window_bounded;
+        ]
+        @ qc );
+      ( "export",
+        [
+          Alcotest.test_case "chrome trace schema" `Quick
+            test_chrome_trace_schema;
+          Alcotest.test_case "chrome trace golden" `Quick
+            test_chrome_trace_golden;
+          Alcotest.test_case "report" `Quick test_report_renders;
+          Alcotest.test_case "json" `Quick test_to_json_roundtrip;
+        ] );
+    ]

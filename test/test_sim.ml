@@ -154,12 +154,39 @@ let test_trace_records_retirements () =
          e.cycle >= prev)
        entries);
   ignore cycles;
-  let units = Puma_sim.Trace.unit_cycles trace in
+  let units = Puma_sim.Trace.unit_counts trace in
   Alcotest.(check bool) "mvm unit seen" true
     (List.mem_assoc Puma_isa.Instr.U_mvm units);
   let layout = Puma_isa.Operand.layout config in
   Alcotest.(check bool) "dump nonempty" true
     (String.length (Puma_sim.Trace.dump layout trace) > 0)
+
+let test_trace_unit_counts_are_counts () =
+  (* Regression for the unit_cycles -> unit_counts rename: the tally is
+     retired-instruction counts, never cycle-weighted (an MVM occupies its
+     core for many cycles but contributes exactly 1 per retirement). *)
+  let trace = Puma_sim.Trace.create () in
+  let node = Node.create (compile (small_model ())) in
+  Puma_sim.Trace.attach trace node;
+  ignore (Node.run node ~inputs:[ ("x", Tensor.vec_rand rng 48 1.0) ]);
+  let entries = Puma_sim.Trace.entries trace in
+  let counts = Puma_sim.Trace.unit_counts trace in
+  let total = List.fold_left (fun acc (_, n) -> acc + n) 0 counts in
+  Alcotest.(check int) "sum of counts = retained entries"
+    (List.length entries) total;
+  let mvm_entries =
+    List.length
+      (List.filter
+         (fun (e : Puma_sim.Trace.entry) ->
+           Puma_isa.Instr.unit_of e.instr = Puma_isa.Instr.U_mvm)
+         entries)
+  in
+  Alcotest.(check int) "mvm tally is a count" mvm_entries
+    (List.assoc Puma_isa.Instr.U_mvm counts);
+  (* Cycle-weighting would dwarf the instruction count. *)
+  Alcotest.(check bool) "not cycle-weighted" true (total < Node.cycles node);
+  let alias = (Puma_sim.Trace.unit_cycles [@warning "-3"]) trace in
+  Alcotest.(check bool) "deprecated alias agrees" true (alias = counts)
 
 let test_trace_ring_buffer_wraps () =
   let trace = Puma_sim.Trace.create ~capacity:4 () in
@@ -347,6 +374,8 @@ let () =
         [
           Alcotest.test_case "records retirements" `Quick
             test_trace_records_retirements;
+          Alcotest.test_case "unit counts not cycles" `Quick
+            test_trace_unit_counts_are_counts;
           Alcotest.test_case "ring buffer" `Quick test_trace_ring_buffer_wraps;
           Alcotest.test_case "capacity eviction" `Quick
             test_trace_capacity_eviction;

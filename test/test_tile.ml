@@ -105,7 +105,7 @@ let test_tcu_send_blocks_until_valid () =
         [| Instr.Send { mem_addr = 0; fifo_id = 1; target = 3; vec_width = 2 } |]
       ()
   in
-  Alcotest.(check bool) "blocked" true (Tile.step_tcu tile ~now:0 = Tile.Blocked);
+  Alcotest.(check bool) "blocked" true (Tile.step_tcu tile ~now:0 = Tile.Blocked Puma_arch.Core.Stall_smem_read);
   Tile.host_write tile ~addr:0 ~values:[| 4; 5 |];
   (match Tile.step_tcu tile ~now:10 with
   | Tile.Retired _ -> ()
@@ -125,7 +125,7 @@ let test_tcu_receive_blocks_until_packet () =
         [| Instr.Receive { mem_addr = 4; fifo_id = 0; count = 1; vec_width = 2 } |]
       ()
   in
-  Alcotest.(check bool) "blocked" true (Tile.step_tcu tile ~now:0 = Tile.Blocked);
+  Alcotest.(check bool) "blocked" true (Tile.step_tcu tile ~now:0 = Tile.Blocked Puma_arch.Core.Stall_recv_fifo);
   Alcotest.(check bool) "delivered" true
     (Tile.deliver tile ~fifo:0 ~src_tile:2 ~payload:[| 8; 9 |]);
   (match Tile.step_tcu tile ~now:0 with

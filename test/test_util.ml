@@ -4,6 +4,7 @@ module Tensor = Puma_util.Tensor
 module Stats = Puma_util.Stats
 module Bits = Puma_util.Bits
 module Table = Puma_util.Table
+module Json = Puma_util.Json
 
 let check_float = Alcotest.(check (float 1e-9))
 
@@ -249,6 +250,69 @@ let test_table_render () =
   Alcotest.(check bool) "contains row" true
     (contains s "longer" && contains s "bb")
 
+(* ---- Json ---- *)
+
+let test_json_print () =
+  let doc =
+    Json.Obj
+      [
+        ("a", Json.Int 3);
+        ("b", Json.Float 3.0);
+        ("c", Json.String "x\"y\n\t\\");
+        ("d", Json.List [ Json.Bool true; Json.Null; Json.Float 1.5 ]);
+        ("e", Json.Obj []);
+      ]
+  in
+  Alcotest.(check string) "compact rendering"
+    "{\"a\":3,\"b\":3.0,\"c\":\"x\\\"y\\n\\t\\\\\",\"d\":[true,null,1.5],\"e\":{}}"
+    (Json.to_string doc);
+  (* JSON has no NaN/inf. *)
+  Alcotest.(check string) "non-finite floats are null" "[null,null,null]"
+    (Json.to_string
+       (Json.List
+          [ Json.Float Float.nan; Json.Float Float.infinity;
+            Json.Float Float.neg_infinity ]))
+
+let test_json_roundtrip () =
+  let docs =
+    [
+      Json.Null;
+      Json.Int (-42);
+      Json.Float 0.1;
+      Json.Float 1e-17;
+      Json.String "unicode \\u0041 stays escaped source";
+      Json.List [ Json.Int 1; Json.List []; Json.Obj [ ("k", Json.Null) ] ];
+    ]
+  in
+  List.iter
+    (fun doc ->
+      match Json.parse (Json.to_string doc) with
+      | Ok parsed ->
+          Alcotest.(check string) "roundtrip" (Json.to_string doc)
+            (Json.to_string parsed)
+      | Error e -> Alcotest.failf "parse failed: %s" e)
+    docs
+
+let test_json_parse () =
+  (match Json.parse " { \"a\" : [ 1 , 2.5 , \"\\u0041\" ] } " with
+  | Ok doc ->
+      let l =
+        Option.bind (Json.member "a" doc) Json.to_list |> Option.get
+      in
+      Alcotest.(check (option int)) "int" (Some 1) (Json.to_int (List.nth l 0));
+      Alcotest.(check (option (float 0.0))) "float" (Some 2.5)
+        (Json.to_float (List.nth l 1));
+      Alcotest.(check (option string)) "unicode escape" (Some "A")
+        (Json.to_str (List.nth l 2))
+  | Error e -> Alcotest.failf "parse failed: %s" e);
+  List.iter
+    (fun bad ->
+      match Json.parse bad with
+      | Ok _ -> Alcotest.failf "accepted invalid JSON %S" bad
+      | Error e ->
+          Alcotest.(check bool) "error has offset" true (contains e "offset"))
+    [ ""; "{"; "[1,]"; "{\"a\":}"; "1 2"; "nul"; "\"unterminated" ]
+
 let () =
   let qc = List.map QCheck_alcotest.to_alcotest
       [
@@ -300,4 +364,10 @@ let () =
           Alcotest.test_case "popcount" `Quick test_popcount;
         ] );
       ("table", [ Alcotest.test_case "render" `Quick test_table_render ]);
+      ( "json",
+        [
+          Alcotest.test_case "print" `Quick test_json_print;
+          Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "parse" `Quick test_json_parse;
+        ] );
     ]
