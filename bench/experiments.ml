@@ -606,6 +606,74 @@ let run_figure13 ?(samples = 20) () =
   [ t ]
 
 (* ------------------------------------------------------------------ *)
+(* Static cost estimator vs simulator                                   *)
+(* ------------------------------------------------------------------ *)
+
+let run_static_vs_sim () =
+  (* Cross-validation of the abstract-interpretation cost estimator: the
+     static cycle bound must never exceed the simulated makespan, and the
+     gap it leaves is exactly what the profiler books as stall + idle
+     time on the critical stream. *)
+  let t =
+    Table.create
+      ~title:"Static cost estimator vs simulator (cycles per inference)"
+      ~headers:
+        [
+          "Workload"; "Static LB"; "Simulated"; "LB/sim"; "Busy";
+          "Static nJ"; "Simulated nJ";
+        ]
+  in
+  List.iter
+    (fun (label, net, is_cnn) ->
+      let options =
+        (* Gate off: lenet5 has a known core-imem overflow (E-IMEM) but
+           still simulates. *)
+        { Compile.default_options with wrap_batch_loop = is_cnn;
+          analysis_gate = false }
+      in
+      let r = Compile.compile ~options mini_config (Network.build_graph net) in
+      let est = Puma_analysis.Resource.estimate r.Compile.program in
+      let node = Puma_sim.Node.create r.Compile.program in
+      let profile = Puma_profile.Profile.create () in
+      Puma_profile.Profile.attach profile node;
+      let rng = Puma_util.Rng.create 5 in
+      let x =
+        Puma_util.Tensor.vec_rand rng (input_len r.Compile.program) 0.8
+      in
+      ignore (Puma_sim.Node.run node ~inputs:[ ("x", x) ]);
+      let sim = Puma_sim.Node.cycles node in
+      let lb = est.Puma_analysis.Resource.cycle_lower_bound in
+      if lb > sim then
+        failwith
+          (Printf.sprintf "%s: static bound %d exceeds simulated %d" label lb
+             sim);
+      let tot = Puma_profile.Profile.totals profile in
+      let entity_cycles =
+        tot.Puma_profile.Profile.busy_cycles
+        + tot.Puma_profile.Profile.stalled_cycles
+        + tot.Puma_profile.Profile.idle_cycles
+      in
+      let sim_nj =
+        Puma_hwmodel.Energy.total_pj (Puma_sim.Node.energy node) /. 1e3
+      in
+      Table.add_row t
+        [
+          label;
+          string_of_int lb;
+          string_of_int sim;
+          Printf.sprintf "%.2f" (fi lb /. Float.max 1.0 (fi sim));
+          (if entity_cycles = 0 then "-"
+           else
+             Table.fmt_pct
+               (fi tot.Puma_profile.Profile.busy_cycles /. fi entity_cycles));
+          Printf.sprintf "%.1f"
+            (est.Puma_analysis.Resource.energy_lower_bound_pj /. 1e3);
+          Printf.sprintf "%.1f" sim_nj;
+        ])
+    mini_workloads;
+  [ t ]
+
+(* ------------------------------------------------------------------ *)
 (* Section 7.4.3: digital MVMU comparison                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -775,4 +843,5 @@ let all_experiments =
     ("ablation_fifo", run_ablation_fifo);
     ("ablation_pipeline", run_ablation_pipeline);
     ("profile_occupancy", run_profile_occupancy);
+    ("static_vs_sim", run_static_vs_sim);
   ]

@@ -30,7 +30,7 @@ let bechamel_tests =
            (List.mem name
               [
                 "figure13"; "table8"; "figure4"; "table1"; "ablation_fifo";
-                "batch_throughput"; "profile_occupancy";
+                "batch_throughput"; "profile_occupancy"; "static_vs_sim";
               ]))
        Experiments.all_experiments)
 

@@ -279,6 +279,70 @@ let exec_cmd =
 
 (* ---- analyze ---- *)
 
+(* Diagnostics-budget gate (--budget FILE). The baseline file maps each
+   program name to the error codes it is allowed to report and the number
+   of warnings it is allowed at most; anything beyond that — a new error,
+   or a warning-count regression — fails the gate. Programs absent from
+   the baseline get the strict default: no errors, no warnings. *)
+let check_budget path reports =
+  let module Json = Puma_util.Json in
+  let budget =
+    match
+      let ic = open_in_bin path in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      Json.parse s
+    with
+    | Ok j -> j
+    | Error e -> exit_err (Printf.sprintf "%s: %s" path e)
+    | exception Sys_error e -> exit_err e
+  in
+  let violations = ref [] in
+  let violation fmt =
+    Printf.ksprintf (fun s -> violations := s :: !violations) fmt
+  in
+  List.iter
+    (fun (name, (r : Puma_analysis.Analyze.report)) ->
+      let entry =
+        Option.bind (Json.member "models" budget) (Json.member name)
+      in
+      let allowed_errors =
+        match Option.bind entry (Json.member "allow_errors") with
+        | Some j ->
+            Option.value ~default:[] (Json.to_list j)
+            |> List.filter_map Json.to_str
+        | None -> []
+      in
+      let max_warnings =
+        match Option.bind entry (Json.member "max_warnings") with
+        | Some j -> Option.value ~default:0 (Json.to_int j)
+        | None -> 0
+      in
+      List.iter
+        (fun (d : Puma_analysis.Diag.t) ->
+          if
+            d.severity = Puma_analysis.Diag.Error
+            && not (List.mem d.code allowed_errors)
+          then violation "%s: unbudgeted %s" name (Puma_analysis.Diag.to_string d))
+        r.diags;
+      if r.warnings > max_warnings then
+        violation "%s: %d warnings exceed the budgeted %d" name r.warnings
+          max_warnings)
+    reports;
+  match List.rev !violations with
+  | [] ->
+      Printf.eprintf "diagnostics budget %s: pass (%d program%s)\n%!" path
+        (List.length reports)
+        (if List.length reports = 1 then "" else "s");
+      true
+  | vs ->
+      List.iter (fun v -> Printf.eprintf "budget violation: %s\n" v) vs;
+      Printf.eprintf "diagnostics budget %s: FAIL (%d violation%s)\n%!" path
+        (List.length vs)
+        (if List.length vs = 1 then "" else "s");
+      false
+
 let analyze_cmd =
   let targets =
     Arg.(
@@ -298,24 +362,85 @@ let analyze_cmd =
       value & flag
       & info [ "json" ] ~doc:"Emit one JSON document instead of text.")
   in
-  let run targets all json dim =
+  let ranges =
+    Arg.(
+      value & flag
+      & info [ "ranges" ]
+          ~doc:
+            "Run the abstract-interpretation range analysis: report \
+             possible (W-SAT) and guaranteed (E-OVERFLOW) fixed-point \
+             saturation.")
+  in
+  let resources =
+    Arg.(
+      value & flag
+      & info [ "resources" ]
+          ~doc:
+            "Report static per-core resource use: register-pressure \
+             high-water marks, instruction-memory budgets, and lower-bound \
+             cycle/energy estimates.")
+  in
+  let dump_ranges =
+    Arg.(
+      value & flag
+      & info [ "dump-ranges" ]
+          ~doc:
+            "With the range analysis, also emit I-RANGE infos listing the \
+             inferred interval of every defined register (implies \
+             $(b,--ranges)).")
+  in
+  let input_range =
+    Arg.(
+      value
+      & opt (some (pair ~sep:',' float float)) None
+      & info [ "input-range" ] ~docv:"LO,HI"
+          ~doc:
+            "Assume every program input lies in [LO, HI] (floats; default \
+             the full fixed-point range). Implies $(b,--ranges).")
+  in
+  let budget =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "budget" ] ~docv:"FILE"
+          ~doc:
+            "Gate against a diagnostics-budget baseline: fail if any \
+             program reports an error code not allowlisted for it in FILE, \
+             or more warnings than FILE budgets for it.")
+  in
+  let run targets all json ranges resources dump_ranges input_range budget dim
+      =
     let config = config_of_dim dim in
     let targets = if all then List.map fst mini_models else targets in
     if targets = [] then
       exit_err "nothing to analyze (name a model or program file, or use --all)";
+    let ranges = ranges || dump_ranges || input_range <> None in
+    let input_range =
+      Option.map
+        (fun (lo, hi) ->
+          ( Puma_util.Fixed.to_raw (Puma_util.Fixed.of_float lo),
+            Puma_util.Fixed.to_raw (Puma_util.Fixed.of_float hi) ))
+        input_range
+    in
+    let analyze ?layer_of program =
+      Puma_analysis.Analyze.program ~ranges ~resources ?input_range
+        ~dump_ranges ?layer_of program
+    in
     let report_of target =
       (* A compiled program file analyzes as-is (even if broken); anything
-         else resolves through the model registry and compiles first. *)
+         else resolves through the model registry and compiles first, which
+         also yields instruction->layer provenance for imem attribution. *)
       let from_model m =
         (* Gate off so a failing program still yields its full report. *)
         let options =
           { Compile.default_options with analysis_gate = false }
         in
-        (Compile.compile ~options config (graph_of m)).Compile.analysis
+        let r = Compile.compile ~options config (graph_of m) in
+        analyze ~layer_of:r.Compile.layer_of r.Compile.program
       in
       if Sys.file_exists target && not (Sys.is_directory target) then
         match Puma_isa.Program_io.load target with
-        | Ok program -> Puma_analysis.Analyze.program program
+        | Ok program -> analyze program
         | Error _ -> (
             match find_mini target with
             | Ok m -> from_model m
@@ -331,26 +456,36 @@ let analyze_cmd =
         (fun acc (_, r) -> acc + r.Puma_analysis.Analyze.errors)
         0 reports
     in
-    if json then begin
-      let bodies =
-        List.map
-          (fun (name, r) -> Puma_analysis.Analyze.to_json ~name r)
-          reports
-      in
-      Printf.printf "{\"programs\":[%s],\"errors\":%d}\n"
-        (String.concat "," bodies) total_errors
-    end
+    if json then
+      print_endline
+        (Puma_util.Json.to_string
+           (Puma_util.Json.Obj
+              [
+                ( "programs",
+                  Puma_util.Json.List
+                    (List.map
+                       (fun (name, r) ->
+                         Puma_analysis.Analyze.json ~name r)
+                       reports) );
+                ("errors", Puma_util.Json.Int total_errors);
+              ]))
     else
       List.iter
         (fun (name, r) ->
           Format.printf "== %s ==@.%a" name Puma_analysis.Analyze.pp r)
         reports;
-    if total_errors > 0 then exit 1
+    match budget with
+    | Some path -> if not (check_budget path reports) then exit 1
+    | None -> if total_errors > 0 then exit 1
   in
   Cmd.v
     (Cmd.info "analyze"
-       ~doc:"Run the static dataflow/deadlock analyzer on compiled programs")
-    Term.(const run $ targets $ all $ json $ dim_arg)
+       ~doc:
+         "Run the static analyzers (dataflow, deadlock, value ranges, \
+          resource estimates) on compiled programs")
+    Term.(
+      const run $ targets $ all $ json $ ranges $ resources $ dump_ranges
+      $ input_range $ budget $ dim_arg)
 
 (* ---- batch ---- *)
 

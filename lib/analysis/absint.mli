@@ -1,0 +1,67 @@
+(** Generic worklist abstract interpreter over {!Cfg}.
+
+    A dataflow/abstract-interpretation solver parametric in the abstract
+    domain: chaotic iteration over basic blocks to a fixpoint, with
+    optional widening for infinite-height domains. The register-dataflow
+    ({!Regflow}), value-range ({!Range}) and resource ({!Resource})
+    passes are all clients. *)
+
+(** Compact bitset over the combined register space (one bit per vector
+    register word, then one per scalar register). *)
+module Bset : sig
+  type t
+
+  val create : int -> t
+  (** [create n] is the empty set over a universe of [n] elements. *)
+
+  val full : int -> t
+  val copy : t -> t
+  val equal : t -> t -> bool
+  val get : t -> int -> bool
+  val set : t -> int -> unit
+  val clear : t -> int -> unit
+  val inter_into : t -> t -> unit
+  val union_into : t -> t -> unit
+
+  val count : t -> int -> int
+  (** [count b n] is the number of set elements below [n]. *)
+end
+
+type direction = Forward | Backward
+
+module type DOMAIN = sig
+  type state
+
+  val copy : state -> state
+  val equal : state -> state -> bool
+
+  val join : state -> state -> state
+  (** Least upper bound; may mutate and return its first argument. *)
+
+  val widen : state -> state -> state
+  (** [widen old next]: upper bound of both that guarantees termination
+      on infinite-height domains. Finite-height domains can reuse
+      {!join}. *)
+
+  val transfer : pc:int -> state -> state
+  (** Abstract effect of the instruction at [pc]; may mutate and return
+      its argument (the solver always passes a private copy). *)
+end
+
+module Make (D : DOMAIN) : sig
+  val solve :
+    ?direction:direction ->
+    ?widen_after:int ->
+    entry:(unit -> D.state) ->
+    Cfg.t ->
+    D.state option array
+  (** Fixpoint boundary state per block: the block's entry state under
+      [Forward], the state at the block's end (join over successors)
+      under [Backward]. [None] for blocks no contribution reaches
+      (unreachable code). [entry] seeds the stream entry block under
+      [Forward]; under [Backward] every block is seeded (exit edges are
+      implicit in the CFG), so the boundary state must be neutral for
+      [join] (true for the union-style backward domains used here).
+      Widening kicks in once a block has been revisited more than
+      [widen_after] times (default 3). *)
+end

@@ -1,6 +1,7 @@
 module Check = Puma_isa.Check
 module Operand = Puma_isa.Operand
 module Program = Puma_isa.Program
+module Json = Puma_util.Json
 
 type report = {
   diags : Diag.t list;
@@ -22,8 +23,41 @@ let make_report diags =
 
 let has_errors r = r.errors > 0
 
-let program (p : Program.t) =
+(* Rewrite E-IMEM messages to name the source layers responsible, using
+   the compiler's provenance map. Runs even on structurally invalid
+   programs: an over-budget stream is exactly the case where the deep
+   passes are skipped but attribution is most useful. *)
+let attribute_imem ~layer_of (p : Program.t) diags =
+  List.map
+    (fun (d : Diag.t) ->
+      match (d.code, d.loc.tile) with
+      | "E-IMEM", Some tile ->
+          let core = d.loc.core in
+          let capacity =
+            match core with
+            | Some _ -> p.Program.config.Puma_hwmodel.Config.imem_core_bytes
+            | None -> p.Program.config.Puma_hwmodel.Config.imem_tile_bytes
+          in
+          let breakdown = Resource.imem_breakdown ~layer_of p ~tile ~core in
+          if breakdown = [] then d
+          else
+            {
+              d with
+              message =
+                d.message ^ ": "
+                ^ Resource.render_breakdown ~capacity breakdown;
+            }
+      | _ -> d)
+    diags
+
+let program ?(ranges = false) ?(resources = false) ?input_range
+    ?(dump_ranges = false) ?layer_of (p : Program.t) =
   let structural = Check.diagnose p in
+  let structural =
+    match layer_of with
+    | Some layer_of when resources -> attribute_imem ~layer_of p structural
+    | _ -> structural
+  in
   let has_structural_errors =
     List.exists (fun (d : Diag.t) -> d.severity = Diag.Error) structural
   in
@@ -51,6 +85,8 @@ let program (p : Program.t) =
       structural
       @ List.concat (List.rev !regflow)
       @ Smem.analyze p @ Channel.analyze p
+      @ (if ranges then Range.analyze ?input_range ~dump_ranges p else [])
+      @ (if resources then Resource.report (Resource.estimate p) else [])
     end
   in
   make_report (List.sort Diag.compare diags)
@@ -65,19 +101,16 @@ let pp ppf r =
 
 let to_string r = Format.asprintf "%a" pp r
 
-let to_json ?name r =
-  let buf = Buffer.create 256 in
-  Buffer.add_char buf '{';
-  (match name with
-  | Some n -> Buffer.add_string buf (Printf.sprintf "\"name\":\"%s\"," (Diag.json_escape n))
-  | None -> ());
-  Buffer.add_string buf
-    (Printf.sprintf "\"errors\":%d,\"warnings\":%d,\"infos\":%d,\"diagnostics\":["
-       r.errors r.warnings r.infos);
-  List.iteri
-    (fun i d ->
-      if i > 0 then Buffer.add_char buf ',';
-      Buffer.add_string buf (Diag.to_json d))
-    r.diags;
-  Buffer.add_string buf "]}";
-  Buffer.contents buf
+let json ?name r =
+  let fields =
+    (match name with Some n -> [ ("name", Json.String n) ] | None -> [])
+    @ [
+        ("errors", Json.Int r.errors);
+        ("warnings", Json.Int r.warnings);
+        ("infos", Json.Int r.infos);
+        ("diagnostics", Json.List (List.map Diag.to_json r.diags));
+      ]
+  in
+  Json.Obj fields
+
+let to_json ?name r = Json.to_string (json ?name r)

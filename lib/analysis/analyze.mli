@@ -2,10 +2,13 @@
 
     Runs, in order: the structural checker ({!Puma_isa.Check.diagnose}),
     per-core register dataflow ({!Regflow}), shared tile-memory
-    consumer-count analysis ({!Smem}) and inter-tile channel / deadlock
-    analysis ({!Channel}). If the structural pass reports any error the
-    semantic passes are skipped (and an [I-SKIP] info says so), since
-    their preconditions do not hold on malformed programs.
+    consumer-count analysis ({!Smem}), inter-tile channel / deadlock
+    analysis ({!Channel}) and — opt-in — fixed-point value-range analysis
+    ({!Range}) and static resource/cost estimation ({!Resource}). If the
+    structural pass reports any error the semantic passes are skipped
+    (and an [I-SKIP] info says so), since their preconditions do not hold
+    on malformed programs; E-IMEM attribution still runs in that case
+    when provenance is available.
 
     Diagnostics are sorted by location (tile, core, pc), then severity,
     then code. *)
@@ -17,7 +20,18 @@ type report = {
   infos : int;
 }
 
-val program : Puma_isa.Program.t -> report
+val program :
+  ?ranges:bool ->
+  ?resources:bool ->
+  ?input_range:int * int ->
+  ?dump_ranges:bool ->
+  ?layer_of:Resource.layer_of ->
+  Puma_isa.Program.t ->
+  report
+(** [ranges] (default off) runs {!Range}; [input_range] and
+    [dump_ranges] are forwarded to it. [resources] (default off) runs
+    {!Resource.report} and, when [layer_of] provenance is supplied,
+    appends a per-layer byte attribution to every [E-IMEM] message. *)
 
 val has_errors : report -> bool
 
@@ -30,6 +44,9 @@ val pp : Format.formatter -> report -> unit
 
 val to_string : report -> string
 
+val json : ?name:string -> report -> Puma_util.Json.t
+(** [{"name":..., "errors":n, "warnings":n, "infos":n,
+    "diagnostics":[...]}]; ["name"] is included when given. *)
+
 val to_json : ?name:string -> report -> string
-(** One JSON object: [{"name":..., "errors":n, "warnings":n, "infos":n,
-    "diagnostics":[...]}]; [name] is included when given. *)
+(** {!json} rendered to a string. *)

@@ -1,0 +1,752 @@
+(* Interval (value-range) analysis over the 16-bit fixed-point datapath.
+
+   An abstract interpretation built on {!Absint}: every vector register
+   word and scalar register carries an interval of raw fixed-point
+   values, propagated through ALU ops (with the exact VFU rounding and
+   clamping semantics), activation-function LUTs (monotone, so endpoint
+   evaluation is exact on intervals) and MVMs (bounding the dot product
+   with the actual programmed crossbar weights). Shared memory is
+   modelled as a flow-insensitive per-word interval map joined across
+   global passes until the whole program reaches a fixpoint; tile
+   send/receive channels forward intervals between tiles.
+
+   Diagnostics: [W-SAT] where some execution may clamp, [E-OVERFLOW]
+   where every execution clamps, [I-RANGE] inferred per-register ranges
+   (opt-in dump). *)
+
+module Instr = Puma_isa.Instr
+module Operand = Puma_isa.Operand
+module Program = Puma_isa.Program
+module Fixed = Puma_util.Fixed
+module Tensor = Puma_util.Tensor
+module Bset = Absint.Bset
+
+(* ---- Interval primitives. ---- *)
+
+(* Scalar registers are plain OCaml ints in the simulator; [sinf] is the
+   "unbounded" sentinel the widening operator jumps to (any bound at or
+   beyond it means "unknown"). *)
+let sinf = 1 lsl 40
+let clamp_s v = if v < -sinf then -sinf else if v > sinf then sinf else v
+
+let vlo_top = Fixed.min_raw
+let vhi_top = Fixed.max_raw
+let sat_raw v = if v < vlo_top then vlo_top else if v > vhi_top then vhi_top else v
+
+(* Round-to-nearest rescale of a 2*frac_bits product/accumulator, without
+   the final clamp (mirrors {!Puma_util.Fixed.rescale}; monotone). *)
+let round_scale p =
+  let half = 1 lsl (Fixed.frac_bits - 1) in
+  if p >= 0 then (p + half) asr Fixed.frac_bits
+  else -((-p + half) asr Fixed.frac_bits)
+
+type flags = {
+  mutable possible : bool;
+  mutable guaranteed : bool;
+  mutable what : string;
+}
+
+let no_flags () = { possible = false; guaranteed = false; what = "" }
+
+(* ---- Abstract state: one interval per combined-space register. ---- *)
+
+type state = { lo : int array; hi : int array }
+
+let copy_state s = { lo = Array.copy s.lo; hi = Array.copy s.hi }
+
+let equal_state a b =
+  let n = Array.length a.lo in
+  let rec go i =
+    i >= n || (a.lo.(i) = b.lo.(i) && a.hi.(i) = b.hi.(i) && go (i + 1))
+  in
+  go 0
+
+let join_state a b =
+  for i = 0 to Array.length a.lo - 1 do
+    if b.lo.(i) < a.lo.(i) then a.lo.(i) <- b.lo.(i);
+    if b.hi.(i) > a.hi.(i) then a.hi.(i) <- b.hi.(i)
+  done;
+  a
+
+let widen_state old cand =
+  for i = 0 to Array.length cand.lo - 1 do
+    if cand.lo.(i) < old.lo.(i) then cand.lo.(i) <- -sinf;
+    if cand.hi.(i) > old.hi.(i) then cand.hi.(i) <- sinf
+  done;
+  cand
+
+(* The per-stream transfer function is provided through this ref so the
+   {!Absint.Make} domain can close over the analysis context (weights,
+   shared-memory map); streams are solved one at a time. *)
+let cur_transfer : (pc:int -> state -> state) ref =
+  ref (fun ~pc:_ s -> s)
+
+module Solver = Absint.Make (struct
+  type nonrec state = state
+
+  let copy = copy_state
+  let equal = equal_state
+  let join = join_state
+  let widen = widen_state
+  let transfer ~pc s = !cur_transfer ~pc s
+end)
+
+(* ---- Per-core crossbar weight images. ---- *)
+
+type wimg = {
+  w : int array;  (** Quantized raw weights, row-major dim*dim. *)
+  pos : int array;  (** Per-row sum of positive weights. *)
+  neg : int array;  (** Per-row sum of negative weights. *)
+}
+
+let quantize_image dim (m : Tensor.mat) =
+  let w = Array.make (dim * dim) 0 in
+  let pos = Array.make dim 0 and neg = Array.make dim 0 in
+  for i = 0 to dim - 1 do
+    for j = 0 to dim - 1 do
+      (* Exactly the quantization the bit-sliced crossbar applies. *)
+      let raw = Fixed.to_raw (Fixed.of_float (Tensor.get m i j)) in
+      let raw = if raw = Fixed.min_raw then -Fixed.max_raw else raw in
+      w.((i * dim) + j) <- raw;
+      if raw > 0 then pos.(i) <- pos.(i) + raw else neg.(i) <- neg.(i) + raw
+    done
+  done;
+  { w; pos; neg }
+
+(* ---- The analysis proper. ---- *)
+
+type t = {
+  diags : Diag.t list;
+  interval : tile:int -> core:int -> pc:int -> reg:int -> (int * int) option;
+      (** Post-instruction interval of a combined-space register index
+          (only populated when states were kept). *)
+}
+
+let run ?(input_range = (Fixed.min_raw, Fixed.max_raw)) ?(dump_ranges = false)
+    ?(keep_states = false) (p : Program.t) =
+  let config = p.Program.config in
+  let layout = Operand.layout config in
+  let dim = layout.Operand.mvmu_dim in
+  let total = layout.Operand.total in
+  let width = total + Operand.num_scalar_regs in
+  let num_mvmus = Operand.size_of layout Operand.Xbar_in / dim in
+  let smem_words = config.Puma_hwmodel.Config.smem_bytes / 2 in
+  let ntiles = Array.length p.Program.tiles in
+  (* Shared-memory interval map, one pair of arrays per tile; lo > hi
+     marks words no static write reaches (loads of those read as top:
+     at runtime they block on the attribute protocol instead of yielding
+     a value, so any interval is sound). *)
+  let mlo = Array.init ntiles (fun _ -> Array.make smem_words 1) in
+  let mhi = Array.init ntiles (fun _ -> Array.make smem_words 0) in
+  let map_dirty = ref false in
+  let map_join t a lo hi =
+    if a >= 0 && a < smem_words then begin
+      let l = mlo.(t) and h = mhi.(t) in
+      if l.(a) > h.(a) then begin
+        l.(a) <- lo;
+        h.(a) <- hi;
+        map_dirty := true
+      end
+      else begin
+        if lo < l.(a) then begin
+          l.(a) <- lo;
+          map_dirty := true
+        end;
+        if hi > h.(a) then begin
+          h.(a) <- hi;
+          map_dirty := true
+        end
+      end
+    end
+  in
+  let map_read t a =
+    if a >= 0 && a < smem_words && mlo.(t).(a) <= mhi.(t).(a) then
+      (mlo.(t).(a), mhi.(t).(a))
+    else (vlo_top, vhi_top)
+  in
+  (* Host-visible bindings seed the map: inputs with the caller-supplied
+     range, constants with their exact preloaded values. *)
+  let ilo, ihi = input_range in
+  List.iter
+    (fun (b : Program.io_binding) ->
+      if b.tile >= 0 && b.tile < ntiles then
+        for k = 0 to b.length - 1 do
+          map_join b.tile (b.mem_addr + k) ilo ihi
+        done)
+    p.Program.inputs;
+  List.iter
+    (fun ((b : Program.io_binding), raw) ->
+      if b.tile >= 0 && b.tile < ntiles then
+        Array.iteri (fun k v -> map_join b.tile (b.mem_addr + k) v v) raw)
+    p.Program.constants;
+  map_dirty := false;
+  (* Per-(tile, core, mvmu) weight images. *)
+  let images =
+    Array.init ntiles (fun _ ->
+        Array.make (config.Puma_hwmodel.Config.cores_per_tile * num_mvmus) None)
+  in
+  Array.iteri
+    (fun t (tp : Program.tile_program) ->
+      List.iter
+        (fun (img : Program.mvmu_image) ->
+          if
+            img.core_index >= 0
+            && img.core_index < config.Puma_hwmodel.Config.cores_per_tile
+            && img.mvmu_index >= 0
+            && img.mvmu_index < num_mvmus
+          then
+            images.(t).((img.core_index * num_mvmus) + img.mvmu_index) <-
+              Some (quantize_image dim img.weights))
+        tp.Program.mvmu_images)
+    p.Program.tiles;
+  (* ---- Transfer function for one core stream. ---- *)
+  let cur_flags : flags option ref = ref None in
+  let flag_possible what =
+    match !cur_flags with
+    | Some f ->
+        f.possible <- true;
+        if f.what = "" then f.what <- what
+    | None -> ()
+  in
+  let flag_guaranteed what =
+    match !cur_flags with
+    | Some f ->
+        f.possible <- true;
+        f.guaranteed <- true;
+        f.what <- what
+    | None -> ()
+  in
+  (* Clamp an exact (unsaturated) result interval to the representable
+     range, recording whether some/all of it is cut off. *)
+  let sat what lo hi =
+    if lo < vlo_top || hi > vhi_top then begin
+      if hi < vlo_top || lo > vhi_top then flag_guaranteed what
+      else flag_possible what
+    end;
+    (sat_raw lo, sat_raw hi)
+  in
+  let lut_op op l h =
+    (* The LUT samples a monotone non-decreasing function, so endpoint
+       evaluation is exact on intervals; table values are in range by
+       construction. *)
+    assert (Instr.alu_op_is_monotone op);
+    ( Fixed.to_raw (Puma_arch.Rom_lut.eval op (Fixed.of_raw l)),
+      Fixed.to_raw (Puma_arch.Rom_lut.eval op (Fixed.of_raw h)) )
+  in
+  (* Binary VFU op on saturated input intervals (the VFU reads operands
+     through [Fixed.of_raw], which clamps). *)
+  let vfu_binop op l1 h1 l2 h2 =
+    let name = Instr.alu_op_name op in
+    match (op : Instr.alu_op) with
+    | Add -> sat name (l1 + l2) (h1 + h2)
+    | Sub -> sat name (l1 - h2) (h1 - l2)
+    | Mul ->
+        let a = l1 * l2 and b = l1 * h2 and c = h1 * l2 and d = h1 * h2 in
+        let pmin = min (min a b) (min c d) and pmax = max (max a b) (max c d) in
+        sat name (round_scale pmin) (round_scale pmax)
+    | Div ->
+        if l2 <= 0 && h2 >= 0 then
+          if l2 = 0 && h2 = 0 then begin
+            (* Division by zero saturates to the sign of the dividend. *)
+            flag_guaranteed "div by zero";
+            let lo = if l1 < 0 then vlo_top else vhi_top in
+            let hi = if h1 >= 0 then vhi_top else vlo_top in
+            (min lo hi, max lo hi)
+          end
+          else begin
+            flag_possible "div";
+            (vlo_top, vhi_top)
+          end
+        else begin
+          (* Sign-definite divisor: the quotient is monotone in each
+             argument over the box, so corners bound it. *)
+          let q a b = (a lsl Fixed.frac_bits) / b in
+          let a = q l1 l2 and b = q l1 h2 and c = q h1 l2 and d = q h1 h2 in
+          sat name (min (min a b) (min c d)) (max (max a b) (max c d))
+        end
+    | Shl ->
+        let amt v =
+          let n = v asr Fixed.frac_bits in
+          if n < 0 then 0 else if n > 15 then 15 else n
+        in
+        let nlo = amt l2 and nhi = amt h2 in
+        let a = l1 lsl nlo and b = l1 lsl nhi in
+        let c = h1 lsl nlo and d = h1 lsl nhi in
+        sat name (min (min a b) (min c d)) (max (max a b) (max c d))
+    | Shr ->
+        let amt v =
+          let n = v asr Fixed.frac_bits in
+          if n < 0 then 0 else if n > 15 then 15 else n
+        in
+        let nlo = amt l2 and nhi = amt h2 in
+        let a = l1 asr nlo and b = l1 asr nhi in
+        let c = h1 asr nlo and d = h1 asr nhi in
+        (min (min a b) (min c d), max (max a b) (max c d))
+    | And -> if l1 >= 0 && l2 >= 0 then (0, min h1 h2) else (vlo_top, vhi_top)
+    | Or ->
+        if l1 >= 0 && l2 >= 0 then (max l1 l2, vhi_top) else (vlo_top, vhi_top)
+    | Min -> (min l1 l2, min h1 h2)
+    | Max -> (max l1 l2, max h1 h2)
+    | Invert | Relu | Sigmoid | Tanh | Log | Exp | Rand | Subsample ->
+        (vlo_top, vhi_top)
+  in
+  let vfu_unop op l h =
+    match (op : Instr.alu_op) with
+    | Invert -> (-h - 1, -l - 1)
+    | Relu -> (max 0 l, max 0 h)
+    | Sigmoid | Tanh | Log | Exp -> lut_op op l h
+    | Rand -> (0, Fixed.to_raw Fixed.one)
+    | Add | Sub | Mul | Div | Shl | Shr | And | Or | Subsample | Min | Max ->
+        (vlo_top, vhi_top)
+  in
+  (* Read a register lane as the VFU sees it (clamped). *)
+  let read_sat (s : state) i = (sat_raw s.lo.(i), sat_raw s.hi.(i)) in
+  let in_reg i = i >= 0 && i < total in
+  let in_sreg s = s >= 0 && s < Operand.num_scalar_regs in
+  let sreg_interval (st : state) s =
+    if in_sreg s then (st.lo.(total + s), st.hi.(total + s)) else (-sinf, sinf)
+  in
+  let addr_interval st = function
+    | Instr.Imm_addr a -> (a, a)
+    | Instr.Sreg_addr s -> sreg_interval st s
+  in
+  let make_transfer ~tile ~core (code : Instr.t array) =
+    let imgs = images.(tile) in
+    let img m = imgs.((core * num_mvmus) + m) in
+    fun ~pc (st : state) ->
+      (match code.(pc) with
+      | Instr.Halt | Jmp _ | Brn _ | Send _ | Receive _ -> ()
+      | Mvm { mask; filter = _; stride } ->
+          for m = 0 to num_mvmus - 1 do
+            if mask land (1 lsl m) <> 0 then begin
+              let xin = Operand.xbar_in layout ~mvmu:m ~elem:0 in
+              let xout = Operand.xbar_out layout ~mvmu:m ~elem:0 in
+              match img m with
+              | None ->
+                  (* Unprogrammed crossbar: all-zero weights. *)
+                  for i = 0 to dim - 1 do
+                    st.lo.(xout + i) <- 0;
+                    st.hi.(xout + i) <- 0
+                  done
+              | Some { w; pos; neg } ->
+                  let inl = Array.make dim 0 and inh = Array.make dim 0 in
+                  for j = 0 to dim - 1 do
+                    let src = xin + ((j + stride) mod dim) in
+                    inl.(j) <- st.lo.(src);
+                    inh.(j) <- st.hi.(src)
+                  done;
+                  let uniform = ref true in
+                  for j = 1 to dim - 1 do
+                    if inl.(j) <> inl.(0) || inh.(j) <> inh.(0) then
+                      uniform := false
+                  done;
+                  let out_lo = Array.make dim 0 and out_hi = Array.make dim 0 in
+                  if !uniform then begin
+                    let l = inl.(0) and h = inh.(0) in
+                    for i = 0 to dim - 1 do
+                      out_lo.(i) <- (l * pos.(i)) + (h * neg.(i));
+                      out_hi.(i) <- (h * pos.(i)) + (l * neg.(i))
+                    done
+                  end
+                  else
+                    for i = 0 to dim - 1 do
+                      let base = i * dim in
+                      let alo = ref 0 and ahi = ref 0 in
+                      for j = 0 to dim - 1 do
+                        let wij = w.(base + j) in
+                        if wij > 0 then begin
+                          alo := !alo + (wij * inl.(j));
+                          ahi := !ahi + (wij * inh.(j))
+                        end
+                        else if wij < 0 then begin
+                          alo := !alo + (wij * inh.(j));
+                          ahi := !ahi + (wij * inl.(j))
+                        end
+                      done;
+                      out_lo.(i) <- !alo;
+                      out_hi.(i) <- !ahi
+                    done;
+                  for i = 0 to dim - 1 do
+                    let lo, hi =
+                      sat "mvm accumulation"
+                        (round_scale out_lo.(i))
+                        (round_scale out_hi.(i))
+                    in
+                    st.lo.(xout + i) <- lo;
+                    st.hi.(xout + i) <- hi
+                  done
+            end
+          done
+      | Alu { op; dest; src1; src2; vec_width } ->
+          if op = Instr.Subsample then begin
+            (* dest[k] = src1[2k]: a raw register copy. *)
+            let tl = Array.make vec_width 0 and th = Array.make vec_width 0 in
+            for k = 0 to vec_width - 1 do
+              let s = src1 + (2 * k) in
+              if in_reg s then begin
+                tl.(k) <- st.lo.(s);
+                th.(k) <- st.hi.(s)
+              end
+            done;
+            for k = 0 to vec_width - 1 do
+              if in_reg (dest + k) then begin
+                st.lo.(dest + k) <- tl.(k);
+                st.hi.(dest + k) <- th.(k)
+              end
+            done
+          end
+          else begin
+            let tl = Array.make vec_width vlo_top
+            and th = Array.make vec_width vhi_top in
+            if Instr.alu_op_arity op = 1 then
+              for k = 0 to vec_width - 1 do
+                if in_reg (src1 + k) then begin
+                  let l, h = read_sat st (src1 + k) in
+                  let lo, hi = vfu_unop op l h in
+                  tl.(k) <- lo;
+                  th.(k) <- hi
+                end
+              done
+            else
+              for k = 0 to vec_width - 1 do
+                if in_reg (src1 + k) && in_reg (src2 + k) then begin
+                  let l1, h1 = read_sat st (src1 + k) in
+                  let l2, h2 = read_sat st (src2 + k) in
+                  let lo, hi = vfu_binop op l1 h1 l2 h2 in
+                  tl.(k) <- lo;
+                  th.(k) <- hi
+                end
+              done;
+            for k = 0 to vec_width - 1 do
+              if in_reg (dest + k) then begin
+                st.lo.(dest + k) <- tl.(k);
+                st.hi.(dest + k) <- th.(k)
+              end
+            done
+          end
+      | Alui { op; dest; src1; imm; vec_width } ->
+          let i2 = sat_raw imm in
+          for k = 0 to vec_width - 1 do
+            if in_reg (src1 + k) && in_reg (dest + k) then begin
+              let l1, h1 = read_sat st (src1 + k) in
+              let lo, hi =
+                if Instr.alu_op_arity op = 2 then vfu_binop op l1 h1 i2 i2
+                else (vlo_top, vhi_top)
+              in
+              st.lo.(dest + k) <- lo;
+              st.hi.(dest + k) <- hi
+            end
+          done
+      | Alu_int { op; dest; src1; src2 } ->
+          if in_sreg dest then begin
+            let l1, h1 = sreg_interval st src1 in
+            let l2, h2 = sreg_interval st src2 in
+            let lo, hi =
+              match (op : Instr.alu_int_op) with
+              | Iadd -> (clamp_s (l1 + l2), clamp_s (h1 + h2))
+              | Isub -> (clamp_s (l1 - h2), clamp_s (h1 - l2))
+              | Ieq ->
+                  if l1 = h1 && l2 = h2 && l1 = l2 then (1, 1)
+                  else if h1 < l2 || h2 < l1 then (0, 0)
+                  else (0, 1)
+              | Ine ->
+                  if l1 = h1 && l2 = h2 && l1 = l2 then (0, 0)
+                  else if h1 < l2 || h2 < l1 then (1, 1)
+                  else (0, 1)
+              | Igt ->
+                  if l1 > h2 then (1, 1)
+                  else if h1 <= l2 then (0, 0)
+                  else (0, 1)
+            in
+            st.lo.(total + dest) <- lo;
+            st.hi.(total + dest) <- hi
+          end
+      | Set { dest; imm } ->
+          if in_reg dest then begin
+            st.lo.(dest) <- imm;
+            st.hi.(dest) <- imm
+          end
+      | Set_sreg { dest; imm } ->
+          if in_sreg dest then begin
+            st.lo.(total + dest) <- clamp_s imm;
+            st.hi.(total + dest) <- clamp_s imm
+          end
+      | Copy { dest; src; vec_width } ->
+          let tl = Array.make vec_width vlo_top
+          and th = Array.make vec_width vhi_top in
+          for k = 0 to vec_width - 1 do
+            if in_reg (src + k) then begin
+              tl.(k) <- st.lo.(src + k);
+              th.(k) <- st.hi.(src + k)
+            end
+          done;
+          for k = 0 to vec_width - 1 do
+            if in_reg (dest + k) then begin
+              st.lo.(dest + k) <- tl.(k);
+              st.hi.(dest + k) <- th.(k)
+            end
+          done
+      | Load { dest; addr; vec_width } ->
+          let al, ah = addr_interval st addr in
+          for k = 0 to vec_width - 1 do
+            if in_reg (dest + k) then begin
+              let lo, hi =
+                if al = ah then map_read tile (al + k) else (vlo_top, vhi_top)
+              in
+              st.lo.(dest + k) <- lo;
+              st.hi.(dest + k) <- hi
+            end
+          done
+      | Store { src; addr; count = _; vec_width } ->
+          let al, ah = addr_interval st addr in
+          if al = ah then begin
+            for k = 0 to vec_width - 1 do
+              if in_reg (src + k) then
+                map_join tile (al + k) st.lo.(src + k) st.hi.(src + k)
+            done
+          end
+          else begin
+            (* Dynamic store address: join the hull of the source lanes
+               into every word (the address analysis cannot narrow it). *)
+            let l = ref max_int and h = ref min_int in
+            for k = 0 to vec_width - 1 do
+              if in_reg (src + k) then begin
+                l := min !l st.lo.(src + k);
+                h := max !h st.hi.(src + k)
+              end
+            done;
+            if !l <= !h then
+              for a = 0 to smem_words - 1 do
+                map_join tile a !l !h
+              done
+          end);
+      st
+  in
+  (* ---- Tile channel model: k-th class join of sends into receives. ---- *)
+  let sends : (int * int, (int * int * int) list ref) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  Array.iteri
+    (fun src (tp : Program.tile_program) ->
+      Array.iter
+        (fun i ->
+          match i with
+          | Instr.Send { mem_addr; fifo_id; target; vec_width } ->
+              let key = (target, fifo_id) in
+              let l =
+                match Hashtbl.find_opt sends key with
+                | Some l -> l
+                | None ->
+                    let l = ref [] in
+                    Hashtbl.add sends key l;
+                    l
+              in
+              l := (src, mem_addr, vec_width) :: !l
+          | _ -> ())
+        tp.Program.tile_code)
+    p.Program.tiles;
+  let process_channels () =
+    Array.iteri
+      (fun dst (tp : Program.tile_program) ->
+        Array.iter
+          (fun i ->
+            match i with
+            | Instr.Receive { mem_addr; fifo_id; count = _; vec_width } -> (
+                match Hashtbl.find_opt sends (dst, fifo_id) with
+                | None -> ()
+                | Some l ->
+                    List.iter
+                      (fun (src, saddr, sw) ->
+                        if sw = vec_width then
+                          for k = 0 to vec_width - 1 do
+                            if mlo.(src).(saddr + k) <= mhi.(src).(saddr + k)
+                            then
+                              map_join dst (mem_addr + k)
+                                mlo.(src).(saddr + k)
+                                mhi.(src).(saddr + k)
+                          done
+                        else begin
+                          (* Width mismatch between paired endpoints is a
+                             channel error; fall back to the hull. *)
+                          let l = ref max_int and h = ref min_int in
+                          for k = 0 to sw - 1 do
+                            if
+                              saddr + k < smem_words
+                              && mlo.(src).(saddr + k) <= mhi.(src).(saddr + k)
+                            then begin
+                              l := min !l mlo.(src).(saddr + k);
+                              h := max !h mhi.(src).(saddr + k)
+                            end
+                          done;
+                          if !l <= !h then
+                            for k = 0 to vec_width - 1 do
+                              map_join dst (mem_addr + k) !l !h
+                            done
+                        end)
+                      !l)
+            | _ -> ())
+          tp.Program.tile_code)
+      p.Program.tiles
+  in
+  (* ---- Global fixpoint over streams and the shared-memory map. ---- *)
+  let entry () =
+    let lo = Array.make width vlo_top and hi = Array.make width vhi_top in
+    for s = 0 to Operand.num_scalar_regs - 1 do
+      lo.(total + s) <- -sinf;
+      hi.(total + s) <- sinf
+    done;
+    { lo; hi }
+  in
+  let streams =
+    Array.to_list p.Program.tiles
+    |> List.concat_map (fun (tp : Program.tile_program) ->
+           Array.to_list
+             (Array.mapi
+                (fun core code ->
+                  if Array.length code = 0 then None
+                  else
+                    Some
+                      ( tp.Program.tile_index,
+                        core,
+                        code,
+                        Cfg.build code,
+                        make_transfer ~tile:tp.Program.tile_index ~core code ))
+                tp.Program.core_code)
+           |> List.filter_map Fun.id)
+  in
+  let solve_streams () =
+    List.map
+      (fun (tile, core, code, cfg, transfer) ->
+        cur_transfer := transfer;
+        let states = Solver.solve ~entry cfg in
+        (tile, core, code, cfg, transfer, states))
+      streams
+  in
+  let widen_map () =
+    for t = 0 to ntiles - 1 do
+      Array.fill mlo.(t) 0 smem_words vlo_top;
+      Array.fill mhi.(t) 0 smem_words vhi_top
+    done
+  in
+  let max_passes = 12 in
+  let rec fixpoint n =
+    map_dirty := false;
+    let solved = solve_streams () in
+    process_channels ();
+    if not !map_dirty then solved
+    else if n + 1 >= max_passes then begin
+      (* Did not converge: widen the whole map to top (nothing can grow
+         past it) and run one final, self-consistent pass. *)
+      widen_map ();
+      map_dirty := false;
+      let solved = solve_streams () in
+      process_channels ();
+      solved
+    end
+    else fixpoint (n + 1)
+  in
+  let solved = fixpoint 0 in
+  (* ---- Report walk over the converged states. ---- *)
+  let diags = ref [] in
+  let kept : (int * int * int, int array * int array) Hashtbl.t =
+    Hashtbl.create (if keep_states then 256 else 1)
+  in
+  List.iter
+    (fun (tile, core, code, (cfg : Cfg.t), transfer, states) ->
+      let sum_lo = Array.make width max_int
+      and sum_hi = Array.make width min_int in
+      let defined = Bset.create width in
+      let eff = Array.map (Regflow.effects layout) code in
+      for b = 0 to Cfg.num_blocks cfg - 1 do
+        match states.(b) with
+        | None -> ()
+        | Some entry_state ->
+            if cfg.Cfg.reachable.(b) then begin
+              let st = ref (copy_state entry_state) in
+              let blk = cfg.Cfg.blocks.(b) in
+              for pc = blk.Cfg.first to blk.Cfg.last do
+                let f = no_flags () in
+                cur_flags := Some f;
+                st := transfer ~pc !st;
+                cur_flags := None;
+                if f.guaranteed then
+                  diags :=
+                    Diag.error ~code:"E-OVERFLOW" ~tile ~core ~pc
+                      "%s saturates on every execution: the inferred result \
+                       range lies entirely outside the representable \
+                       fixed-point range"
+                      f.what
+                    :: !diags
+                else if f.possible then
+                  diags :=
+                    Diag.warning ~code:"W-SAT" ~tile ~core ~pc
+                      "%s may saturate: part of the inferred result range \
+                       falls outside the representable fixed-point range"
+                      f.what
+                    :: !diags;
+                if keep_states then
+                  Hashtbl.replace kept (tile, core, pc)
+                    (Array.copy !st.lo, Array.copy !st.hi);
+                List.iter
+                  (fun (base, w) ->
+                    let lo = max 0 base and hi = min width (base + w) in
+                    for k = lo to hi - 1 do
+                      Bset.set defined k;
+                      if !st.lo.(k) < sum_lo.(k) then sum_lo.(k) <- !st.lo.(k);
+                      if !st.hi.(k) > sum_hi.(k) then sum_hi.(k) <- !st.hi.(k)
+                    done)
+                  eff.(pc).defs
+              done
+            end
+      done;
+      if dump_ranges then begin
+        (* Group maximal runs of consecutively-indexed registers with the
+           same interval into one info line. *)
+        let render_bound v ~is_sreg =
+          if v <= -sinf then "-inf"
+          else if v >= sinf then "+inf"
+          else if is_sreg then string_of_int v
+          else Printf.sprintf "%.4f" (Fixed.to_float (Fixed.of_raw v))
+        in
+        let k = ref 0 in
+        while !k < width do
+          if Bset.get defined !k then begin
+            let e = ref !k in
+            (* Runs never straddle the vector/scalar boundary. *)
+            while
+              !e + 1 < width
+              && (!e + 1 < total) = (!k < total)
+              && Bset.get defined (!e + 1)
+              && sum_lo.(!e + 1) = sum_lo.(!k)
+              && sum_hi.(!e + 1) = sum_hi.(!k)
+            do
+              incr e
+            done;
+            let is_sreg = !k >= total in
+            let name =
+              if !e = !k then Regflow.reg_name layout !k
+              else
+                Printf.sprintf "%s..%s"
+                  (Regflow.reg_name layout !k)
+                  (Regflow.reg_name layout !e)
+            in
+            diags :=
+              Diag.info ~code:"I-RANGE" ~tile ~core "%s in [%s, %s]" name
+                (render_bound sum_lo.(!k) ~is_sreg)
+                (render_bound sum_hi.(!k) ~is_sreg)
+              :: !diags;
+            k := !e + 1
+          end
+          else incr k
+        done
+      end)
+    solved;
+  let interval ~tile ~core ~pc ~reg =
+    match Hashtbl.find_opt kept (tile, core, pc) with
+    | Some (lo, hi) when reg >= 0 && reg < width -> Some (lo.(reg), hi.(reg))
+    | _ -> None
+  in
+  { diags = List.rev !diags; interval }
+
+let analyze ?input_range ?dump_ranges (p : Program.t) =
+  (run ?input_range ?dump_ranges p).diags

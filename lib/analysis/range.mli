@@ -1,0 +1,55 @@
+(** Fixed-point value-range (interval) analysis.
+
+    An abstract interpretation over {!Absint} that tracks, for every
+    vector register word and scalar register, an interval of raw
+    fixed-point values. Transfers mirror the simulator's exact VFU
+    rounding/clamping semantics, evaluate activation LUTs at interval
+    endpoints (the ROM functions are monotone) and bound MVM results
+    using the actual programmed crossbar weight matrices. Tile shared
+    memory is a flow-insensitive per-word interval map iterated with the
+    per-stream solves to a global fixpoint; send/receive channels
+    forward intervals between tiles.
+
+    Diagnostics:
+    - [W-SAT] (warning): the inferred result range of an operation
+      partly falls outside the representable 16-bit range — some
+      execution may clamp.
+    - [E-OVERFLOW] (error): the inferred result range lies entirely
+      outside the representable range — every execution clamps.
+    - [I-RANGE] (info, only with [dump_ranges]): inferred per-register
+      value ranges, grouped over runs of consecutive registers.
+
+    Soundness contract (checked by the property tests): for any program
+    accepted by {!Puma_isa.Check.diagnose} and any input vectors within
+    [input_range], every value the functional simulator writes to a
+    register lies within that register's inferred interval, and no
+    operation saturates at a pc that was not flagged. *)
+
+type t = {
+  diags : Diag.t list;
+  interval : tile:int -> core:int -> pc:int -> reg:int -> (int * int) option;
+      (** Post-instruction interval (raw fixed-point bounds) of a
+          combined-space register index — vector words in
+          [0, layout.total), scalar register [s] at [layout.total + s]
+          (same indexing as {!Regflow.effects}). Populated only when the
+          analysis ran with [keep_states]. *)
+}
+
+val run :
+  ?input_range:int * int ->
+  ?dump_ranges:bool ->
+  ?keep_states:bool ->
+  Puma_isa.Program.t ->
+  t
+(** [input_range] is the raw-value interval assumed for every word of
+    every host input binding (default: the full representable range).
+    [dump_ranges] adds [I-RANGE] infos. [keep_states] records
+    post-instruction states for {!t.interval} (memory-proportional to
+    program size; off by default). *)
+
+val analyze :
+  ?input_range:int * int ->
+  ?dump_ranges:bool ->
+  Puma_isa.Program.t ->
+  Diag.t list
+(** Diagnostics only; [run] without state retention. *)

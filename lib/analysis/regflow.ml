@@ -1,43 +1,6 @@
 module Instr = Puma_isa.Instr
 module Operand = Puma_isa.Operand
-
-(* Compact bitsets over the combined register space: one bit per vector
-   register word, then one bit per scalar register. *)
-module Bset = struct
-  let create n = Bytes.make ((n + 7) / 8) '\000'
-
-  let full n =
-    let b = Bytes.make ((n + 7) / 8) '\255' in
-    let rem = n land 7 in
-    if rem <> 0 then
-      Bytes.set b (Bytes.length b - 1) (Char.chr ((1 lsl rem) - 1));
-    b
-
-  let copy = Bytes.copy
-  let equal = Bytes.equal
-
-  let get b i = Char.code (Bytes.get b (i lsr 3)) land (1 lsl (i land 7)) <> 0
-
-  let set b i =
-    Bytes.set b (i lsr 3)
-      (Char.chr (Char.code (Bytes.get b (i lsr 3)) lor (1 lsl (i land 7))))
-
-  let clear b i =
-    Bytes.set b (i lsr 3)
-      (Char.chr (Char.code (Bytes.get b (i lsr 3)) land lnot (1 lsl (i land 7))))
-
-  let inter_into dst src =
-    for k = 0 to Bytes.length dst - 1 do
-      Bytes.set dst k
-        (Char.chr (Char.code (Bytes.get dst k) land Char.code (Bytes.get src k)))
-    done
-
-  let union_into dst src =
-    for k = 0 to Bytes.length dst - 1 do
-      Bytes.set dst k
-        (Char.chr (Char.code (Bytes.get dst k) lor Char.code (Bytes.get src k)))
-    done
-end
+module Bset = Absint.Bset
 
 (* Register effects of one instruction. [strict] uses participate in the
    def-before-use check; [soft] uses only keep values live (the MVM unit
@@ -106,6 +69,68 @@ let clip width (base, w) =
   let lo = max 0 base and hi = min width (base + w) in
   (lo, max 0 (hi - lo))
 
+(* The two dataflow passes as {!Absint} domains over {!Absint.Bset}. The
+   per-pc effects array and universe width are supplied through these
+   refs (set before each solve; analyses of distinct streams never
+   interleave). *)
+let cur_eff : effects array ref = ref [||]
+let cur_width = ref 0
+
+let iter_range_w width set (base, w) =
+  let lo, w = clip width (base, w) in
+  for k = lo to lo + w - 1 do
+    set k
+  done
+
+(* Forward must-defined: join is intersection (defined on every path). *)
+module Defined = Absint.Make (struct
+  type state = Bset.t
+
+  let copy = Bset.copy
+  let equal = Bset.equal
+
+  let join a b =
+    Bset.inter_into a b;
+    a
+
+  let widen = join
+
+  let transfer ~pc s =
+    List.iter (iter_range_w !cur_width (Bset.set s)) !cur_eff.(pc).defs;
+    s
+end)
+
+(* Backward liveness: join is union (live on some path). *)
+module Live = Absint.Make (struct
+  type state = Bset.t
+
+  let copy = Bset.copy
+  let equal = Bset.equal
+
+  let join a b =
+    Bset.union_into a b;
+    a
+
+  let widen = join
+
+  let transfer ~pc s =
+    let e = !cur_eff.(pc) in
+    let w = !cur_width in
+    List.iter (iter_range_w w (Bset.clear s)) e.defs;
+    List.iter (iter_range_w w (Bset.set s)) e.strict;
+    List.iter (iter_range_w w (Bset.set s)) e.soft;
+    s
+end)
+
+(* Liveness as a reusable building block: per-block live-out sets (None
+   for blocks backward propagation never reaches). Used here for the
+   dead-store check and by {!Resource} for register pressure. *)
+let liveness ~(layout : Operand.layout) (cfg : Cfg.t) =
+  let width = layout.Operand.total + Operand.num_scalar_regs in
+  cur_eff := Array.map (effects layout) cfg.Cfg.code;
+  cur_width := width;
+  Live.solve ~direction:Absint.Backward ~entry:(fun () -> Bset.create width) cfg
+
 let analyze ~(layout : Operand.layout) ~tile ~core code =
   let width = layout.Operand.total + Operand.num_scalar_regs in
   let cfg = Cfg.build code in
@@ -114,101 +139,55 @@ let analyze ~(layout : Operand.layout) ~tile ~core code =
   else begin
     let diags = ref [] in
     let eff = Array.map (effects layout) code in
-    let iter_range set (base, w) =
-      let lo, w = clip width (base, w) in
-      for k = lo to lo + w - 1 do
-        set k
-      done
-    in
-    let preds = Cfg.preds cfg in
+    let iter_range set r = iter_range_w width set r in
     (* ---- Forward must-defined analysis (def before use). ---- *)
-    let inb =
-      Array.init nb (fun b -> if b = 0 then Bset.create width else Bset.full width)
-    in
-    let transfer b =
-      let s = Bset.copy inb.(b) in
-      let blk = cfg.Cfg.blocks.(b) in
-      for pc = blk.Cfg.first to blk.Cfg.last do
-        List.iter (iter_range (Bset.set s)) eff.(pc).defs
-      done;
-      s
-    in
-    let changed = ref true in
-    while !changed do
-      changed := false;
-      let outs = Array.init nb transfer in
-      for b = 1 to nb - 1 do
-        match preds.(b) with
-        | [] -> ()
-        | ps ->
-            let ni = Bset.full width in
-            List.iter (fun p -> Bset.inter_into ni outs.(p)) ps;
-            (* The entry has an implicit undefined-state predecessor. *)
-            if not (Bset.equal ni inb.(b)) then begin
-              inb.(b) <- ni;
-              changed := true
-            end
-      done
-    done;
+    cur_eff := eff;
+    cur_width := width;
+    let inb = Defined.solve ~entry:(fun () -> Bset.create width) cfg in
     for b = 0 to nb - 1 do
-      if cfg.Cfg.reachable.(b) then begin
-        let cur = Bset.copy inb.(b) in
-        let blk = cfg.Cfg.blocks.(b) in
-        for pc = blk.Cfg.first to blk.Cfg.last do
-          let missing = ref None in
-          List.iter
-            (fun r ->
-              iter_range
-                (fun k ->
-                  if !missing = None && not (Bset.get cur k) then
-                    missing := Some k)
-                r)
-            eff.(pc).strict;
-          (match !missing with
-          | Some k ->
-              diags :=
-                Diag.error ~code:"E-UBD" ~tile ~core ~pc
-                  "register %s is read but not written on every path here"
-                  (reg_name layout k)
-                :: !diags
-          | None -> ());
-          List.iter (iter_range (Bset.set cur)) eff.(pc).defs
-        done
-      end
+      match inb.(b) with
+      | None -> ()
+      | Some entry_state ->
+          if cfg.Cfg.reachable.(b) then begin
+            let cur = Bset.copy entry_state in
+            let blk = cfg.Cfg.blocks.(b) in
+            for pc = blk.Cfg.first to blk.Cfg.last do
+              let missing = ref None in
+              List.iter
+                (fun r ->
+                  iter_range
+                    (fun k ->
+                      if !missing = None && not (Bset.get cur k) then
+                        missing := Some k)
+                    r)
+                eff.(pc).strict;
+              (match !missing with
+              | Some k ->
+                  diags :=
+                    Diag.error ~code:"E-UBD" ~tile ~core ~pc
+                      "register %s is read but not written on every path here"
+                      (reg_name layout k)
+                    :: !diags
+              | None -> ());
+              List.iter (iter_range (Bset.set cur)) eff.(pc).defs
+            done
+          end
     done;
     (* ---- Backward liveness (dead register writes). ---- *)
-    let live_in = Array.init nb (fun _ -> Bset.create width) in
-    let live_out b =
-      let s = Bset.create width in
-      List.iter
-        (fun succ -> Bset.union_into s live_in.(succ))
-        cfg.Cfg.blocks.(b).Cfg.succs;
-      s
+    cur_eff := eff;
+    cur_width := width;
+    let live_out =
+      Live.solve ~direction:Absint.Backward
+        ~entry:(fun () -> Bset.create width)
+        cfg
     in
-    let back_transfer b =
-      let s = live_out b in
-      let blk = cfg.Cfg.blocks.(b) in
-      for pc = blk.Cfg.last downto blk.Cfg.first do
-        List.iter (iter_range (Bset.clear s)) eff.(pc).defs;
-        List.iter (iter_range (Bset.set s)) eff.(pc).strict;
-        List.iter (iter_range (Bset.set s)) eff.(pc).soft
-      done;
-      s
-    in
-    let changed = ref true in
-    while !changed do
-      changed := false;
-      for b = nb - 1 downto 0 do
-        let ni = back_transfer b in
-        if not (Bset.equal ni live_in.(b)) then begin
-          live_in.(b) <- ni;
-          changed := true
-        end
-      done
-    done;
     for b = 0 to nb - 1 do
       if cfg.Cfg.reachable.(b) then begin
-        let live = live_out b in
+        let live =
+          match live_out.(b) with
+          | Some s -> Bset.copy s
+          | None -> Bset.create width
+        in
         let blk = cfg.Cfg.blocks.(b) in
         for pc = blk.Cfg.last downto blk.Cfg.first do
           let e = eff.(pc) in

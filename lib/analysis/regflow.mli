@@ -2,7 +2,7 @@
 
     Word-granular over the flat vector register space (XbarIn / XbarOut /
     GPR, honoring each operand's [vec_width]) plus the scalar register
-    file. Two passes over the {!Cfg}:
+    file. Two {!Absint} passes over the {!Cfg}:
 
     - forward must-defined analysis: a register word read by an
       instruction before any write reaches it on every path is reported
@@ -18,6 +18,28 @@
     Unreachable instructions are skipped by both passes and summarized as
     [I-UNREACH] (info). Assumes the stream already passed
     {!Puma_isa.Check.diagnose}. *)
+
+type effects = {
+  defs : (int * int) list;
+  strict : (int * int) list;
+  soft : (int * int) list;
+}
+(** Register effects of one instruction as [(base, width)] ranges over
+    the combined register space (vector words [0, layout.total), then
+    scalar registers at [layout.total + s]). [strict] uses participate in
+    the def-before-use check; [soft] uses only keep values live. *)
+
+val effects : Puma_isa.Operand.layout -> Puma_isa.Instr.t -> effects
+
+val reg_name : Puma_isa.Operand.layout -> int -> string
+(** Render a combined-space register index (e.g. ["xin0[3]"], ["r12"],
+    ["s2"]). *)
+
+val liveness :
+  layout:Puma_isa.Operand.layout -> Cfg.t -> Absint.Bset.t option array
+(** Per-block live-out sets over the combined register space (the
+    backward-liveness fixpoint; [None] only for streams with no blocks).
+    Shared with {!Resource}'s register-pressure estimation. *)
 
 val analyze :
   layout:Puma_isa.Operand.layout ->

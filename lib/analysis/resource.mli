@@ -1,0 +1,66 @@
+(** Static per-core resource and cost estimation.
+
+    Capacity accounting (instruction-memory budgets with per-layer
+    attribution, liveness-based register-pressure high-water marks) and
+    sound lower bounds on execution cost (cycles and dynamic energy)
+    derived from the {!Puma_hwmodel} latency and energy models, with no
+    simulation. The cycle bound is the cheapest terminating CFG path of
+    the slowest stream, excluding the terminal instruction's occupancy
+    (the simulator ends a stream at its final instruction's retire
+    time); the simulator charges the same per-instruction latencies and
+    only adds stalls, contention and loop trips on top, so
+    [cycle_lower_bound <= simulated makespan] for every program
+    (cross-validated by the [static_vs_sim] bench table and the property
+    tests).
+
+    Diagnostics from {!report}: [I-PRESSURE] per core stream (register
+    and imem utilization), [I-COST] per program (the lower bounds). *)
+
+type layer_of = tile:int -> core:int option -> pc:int -> string option
+(** Compiler provenance: source-graph layer label of the instruction at
+    [pc] of a stream ([core = None] is the tile control stream). *)
+
+type pressure = {
+  xin_hw : int;  (** Max simultaneously-live XbarIn words. *)
+  xin_cap : int;
+  xout_hw : int;
+  xout_cap : int;
+  gpr_hw : int;  (** Max simultaneously-live register-file words. *)
+  gpr_cap : int;
+  sreg_hw : int;
+}
+
+type stream = {
+  tile : int;
+  core : int option;  (** [None] for the tile control unit stream. *)
+  instrs : int;
+  imem_bytes : int;  (** Encoded size ({!Puma_isa.Encode}). *)
+  imem_capacity : int;
+  min_cycles : int;  (** Cheapest terminating path, in cycles. *)
+  min_energy_pj : float;  (** Dynamic energy along the cheapest path. *)
+  pressure : pressure option;  (** [None] for tile streams. *)
+}
+
+type t = {
+  streams : stream list;
+  cycle_lower_bound : int;  (** Max over streams (they run concurrently). *)
+  energy_lower_bound_pj : float;  (** Sum over streams. *)
+}
+
+val estimate : Puma_isa.Program.t -> t
+
+val imem_breakdown :
+  layer_of:layer_of ->
+  Puma_isa.Program.t ->
+  tile:int ->
+  core:int option ->
+  (string * int) list
+(** Encoded bytes of one stream attributed to source-graph layer labels,
+    largest first; instructions without provenance (batch-loop control,
+    spills) land on ["(runtime)"]. *)
+
+val render_breakdown : capacity:int -> (string * int) list -> string
+(** One-line rendering of a breakdown for an over-budget stream
+    ("… B over the … B budget; largest layers: …"). *)
+
+val report : t -> Diag.t list

@@ -99,6 +99,8 @@ let charge_reg_range t base width =
      space of the first element. *)
   Energy.add t.energy (reg_energy_cat t base) width
 
+let sreg t s = t.sregs.(s)
+
 let resolve_addr t = function
   | Instr.Imm_addr a -> a
   | Instr.Sreg_addr s -> t.sregs.(s)

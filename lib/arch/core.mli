@@ -63,6 +63,10 @@ val create :
 
 val config : t -> Puma_hwmodel.Config.t
 val regfile : t -> Regfile.t
+
+val sreg : t -> int -> int
+(** Current value of scalar register [s] (for inspection). *)
+
 val mvmu : t -> int -> Puma_xbar.Mvmu.t
 val pc : t -> int
 val halted : t -> bool

@@ -15,16 +15,36 @@ type stats = {
   total_instructions : int;
 }
 
-(* Growable instruction buffer. *)
-type buf = { mutable rev : Instr.t list; mutable count : int }
+(* Growable instruction buffer with a parallel provenance list: each
+   pushed instruction is tagged with the source-graph node currently
+   being emitted (set by the emission loop; -1 for runtime glue). *)
+type buf = {
+  mutable rev : Instr.t list;
+  mutable srcs : int list;
+  mutable count : int;
+}
 
-let buf () = { rev = []; count = 0 }
+(* The graph node whose emission is in progress. A module-level ref so
+   the spill code emitted from inside {!Regalloc} callbacks is tagged
+   with the node that triggered the spill. *)
+let emission_src = ref (-1)
+
+let buf () = { rev = []; srcs = []; count = 0 }
 
 let push b i =
   b.rev <- i :: b.rev;
+  b.srcs <- !emission_src :: b.srcs;
   b.count <- b.count + 1
 
 let to_array b = Array.of_list (List.rev b.rev)
+let src_array b = Array.of_list (List.rev b.srcs)
+
+type provenance = {
+  core_src : int array array array;
+      (** [core_src.(tile).(core).(pc)] = source-graph node id, -1 for
+          runtime glue (batch-loop control, prologue). *)
+  tile_src : int array array;  (** Same for tile control streams. *)
+}
 
 let conv_binop : G.binop -> Instr.alu_op = function
   | G.Add -> Instr.Add
@@ -265,6 +285,7 @@ let generate (config : Puma_hwmodel.Config.t) ~wrap_batch_loop (_g : G.t) lg
     match items.(pos) with
     | Schedule.Single n -> (
         let node = ns.(n) in
+        emission_src := node.Lgraph.src;
         match node.op with
         | L_input { name; offset } ->
             input_bindings :=
@@ -401,6 +422,7 @@ let generate (config : Puma_hwmodel.Config.t) ~wrap_batch_loop (_g : G.t) lg
         Array.iter
           (fun m ->
             let node = ns.(m) in
+            emission_src := node.Lgraph.src;
             let slot =
               match node.Lgraph.op with
               | L_mvm { slot } -> slot
@@ -415,10 +437,12 @@ let generate (config : Puma_hwmodel.Config.t) ~wrap_batch_loop (_g : G.t) lg
               (Instr.Copy { dest = xbar_in_base mvmu; src = r; vec_width = in_len });
             Regalloc.consume_use alloc ~id:p ~pos)
           ms;
+        emission_src := ns.(ms.(0)).Lgraph.src;
         push cb (Instr.Mvm { mask = !mask; filter = 0; stride = 0 });
         Array.iter
           (fun m ->
             let node = ns.(m) in
+            emission_src := node.Lgraph.src;
             let slot =
               match node.Lgraph.op with
               | L_mvm { slot } -> slot
@@ -432,10 +456,12 @@ let generate (config : Puma_hwmodel.Config.t) ~wrap_batch_loop (_g : G.t) lg
             post_production pos m)
           ms
   done;
+  emission_src := -1;
   (* ---- Optional batch loop (CNN control flow, Section 2.3.1). ---- *)
   let finalize_core_stream b =
     let body = to_array b in
-    if (not wrap_batch_loop) || Array.length body = 0 then body
+    let body_srcs = src_array b in
+    if (not wrap_batch_loop) || Array.length body = 0 then (body, body_srcs)
     else begin
       let prologue =
         [|
@@ -460,7 +486,13 @@ let generate (config : Puma_hwmodel.Config.t) ~wrap_batch_loop (_g : G.t) lg
           Instr.Brn { op = Instr.Blt; src1 = 0; src2 = 1; pc = shift };
         |]
       in
-      Array.concat [ prologue; shifted; epilogue ]
+      ( Array.concat [ prologue; shifted; epilogue ],
+        Array.concat
+          [
+            Array.make shift (-1);
+            body_srcs;
+            Array.make (Array.length epilogue) (-1);
+          ] )
     end
   in
   (* ---- Assemble the program. ---- *)
@@ -472,14 +504,23 @@ let generate (config : Puma_hwmodel.Config.t) ~wrap_batch_loop (_g : G.t) lg
         { Program.core_index = c; mvmu_index = m; weights = s.block }
         :: !(slot_images.(t)))
     (Lgraph.slots lg);
+  let finalized =
+    Array.init ntiles (fun t -> Array.map finalize_core_stream core_bufs.(t))
+  in
   let tiles =
     Array.init ntiles (fun t ->
         {
           Program.tile_index = t;
-          core_code = Array.map finalize_core_stream core_bufs.(t);
+          core_code = Array.map fst finalized.(t);
           tile_code = to_array tile_bufs.(t);
           mvmu_images = List.rev !(slot_images.(t));
         })
+  in
+  let provenance =
+    {
+      core_src = Array.init ntiles (fun t -> Array.map snd finalized.(t));
+      tile_src = Array.init ntiles (fun t -> src_array tile_bufs.(t));
+    }
   in
   let program =
     {
@@ -526,4 +567,4 @@ let generate (config : Puma_hwmodel.Config.t) ~wrap_batch_loop (_g : G.t) lg
       total_instructions = !total;
     }
   in
-  (program, stats)
+  (program, stats, provenance)

@@ -30,6 +30,14 @@ type stats = {
   total_instructions : int;
 }
 
+type provenance = {
+  core_src : int array array array;
+      (** [core_src.(tile).(core).(pc)] = id of the source-graph node the
+          instruction was emitted for, or -1 for runtime glue (batch-loop
+          control flow, prologue). *)
+  tile_src : int array array;  (** Same for tile control streams. *)
+}
+
 val generate :
   Puma_hwmodel.Config.t ->
   wrap_batch_loop:bool ->
@@ -37,6 +45,6 @@ val generate :
   Lgraph.t ->
   Partition.t ->
   Schedule.t ->
-  Puma_isa.Program.t * stats
+  Puma_isa.Program.t * stats * provenance
 (** Raises [Failure] when a tile would need more receive FIFOs than the
     hardware provides or a tile memory overflows. *)

@@ -18,6 +18,7 @@ let default_options =
 type result = {
   program : Puma_isa.Program.t;
   analysis : Puma_analysis.Analyze.report;
+  layer_of : Puma_analysis.Resource.layer_of;
   codegen_stats : Codegen.stats;
   optimize_stats : Optimize.stats option;
   edge_stats : Partition.edge_stats;
@@ -45,9 +46,58 @@ let compile ?(options = default_options) (config : Puma_hwmodel.Config.t) g =
   let lg = Tiling.lower ~dim:config.mvmu_dim g in
   let part = Partition.partition config options.partition_strategy lg in
   let sched = Schedule.build ~coalesce:options.coalesce_mvms lg part in
-  let program, codegen_stats =
+  let program, codegen_stats, provenance =
     Codegen.generate config ~wrap_batch_loop:options.wrap_batch_loop g lg part
       sched
+  in
+  (* Layer labels per source-graph node: MVMs carry their matrix name,
+     I/O nodes their binding name; glue ops (concat, slices, elementwise
+     epilogues) inherit the label of their nearest labelled predecessor,
+     so e.g. a conv layer's bias-add and activation count toward that
+     layer. *)
+  let layer_labels =
+    let ns = Puma_graph.Graph.nodes g in
+    let labels = Array.make (Array.length ns) None in
+    Array.iter
+      (fun (n : Puma_graph.Graph.node) ->
+        labels.(n.id) <-
+          (match n.op with
+          | Puma_graph.Graph.Mvm { matrix } ->
+              Some (Puma_graph.Graph.matrix g matrix).Puma_graph.Graph.mat_name
+          | Input name | Output name -> Some name
+          | Const_vec _ | Binop _ | Unop _ | Immop _ | Concat | Slice _ ->
+              Array.fold_left
+                (fun acc p -> if acc = None then labels.(p) else acc)
+                None n.preds))
+      ns;
+    labels
+  in
+  let layer_of ~tile ~core ~pc =
+    let src =
+      match core with
+      | Some c ->
+          let cs = provenance.Codegen.core_src in
+          if
+            tile >= 0
+            && tile < Array.length cs
+            && c >= 0
+            && c < Array.length cs.(tile)
+            && pc >= 0
+            && pc < Array.length cs.(tile).(c)
+          then cs.(tile).(c).(pc)
+          else -1
+      | None ->
+          let ts = provenance.Codegen.tile_src in
+          if
+            tile >= 0
+            && tile < Array.length ts
+            && pc >= 0
+            && pc < Array.length ts.(tile)
+          then ts.(tile).(pc)
+          else -1
+    in
+    if src >= 0 && src < Array.length layer_labels then layer_labels.(src)
+    else None
   in
   let num_mvm_nodes =
     Array.fold_left
@@ -59,7 +109,10 @@ let compile ?(options = default_options) (config : Puma_hwmodel.Config.t) g =
             acc)
       0 (Lgraph.nodes lg)
   in
-  let analysis = Puma_analysis.Analyze.program program in
+  let analysis =
+    Puma_analysis.Analyze.program ~ranges:true ~resources:true ~layer_of
+      program
+  in
   if options.analysis_gate && Puma_analysis.Analyze.has_errors analysis then
     failwith
       (Format.asprintf
@@ -68,6 +121,7 @@ let compile ?(options = default_options) (config : Puma_hwmodel.Config.t) g =
   {
     program;
     analysis;
+    layer_of;
     codegen_stats;
     optimize_stats;
     edge_stats = Partition.edge_stats part lg;

@@ -24,9 +24,14 @@ val default_options : options
 type result = {
   program : Puma_isa.Program.t;
   analysis : Puma_analysis.Analyze.report;
-      (** Post-codegen static analysis report ({!Puma_analysis.Analyze}).
-          [compile] fails if it contains errors; warnings and infos are
-          kept here for callers to surface. *)
+      (** Post-codegen static analysis report ({!Puma_analysis.Analyze}),
+          including the value-range and resource passes. [compile] fails
+          if it contains errors; warnings and infos are kept here for
+          callers to surface. *)
+  layer_of : Puma_analysis.Resource.layer_of;
+      (** Instruction-level provenance: the source-graph layer label
+          (matrix / binding name, glue ops inheriting their nearest
+          labelled predecessor's) each emitted instruction belongs to. *)
   codegen_stats : Codegen.stats;
   optimize_stats : Optimize.stats option;
   edge_stats : Partition.edge_stats;

@@ -10,7 +10,7 @@ type lop =
 
 and piece = { src : int; src_off : int; piece_len : int; dst_off : int }
 
-type lnode = { id : int; op : lop; preds : int array; len : int }
+type lnode = { id : int; op : lop; preds : int array; len : int; src : int }
 
 type slot = {
   slot_id : int;
@@ -57,7 +57,7 @@ let add_slot t ~matrix ~row_block ~col_block ~block =
       Hashtbl.add t.slot_index key id;
       id
 
-let add_node t ~op ~preds ~len =
+let add_node ?(src = -1) t ~op ~preds ~len =
   Array.iter
     (fun p ->
       if p < 0 || p >= t.node_count then
@@ -66,7 +66,7 @@ let add_node t ~op ~preds ~len =
   if len <= 0 || len > t.dim then
     invalid_arg (Printf.sprintf "Lgraph.add_node: segment length %d not in 1..%d" len t.dim);
   let id = t.node_count in
-  t.node_list <- { id; op; preds; len } :: t.node_list;
+  t.node_list <- { id; op; preds; len; src } :: t.node_list;
   t.node_count <- id + 1;
   t.nodes_cache <- None;
   id

@@ -24,7 +24,10 @@ type lop =
 and piece = { src : int; src_off : int; piece_len : int; dst_off : int }
 (** [src] indexes into the node's [preds] array. *)
 
-type lnode = { id : int; op : lop; preds : int array; len : int }
+type lnode = { id : int; op : lop; preds : int array; len : int; src : int }
+(** [src] is the source-graph node this lowered node was derived from
+    ([-1] when synthesized without a source), threaded through codegen
+    for layer-level provenance. *)
 
 type slot = {
   slot_id : int;
@@ -42,7 +45,7 @@ val add_slot :
   t -> matrix:int -> row_block:int -> col_block:int -> block:Puma_util.Tensor.mat -> int
 (** Returns the existing slot id if (matrix, row, col) was already added. *)
 
-val add_node : t -> op:lop -> preds:int array -> len:int -> int
+val add_node : ?src:int -> t -> op:lop -> preds:int array -> len:int -> int
 val nodes : t -> lnode array
 val node : t -> int -> lnode
 val num_nodes : t -> int

@@ -9,6 +9,13 @@ let seg_len ~dim len s =
 
 let lower ~dim (g : G.t) =
   let lg = Lgraph.create ~dim in
+  (* Source-graph node currently being lowered; every lowered node
+     (including gather glue emitted by the window helpers) is tagged with
+     it for layer-level provenance. *)
+  let cur_src = ref (-1) in
+  let add_node lg ~op ~preds ~len =
+    Lgraph.add_node ~src:!cur_src lg ~op ~preds ~len
+  in
   let ns = G.nodes g in
   (* segments.(graph_node_id) = lnode id per segment *)
   let segments = Array.make (Array.length ns) [||] in
@@ -55,7 +62,7 @@ let lower ~dim (g : G.t) =
       List.iter (fun (id, k) -> a.(k) <- id) !srcs;
       a
     in
-    Lgraph.add_node lg ~op:(L_gather parr) ~preds ~len
+    add_node lg ~op:(L_gather parr) ~preds ~len
   in
   (* A gather that is exactly one full segment is the identity. *)
   let window src_id offset len =
@@ -66,18 +73,19 @@ let lower ~dim (g : G.t) =
   in
   Array.iter
     (fun (n : G.node) ->
+      cur_src := n.id;
       let k = segment_count ~dim n.len in
       let out =
         match n.op with
         | G.Input name ->
             Array.init k (fun s ->
-                Lgraph.add_node lg
+                add_node lg
                   ~op:(L_input { name; offset = s * dim })
                   ~preds:[||] ~len:(seg_len ~dim n.len s))
         | G.Const_vec data ->
             Array.init k (fun s ->
                 let l = seg_len ~dim n.len s in
-                Lgraph.add_node lg
+                add_node lg
                   ~op:(L_const (Array.sub data (s * dim) l))
                   ~preds:[||] ~len:l)
         | G.Mvm { matrix } ->
@@ -97,7 +105,7 @@ let lower ~dim (g : G.t) =
                         Lgraph.add_slot lg ~matrix ~row_block:r ~col_block:c
                           ~block
                       in
-                      Lgraph.add_node lg ~op:(L_mvm { slot })
+                      add_node lg ~op:(L_mvm { slot })
                         ~preds:[| in_segs.(c) |] ~len:out_len)
                 in
                 Array.fold_left
@@ -106,24 +114,24 @@ let lower ~dim (g : G.t) =
                     | None -> Some p
                     | Some a ->
                         Some
-                          (Lgraph.add_node lg ~op:(L_binop G.Add)
+                          (add_node lg ~op:(L_binop G.Add)
                              ~preds:[| a; p |] ~len:out_len))
                   None partials
                 |> Option.get)
         | G.Binop op ->
             let a = segs_of n.preds.(0) and b = segs_of n.preds.(1) in
             Array.init k (fun s ->
-                Lgraph.add_node lg ~op:(L_binop op) ~preds:[| a.(s); b.(s) |]
+                add_node lg ~op:(L_binop op) ~preds:[| a.(s); b.(s) |]
                   ~len:(seg_len ~dim n.len s))
         | G.Unop op ->
             let a = segs_of n.preds.(0) in
             Array.init k (fun s ->
-                Lgraph.add_node lg ~op:(L_unop op) ~preds:[| a.(s) |]
+                add_node lg ~op:(L_unop op) ~preds:[| a.(s) |]
                   ~len:(seg_len ~dim n.len s))
         | G.Immop op ->
             let a = segs_of n.preds.(0) in
             Array.init k (fun s ->
-                Lgraph.add_node lg ~op:(L_immop op) ~preds:[| a.(s) |]
+                add_node lg ~op:(L_immop op) ~preds:[| a.(s) |]
                   ~len:(seg_len ~dim n.len s))
         | G.Concat ->
             (* Segment s of the result windows across the concatenated
@@ -164,7 +172,7 @@ let lower ~dim (g : G.t) =
         | G.Output name ->
             let a = segs_of n.preds.(0) in
             Array.init k (fun s ->
-                Lgraph.add_node lg
+                add_node lg
                   ~op:(L_output { name; offset = s * dim })
                   ~preds:[| a.(s) |] ~len:(seg_len ~dim n.len s))
       in

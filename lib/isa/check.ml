@@ -1,10 +1,3 @@
-type violation = { where : string; what : string }
-
-let pp_violation fmt v = Format.fprintf fmt "%s: %s" v.where v.what
-
-let to_violation (d : Diag.t) =
-  { where = Diag.loc_to_string d.loc; what = Printf.sprintf "[%s] %s" d.code d.message }
-
 let diagnose (p : Program.t) =
   let config = p.config in
   let layout = Operand.layout config in
@@ -184,8 +177,6 @@ let diagnose (p : Program.t) =
           (Array.length data) b.Program.length)
     p.constants;
   List.rev !diags
-
-let check p = List.map to_violation (diagnose p)
 
 let check_exn p =
   match diagnose p with

@@ -28,19 +28,6 @@ val diagnose : Program.t -> Diag.t list
     - I/O and constant bindings name existing tiles and fit the shared
       memory [E-BIND]. *)
 
-type violation = {
-  where : string;  (** e.g. "tile 2 core 1 pc 14". *)
-  what : string;
-}
-(** Deprecated flat report; kept as a shim over {!Diag.t} for existing
-    callers. New code should use {!diagnose}. *)
-
-val to_violation : Diag.t -> violation
-
-val check : Program.t -> violation list
-(** [List.map to_violation (diagnose p)]; kept for compatibility. *)
-
 val check_exn : Program.t -> unit
-(** Raises [Failure] with a readable report if {!diagnose} is non-empty. *)
-
-val pp_violation : Format.formatter -> violation -> unit
+(** Raises [Failure] with a readable report if {!diagnose} is non-empty;
+    locations render through the shared {!Diag.loc_to_string} formatter. *)

@@ -53,30 +53,15 @@ let pp fmt d =
 
 let to_string d = Format.asprintf "%a" pp d
 
-let json_escape s =
-  let buf = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | '\r' -> Buffer.add_string buf "\\r"
-      | '\t' -> Buffer.add_string buf "\\t"
-      | c when Char.code c < 0x20 ->
-          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
-
-let json_int_opt = function
-  | Some v -> string_of_int v
-  | None -> "null"
-
 let to_json d =
-  Printf.sprintf
-    "{\"code\":\"%s\",\"severity\":\"%s\",\"tile\":%s,\"core\":%s,\"pc\":%s,\"message\":\"%s\"}"
-    (json_escape d.code)
-    (severity_name d.severity)
-    (json_int_opt d.loc.tile) (json_int_opt d.loc.core) (json_int_opt d.loc.pc)
-    (json_escape d.message)
+  let module Json = Puma_util.Json in
+  let int_opt = function Some v -> Json.Int v | None -> Json.Null in
+  Json.Obj
+    [
+      ("code", Json.String d.code);
+      ("severity", Json.String (severity_name d.severity));
+      ("tile", int_opt d.loc.tile);
+      ("core", int_opt d.loc.core);
+      ("pc", int_opt d.loc.pc);
+      ("message", Json.String d.message);
+    ]

@@ -66,10 +66,6 @@ val pp : Format.formatter -> t -> unit
 
 val to_string : t -> string
 
-val to_json : t -> string
+val to_json : t -> Puma_util.Json.t
 (** One JSON object: [{"code":...,"severity":...,"tile":...,"core":...,
     "pc":...,"message":...}]; absent location fields are [null]. *)
-
-val json_escape : string -> string
-(** JSON string-literal escaping (without the surrounding quotes);
-    exposed for renderers that build larger JSON documents. *)

@@ -44,6 +44,20 @@ let alu_op_is_transcendental = function
   | Subsample | Min | Max ->
       false
 
+(* Range metadata for the value-range analyzer and its soundness tests. *)
+
+let alu_op_saturates = function
+  | Add | Sub | Mul | Div | Shl -> true
+  | Shr | And | Or | Invert | Relu | Sigmoid | Tanh | Log | Exp | Rand
+  | Subsample | Min | Max ->
+      false
+
+let alu_op_is_monotone = function
+  | Relu | Sigmoid | Tanh | Log | Exp -> true
+  | Add | Sub | Mul | Div | Shl | Shr | And | Or | Invert | Rand | Subsample
+  | Min | Max ->
+      false
+
 let alu_op_arity = function
   | Invert | Relu | Sigmoid | Tanh | Log | Exp | Rand | Subsample -> 1
   | Add | Sub | Mul | Div | Shl | Shr | And | Or | Min | Max -> 2

@@ -36,6 +36,16 @@ val alu_op_is_transcendental : alu_op -> bool
 val alu_op_arity : alu_op -> int
 (** 1 for unary (nonlinear, invert, rand), 2 for binary. *)
 
+val alu_op_saturates : alu_op -> bool
+(** Whether the op's exact result can exceed the representable
+    fixed-point range, making the VFU's saturation stage observable
+    (arithmetic and left shift). Bounded ops — comparisons, selects,
+    LUT nonlinears, bit ops, right shift — never clamp their result. *)
+
+val alu_op_is_monotone : alu_op -> bool
+(** Unary ops non-decreasing in their input, so interval endpoints map
+    to result-range endpoints (the ROM-LUT nonlinears and Relu). *)
+
 type alu_int_op = Iadd | Isub | Ieq | Ine | Igt
 
 val alu_int_op_name : alu_int_op -> string

@@ -86,6 +86,7 @@ let config t = t.config
 let energy t = t.energy
 let cycles t = t.total_cycles
 let num_tiles t = Array.length t.tiles
+let tile t i = t.tiles.(i)
 
 let retired_instructions t =
   Array.fold_left

@@ -49,6 +49,11 @@ val create : ?noise_seed:int -> Puma_isa.Program.t -> t
 val config : t -> Puma_hwmodel.Config.t
 val energy : t -> Puma_hwmodel.Energy.t
 val num_tiles : t -> int
+
+val tile : t -> int -> Puma_tile.Tile.t
+(** The [i]-th tile model, for inspection (register files, shared
+    memory); stepping it directly would corrupt the run loop. *)
+
 val cycles : t -> int
 (** Cycles elapsed in completed {!run} calls. *)
 

@@ -1,0 +1,333 @@
+(* The abstract-interpretation layer: range-analysis soundness against
+   the functional simulator (qcheck), guaranteed-overflow detection, and
+   the static resource estimator's lower-bound / attribution contracts. *)
+
+module B = Puma_graph.Builder
+module G = Puma_graph.Graph
+module Tensor = Puma_util.Tensor
+module Rng = Puma_util.Rng
+module Fixed = Puma_util.Fixed
+module Config = Puma_hwmodel.Config
+module Compile = Puma_compiler.Compile
+module Instr = Puma_isa.Instr
+module Operand = Puma_isa.Operand
+module Program = Puma_isa.Program
+module Diag = Puma_analysis.Diag
+module Range = Puma_analysis.Range
+module Resource = Puma_analysis.Resource
+module Regflow = Puma_analysis.Regflow
+module Analyze = Puma_analysis.Analyze
+module Node = Puma_sim.Node
+module Models = Puma_nn.Models
+module Network = Puma_nn.Network
+
+(* Small config: multi-core/multi-tile programs even for tiny graphs,
+   exact (noise-free) crossbars so the simulator is deterministic. *)
+let tiny_config =
+  {
+    Config.default with
+    mvmu_dim = 32;
+    mvmus_per_core = 2;
+    cores_per_tile = 2;
+    tiles_per_node = 64;
+    vfu_width = 4;
+  }
+
+let gate_off = { Compile.default_options with analysis_gate = false }
+
+(* ---- Random MLP generator ---- *)
+
+type spec = { seed : int; widths : int list; acts : int list }
+
+let gen_spec =
+  QCheck.Gen.(
+    let* seed = int_range 0 9999 in
+    let* depth = int_range 1 3 in
+    let* widths = list_repeat (depth + 1) (int_range 4 24) in
+    let* acts = list_repeat depth (int_range 0 3) in
+    return { seed; widths; acts })
+
+let print_spec s =
+  Printf.sprintf "{seed=%d; widths=[%s]; acts=[%s]}" s.seed
+    (String.concat ";" (List.map string_of_int s.widths))
+    (String.concat ";" (List.map string_of_int s.acts))
+
+let build_mlp { seed; widths; acts } =
+  let rng = Rng.create seed in
+  let m = B.create "prop-mlp" in
+  let v = ref (B.input m ~name:"x" ~len:(List.hd widths)) in
+  List.iteri
+    (fun i (w_out, act) ->
+      let w_in = List.nth widths i in
+      let w =
+        B.const_matrix m
+          ~name:(Printf.sprintf "W%d" i)
+          (Tensor.mat_rand rng w_out w_in 0.4)
+      in
+      let h = B.mvm m w !v in
+      v :=
+        (match act with
+        | 0 -> B.relu m h
+        | 1 -> B.sigmoid m h
+        | 2 -> B.tanh m h
+        | _ -> h))
+    (List.combine (List.tl widths) acts);
+  B.output m ~name:"y" !v;
+  B.finish m
+
+(* ---- Soundness property ----
+
+   For a random MLP: every value the simulator writes to a register lies
+   within the statically inferred interval for that (tile, core, pc,
+   register), and no additive VFU lane saturates at a pc that was not
+   flagged W-SAT / E-OVERFLOW. Programs here are branch-free, so retired
+   core instructions arrive in program order and a per-core counter
+   recovers the pc. *)
+
+let prop_range_sound =
+  QCheck.Test.make ~name:"simulated values lie in inferred intervals"
+    ~count:30
+    (QCheck.make ~print:print_spec gen_spec)
+    (fun spec ->
+      let g = build_mlp spec in
+      let r = Compile.compile ~options:gate_off tiny_config g in
+      let program = r.Compile.program in
+      let input_lo = Fixed.to_raw (Fixed.of_float (-1.0)) in
+      let input_hi = Fixed.to_raw Fixed.one in
+      let ra =
+        Range.run ~input_range:(input_lo, input_hi) ~keep_states:true program
+      in
+      let flagged = Hashtbl.create 64 in
+      List.iter
+        (fun (d : Diag.t) ->
+          if d.code = "W-SAT" || d.code = "E-OVERFLOW" then
+            match (d.loc.tile, d.loc.core, d.loc.pc) with
+            | Some t, Some c, Some pc -> Hashtbl.replace flagged (t, c, pc) ()
+            | _ -> ())
+        ra.Range.diags;
+      let layout = Operand.layout program.Program.config in
+      let total = layout.Operand.total in
+      let node = Node.create program in
+      let shadow = Hashtbl.create 8 in
+      let failures = ref [] in
+      let fail fmt = Printf.ksprintf (fun s -> failures := s :: !failures) fmt in
+      Node.set_retire_hook node
+        (Some
+           (fun ~cycle:_ ~tile ~core instr ->
+             let pc =
+               Option.value ~default:0 (Hashtbl.find_opt shadow (tile, core))
+             in
+             Hashtbl.replace shadow (tile, core) (pc + 1);
+             let code = program.Program.tiles.(tile).Program.core_code.(core) in
+             if pc >= Array.length code || code.(pc) <> instr then
+               fail "tile %d core %d: retire desync at pc %d" tile core pc
+             else begin
+               let c = Puma_tile.Tile.core (Node.tile node tile) core in
+               let rf = Puma_arch.Core.regfile c in
+               let read i =
+                 if i < total then Puma_arch.Regfile.read rf i
+                 else Puma_arch.Core.sreg c (i - total)
+               in
+               let effs = Regflow.effects layout instr in
+               List.iter
+                 (fun (base, width) ->
+                   for i = base to base + width - 1 do
+                     let v = read i in
+                     match ra.Range.interval ~tile ~core ~pc ~reg:i with
+                     | None ->
+                         fail "tile %d core %d pc %d: no interval for %s" tile
+                           core pc
+                           (Regflow.reg_name layout i)
+                     | Some (lo, hi) ->
+                         if v < lo || v > hi then
+                           fail
+                             "tile %d core %d pc %d: %s = %d outside [%d, %d]"
+                             tile core pc
+                             (Regflow.reg_name layout i)
+                             v lo hi
+                   done)
+                 effs.Regflow.defs;
+               (* Saturation completeness for additive lanes: recompute the
+                  unclamped sum from the (unaliased) source registers. *)
+               match instr with
+               | Instr.Alu
+                   {
+                     op = (Instr.Add | Instr.Sub) as op;
+                     dest;
+                     src1;
+                     src2;
+                     vec_width;
+                   }
+                 when abs (dest - src1) >= vec_width
+                      && abs (dest - src2) >= vec_width ->
+                   for k = 0 to vec_width - 1 do
+                     let a = Fixed.to_raw (Fixed.of_raw (read (src1 + k))) in
+                     let b = Fixed.to_raw (Fixed.of_raw (read (src2 + k))) in
+                     let s = if op = Instr.Add then a + b else a - b in
+                     if
+                       (s < Fixed.min_raw || s > Fixed.max_raw)
+                       && not (Hashtbl.mem flagged (tile, core, pc))
+                     then
+                       fail
+                         "tile %d core %d pc %d: lane %d saturates (%d) but \
+                          was not flagged"
+                         tile core pc k s
+                   done
+               | _ -> ()
+             end));
+      let rng = Rng.create (spec.seed + 1) in
+      let inputs =
+        List.map
+          (fun (n : G.node) ->
+            match n.op with
+            | G.Input name -> (name, Tensor.vec_rand rng n.len 0.9)
+            | _ -> assert false)
+          (G.inputs g)
+      in
+      ignore (Node.run node ~inputs);
+      match List.rev !failures with
+      | [] -> true
+      | fs ->
+          QCheck.Test.fail_reportf "%s"
+            (String.concat "\n"
+               (if List.length fs > 8 then
+                  List.filteri (fun i _ -> i < 8) fs
+                  @ [ Printf.sprintf "... and %d more" (List.length fs - 8) ]
+                else fs)))
+
+(* ---- Guaranteed overflow / no false saturation ---- *)
+
+let one_layer weight =
+  let m = B.create "unit" in
+  let x = B.input m ~name:"x" ~len:32 in
+  let w =
+    B.const_matrix m ~name:"W" (Tensor.mat_init 32 32 (fun _ _ -> weight))
+  in
+  B.output m ~name:"y" (B.mvm m w x);
+  B.finish m
+
+let exact_one = (Fixed.to_raw Fixed.one, Fixed.to_raw Fixed.one)
+
+let test_guaranteed_overflow () =
+  (* Row sums of 32 x 5.0 = 160, far beyond the representable 8: with
+     inputs pinned to exactly 1.0 every execution clamps. *)
+  let r = Compile.compile ~options:gate_off tiny_config (one_layer 5.0) in
+  let diags = Range.analyze ~input_range:exact_one r.Compile.program in
+  Alcotest.(check bool) "E-OVERFLOW reported" true
+    (List.exists (fun (d : Diag.t) -> d.code = "E-OVERFLOW") diags)
+
+let test_no_false_saturation () =
+  (* Row sums of 32 x 0.001 never leave the representable range. *)
+  let r = Compile.compile ~options:gate_off tiny_config (one_layer 0.001) in
+  let diags = Range.analyze ~input_range:exact_one r.Compile.program in
+  List.iter
+    (fun (d : Diag.t) ->
+      if d.code = "W-SAT" || d.code = "E-OVERFLOW" then
+        Alcotest.failf "unexpected %s" (Diag.to_string d))
+    diags
+
+let test_dump_ranges () =
+  let r = Compile.compile ~options:gate_off tiny_config (one_layer 0.01) in
+  let diags = Range.analyze ~dump_ranges:true r.Compile.program in
+  Alcotest.(check bool) "I-RANGE emitted" true
+    (List.exists (fun (d : Diag.t) -> d.code = "I-RANGE") diags)
+
+(* ---- Static lower bounds vs the simulator ---- *)
+
+let test_static_lb_vs_sim () =
+  let config = Config.sweetspot in
+  List.iter
+    (fun (name, net, wrap) ->
+      let g = Network.build_graph net in
+      let options = { gate_off with wrap_batch_loop = wrap } in
+      let r = Compile.compile ~options config g in
+      let est = Resource.estimate r.Compile.program in
+      Alcotest.(check bool)
+        (name ^ " positive bound") true
+        (est.Resource.cycle_lower_bound > 0);
+      let node = Node.create r.Compile.program in
+      let rng = Rng.create 11 in
+      let inputs =
+        List.map
+          (fun (n : G.node) ->
+            match n.op with
+            | G.Input nm -> (nm, Tensor.vec_rand rng n.len 0.8)
+            | _ -> assert false)
+          (G.inputs g)
+      in
+      ignore (Node.run node ~inputs);
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: static %d <= simulated %d" name
+           est.Resource.cycle_lower_bound (Node.cycles node))
+        true
+        (est.Resource.cycle_lower_bound <= Node.cycles node))
+    [
+      ("mlp", Models.mini_mlp, false);
+      ("mlp-loop", Models.mini_mlp, true);
+      ("lstm", Models.mini_lstm, false);
+      ("rnn", Models.mini_rnn, false);
+    ]
+
+let test_pressure_within_capacity () =
+  (* The compiler's register allocator must never exceed the hardware
+     file sizes, and the static estimate must agree. *)
+  let r = Compile.compile ~options:gate_off tiny_config (one_layer 0.01) in
+  let est = Resource.estimate r.Compile.program in
+  List.iter
+    (fun (s : Resource.stream) ->
+      match s.Resource.pressure with
+      | None -> ()
+      | Some p ->
+          Alcotest.(check bool) "gpr" true (p.Resource.gpr_hw <= p.gpr_cap);
+          Alcotest.(check bool) "xin" true (p.Resource.xin_hw <= p.xin_cap);
+          Alcotest.(check bool) "xout" true (p.Resource.xout_hw <= p.xout_cap))
+    est.Resource.streams
+
+(* ---- lenet5 imem attribution ---- *)
+
+let test_lenet5_imem_attribution () =
+  let r =
+    Compile.compile ~options:gate_off Config.sweetspot
+      (Network.build_graph Models.lenet5)
+  in
+  let imem =
+    List.filter
+      (fun (d : Diag.t) -> d.code = "E-IMEM")
+      r.Compile.analysis.Analyze.diags
+  in
+  Alcotest.(check bool) "E-IMEM present" true (imem <> []);
+  List.iter
+    (fun (d : Diag.t) ->
+      Alcotest.(check bool)
+        ("attributed: " ^ d.message)
+        true
+        (Puma_util.Strings.contains ~sub:"largest layers:" d.message))
+    imem;
+  (* The dominant streams must blame actual lenet5 layers by name. *)
+  Alcotest.(check bool) "names a conv kernel" true
+    (List.exists
+       (fun (d : Diag.t) ->
+         Puma_util.Strings.contains ~sub:"K1" d.message)
+       imem)
+
+let () =
+  Alcotest.run "absint"
+    [
+      ( "soundness",
+        [
+          QCheck_alcotest.to_alcotest prop_range_sound;
+          Alcotest.test_case "guaranteed overflow" `Quick
+            test_guaranteed_overflow;
+          Alcotest.test_case "no false saturation" `Quick
+            test_no_false_saturation;
+          Alcotest.test_case "dump ranges" `Quick test_dump_ranges;
+        ] );
+      ( "resource",
+        [
+          Alcotest.test_case "static lb vs sim" `Quick test_static_lb_vs_sim;
+          Alcotest.test_case "pressure within capacity" `Quick
+            test_pressure_within_capacity;
+          Alcotest.test_case "lenet5 imem attribution" `Quick
+            test_lenet5_imem_attribution;
+        ] );
+    ]

@@ -34,14 +34,11 @@ let check_against_reference ?(tol = 0.03) ?options ?config g inputs =
   let expected = Ref_exec.run g inputs in
   let result = compile ?options ?config g in
   (* Every compiled program must pass the static checker. *)
-  (match Puma_isa.Check.check result.Compile.program with
+  (match Puma_isa.Check.diagnose result.Compile.program with
   | [] -> ()
-  | vs ->
+  | ds ->
       Alcotest.fail
-        (String.concat "; "
-           (List.map
-              (fun (v : Puma_isa.Check.violation) -> v.where ^ ": " ^ v.what)
-              vs)));
+        (String.concat "; " (List.map Puma_isa.Diag.to_string ds)));
   let got = run_program result.Compile.program inputs in
   List.iter
     (fun (name, want) ->
@@ -558,7 +555,7 @@ let test_program_io_roundtrip () =
       Alcotest.(check int) "instrs" (Program.num_instrs r.Compile.program)
         (Program.num_instrs loaded);
       Alcotest.(check int) "checker clean" 0
-        (List.length (Puma_isa.Check.check loaded));
+        (List.length (Puma_isa.Check.diagnose loaded));
       (* The loaded program must simulate to the same outputs. *)
       let inputs = [ ("x", Tensor.vec_rand rng 70 1.0) ] in
       let o1 = run_program r.Compile.program inputs in
@@ -630,7 +627,7 @@ let test_checker_rejects_bad_programs () =
   in
   let r = compile g in
   let p = r.Compile.program in
-  Alcotest.(check int) "clean program" 0 (List.length (Puma_isa.Check.check p));
+  Alcotest.(check int) "clean program" 0 (List.length (Puma_isa.Check.diagnose p));
   (* Corrupt a core stream with a tile instruction. *)
   let corrupt instr =
     let tiles =
@@ -644,18 +641,18 @@ let test_checker_rejects_bad_programs () =
     { p with Program.tiles = tiles }
   in
   let bad1 = corrupt (Instr.Send { mem_addr = 0; fifo_id = 0; target = 0; vec_width = 1 }) in
-  Alcotest.(check bool) "tile instr flagged" true (Puma_isa.Check.check bad1 <> []);
+  Alcotest.(check bool) "tile instr flagged" true (Puma_isa.Check.diagnose bad1 <> []);
   let bad2 = corrupt (Instr.Jmp { pc = 100000 }) in
-  Alcotest.(check bool) "wild jump flagged" true (Puma_isa.Check.check bad2 <> []);
+  Alcotest.(check bool) "wild jump flagged" true (Puma_isa.Check.diagnose bad2 <> []);
   let bad3 =
     corrupt (Instr.Copy { dest = 0; src = 0; vec_width = 2000 })
   in
   Alcotest.(check bool) "operand overflow flagged" true
-    (Puma_isa.Check.check bad3 <> []);
+    (Puma_isa.Check.diagnose bad3 <> []);
   let bad4 =
     corrupt (Instr.Store { src = 0; addr = Imm_addr 32760; count = 0; vec_width = 32 })
   in
-  Alcotest.(check bool) "smem overflow flagged" true (Puma_isa.Check.check bad4 <> []);
+  Alcotest.(check bool) "smem overflow flagged" true (Puma_isa.Check.diagnose bad4 <> []);
   Alcotest.(check bool) "check_exn raises" true
     (try
        Puma_isa.Check.check_exn bad1;
