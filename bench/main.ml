@@ -31,6 +31,7 @@ let bechamel_tests =
               [
                 "figure13"; "table8"; "figure4"; "table1"; "ablation_fifo";
                 "batch_throughput"; "profile_occupancy"; "static_vs_sim";
+                "fault_tolerance";
               ]))
        Experiments.all_experiments)
 

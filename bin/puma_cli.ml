@@ -673,6 +673,158 @@ let profile_cmd =
           per-tile energy attribution, optional Chrome trace export")
     Term.(const run $ target $ runs $ seed $ top $ json $ chrome $ dim_arg)
 
+(* ---- faults ---- *)
+
+let faults_cmd =
+  let model =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "model" ] ~docv:"MODEL"
+          ~doc:"Model to stress (zoo name or description file).")
+  in
+  let rates =
+    Arg.(
+      value & opt_all float []
+      & info [ "rate" ] ~docv:"RATE"
+          ~doc:
+            "Device/line fault rate to sweep (repeatable); defaults to \
+             1e-4, 1e-3, 1e-2.")
+  in
+  let seeds =
+    Arg.(
+      value & opt int 2
+      & info [ "seeds" ] ~doc:"Fault-realization seeds per rate.")
+  in
+  let fault_seed =
+    Arg.(
+      value & opt int 1
+      & info [ "fault-seed" ]
+          ~doc:"First fault seed; --seeds N sweeps N consecutive seeds.")
+  in
+  let samples =
+    Arg.(
+      value & opt int 8
+      & info [ "samples" ] ~doc:"Inference requests per campaign point.")
+  in
+  let input_seed =
+    Arg.(value & opt int 7 & info [ "input-seed" ] ~doc:"Batch input seed.")
+  in
+  let remap =
+    Arg.(
+      value & flag
+      & info [ "remap" ]
+          ~doc:
+            "Run the fault-aware remapping pass: permute logical matrix \
+             lines onto healthy crossbar lines before programming.")
+  in
+  let stuck_on =
+    Arg.(
+      value & opt float 0.5
+      & info [ "stuck-on" ] ~doc:"Fraction of stuck devices pinned ON.")
+  in
+  let drift_tau =
+    Arg.(
+      value & opt float 0.0
+      & info [ "drift-tau" ]
+          ~doc:"Conductance-drift time constant in cycles (0 disables).")
+  in
+  let drift_age =
+    Arg.(
+      value & opt float 0.0
+      & info [ "drift-age" ] ~doc:"Drift age at read time, in cycles.")
+  in
+  let adc_sigma =
+    Arg.(
+      value & opt float 0.0
+      & info [ "adc-sigma" ]
+          ~doc:"Sigma of the static per-column ADC offset, in LSBs.")
+  in
+  let domains =
+    Arg.(
+      value & opt int 0
+      & info [ "domains" ]
+          ~doc:
+            "Worker domains to shard campaign points across; 0 picks the \
+             host's recommended count.")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit the campaign report as one JSON document.")
+  in
+  let run model rates seeds fault_seed samples input_seed remap stuck_on
+      drift_tau drift_age adc_sigma domains json dim =
+    match find_mini model with
+    | Error e -> exit_err e
+    | Ok m ->
+        if seeds <= 0 then exit_err "--seeds must be positive";
+        if samples <= 0 then exit_err "--samples must be positive";
+        let domains =
+          if domains = 0 then Puma_util.Pool.default_domains ()
+          else if domains < 0 then exit_err "domains must be positive"
+          else domains
+        in
+        let base =
+          {
+            Puma_fault.Fault_model.ideal with
+            stuck_on_fraction = stuck_on;
+            drift_tau_cycles = drift_tau;
+            drift_age_cycles = drift_age;
+            adc_offset_sigma = adc_sigma;
+          }
+        in
+        (match Puma_fault.Fault_model.validate base with
+        | Ok _ -> ()
+        | Error e -> exit_err e);
+        let spec =
+          {
+            Puma_fault.Campaign.base;
+            rates =
+              (if rates = [] then Puma_fault.Campaign.default_spec.rates
+               else rates);
+            fault_seeds = List.init seeds (fun i -> fault_seed + i);
+            samples;
+            input_seed;
+            remap;
+          }
+        in
+        let config = config_of_dim dim in
+        let cache = Puma_runtime.Program_cache.create () in
+        let g = graph_of m in
+        let result =
+          Puma_runtime.Program_cache.get cache ~config ~key:model (fun () -> g)
+        in
+        let program = result.Puma_compiler.Compile.program in
+        let report =
+          Puma_fault.Campaign.run ~domains ~key:model program spec
+        in
+        if json then
+          print_endline
+            (Puma_util.Json.to_string (Puma_fault.Campaign.to_json report))
+        else begin
+          Puma_util.Table.print (Puma_fault.Campaign.table report);
+          Array.iter
+            (fun (p : Puma_fault.Campaign.point) ->
+              List.iter
+                (fun d ->
+                  Format.printf "rate %.0e seed %d: %a@." p.rate p.fault_seed
+                    Puma_analysis.Diag.pp d)
+                p.diags)
+            report.points
+        end
+  in
+  Cmd.v
+    (Cmd.info "faults"
+       ~doc:
+         "Monte-Carlo fault-injection campaign: sweep stuck-cell / \
+          dead-line rates across seeds, compare against a golden \
+          fault-free run, optionally heal with the remapping pass")
+    Term.(
+      const run $ model $ rates $ seeds $ fault_seed $ samples $ input_seed
+      $ remap $ stuck_on $ drift_tau $ drift_age $ adc_sigma $ domains $ json
+      $ dim_arg)
+
 (* ---- estimate ---- *)
 
 let estimate_cmd =
@@ -781,6 +933,7 @@ let () =
             exec_cmd;
             run_cmd;
             batch_cmd;
+            faults_cmd;
             profile_cmd;
             estimate_cmd;
             table3_cmd;

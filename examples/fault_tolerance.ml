@@ -2,59 +2,63 @@
 
    The paper's reliability discussion (Section 7.6, citing coding schemes
    for reliable memristor computation) asks how inference behaves when
-   devices fail. This example compiles the digit-recognition MLP, loads
-   it onto a node with physical (materialized) crossbars, injects
-   stuck-at faults at increasing rates, and measures the output
-   perturbation against the fault-free float reference.
-
-   An untrained network's top-1 margins are hairline, so argmax agreement
-   is a degenerate metric here; the mean output perturbation is the
-   honest one (the Figure 13 experiment handles classification accuracy
-   with a margin-filtered task).
+   devices fail. This example compiles the digit-recognition MLP and runs
+   a small Monte-Carlo campaign with the reliability subsystem: stuck
+   cells and dead lines are injected at increasing rates (two seeds per
+   rate), every inference is compared against the golden fault-free run,
+   and the same sweep is repeated with the fault-aware remapping pass,
+   which retires faulty crossbar lines onto the spare zero-padding
+   rows/columns of partially-filled blocks.
 
      dune exec examples/fault_tolerance.exe *)
 
 module Models = Puma_nn.Models
 module Network = Puma_nn.Network
-module Tensor = Puma_util.Tensor
-module Rng = Puma_util.Rng
-
-let samples = 30
+module Campaign = Puma_fault.Campaign
 
 let () =
   let graph = Network.build_graph Models.mini_mlp in
   let result = Puma.compile graph in
-  (* A vanishing write-noise sigma materializes the physical device arrays
-     (the exact fast path has nothing to fault) without perturbing them. *)
-  let program =
+  let program = result.Puma_compiler.Compile.program in
+  let spec =
     {
-      result.Puma_compiler.Compile.program with
-      config =
-        {
-          result.Puma_compiler.Compile.program.config with
-          write_noise_sigma = 1e-12;
-        };
+      Campaign.default_spec with
+      rates = [ 5e-4; 2e-3; 5e-3 ];
+      fault_seeds = [ 1; 2 ];
+      samples = 16;
     }
   in
-  let run_with_faults rate =
-    let node = Puma_sim.Node.create ~noise_seed:13 program in
-    let frng = Rng.create 41 in
-    let faults = ref 0 in
-    Puma_sim.Node.iter_mvmus node (fun mvmu ->
-        faults := !faults + Puma_xbar.Mvmu.inject_stuck mvmu frng ~rate);
-    let err = ref 0.0 in
-    let srng = Rng.create 7 in
-    for _ = 1 to samples do
-      let x = Tensor.vec_rand srng 64 1.0 in
-      let want = List.assoc "y" (Puma.reference graph [ ("x", x) ]) in
-      let got = List.assoc "y" (Puma_sim.Node.run node ~inputs:[ ("x", x) ]) in
-      err := !err +. Tensor.vec_max_abs_diff want got
-    done;
-    (!faults, !err /. Float.of_int samples)
+  let plain = Campaign.run ~key:"mini-mlp" program spec in
+  let healed =
+    Campaign.run ~key:"mini-mlp" program { spec with remap = true }
   in
-  Printf.printf "%-12s %-8s %s\n" "fault rate" "faults" "mean |output error|";
-  List.iter
-    (fun rate ->
-      let faults, err = run_with_faults rate in
-      Printf.printf "%-12.4f %-8d %.4f\n" rate faults err)
-    [ 0.0; 0.0005; 0.002; 0.01; 0.05 ]
+  Printf.printf "%-12s %-8s %-22s %s\n" "fault rate" "faults"
+    "flip rate / mean ulps" "with remap";
+  List.iter2
+    (fun (rate, plain_pts) (_, healed_pts) ->
+      let mean f pts =
+        List.fold_left (fun acc p -> acc +. f p) 0.0 pts
+        /. Float.of_int (List.length pts)
+      in
+      Printf.printf "%-12.4f %-8.0f %6.1f%% / %-12.2f %6.1f%% / %-12.2f\n"
+        rate
+        (mean (fun (p : Campaign.point) -> Float.of_int p.total_faults) plain_pts)
+        (100.0 *. mean (fun (p : Campaign.point) -> p.flip_rate) plain_pts)
+        (mean (fun (p : Campaign.point) -> p.mean_err_ulps) plain_pts)
+        (100.0 *. mean (fun (p : Campaign.point) -> p.flip_rate) healed_pts)
+        (mean (fun (p : Campaign.point) -> p.mean_err_ulps) healed_pts))
+    (Campaign.by_rate plain) (Campaign.by_rate healed);
+  (* The remap pass also reports capacity diagnostics when faults exceed
+     the spare lines; show one realization's report. *)
+  let model = Campaign.at_rate spec.base 5e-3 in
+  let r = Puma_fault.Remap.build ~model ~seed:1 program in
+  Printf.printf
+    "\nremap at rate 0.005, seed 1: %d faults, %d stacks remapped, %d \
+     errors, %d warnings\n"
+    r.total_faults r.remapped_mvmus (Puma_fault.Remap.errors r)
+    (Puma_fault.Remap.warnings r);
+  List.iteri
+    (fun i d ->
+      if i < 4 then
+        Format.printf "  %a@." Puma_analysis.Diag.pp d)
+    r.diags

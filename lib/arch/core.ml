@@ -83,7 +83,8 @@ let halted t = t.halted || t.pc < 0 || t.pc >= Array.length t.code
 let retired t = t.retired
 let busy_cycles t = t.busy_cycles
 
-let program_mvmu t ~index ?rng m = Puma_xbar.Mvmu.program t.mvmus.(index) ?rng m
+let program_mvmu t ~index ?rng ?fault m =
+  Puma_xbar.Mvmu.program t.mvmus.(index) ?rng ?fault m
 
 let reset t =
   t.pc <- 0;

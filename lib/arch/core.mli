@@ -77,7 +77,14 @@ val busy_cycles : t -> int
 (** Total cycles spent executing retired instructions. *)
 
 val program_mvmu :
-  t -> index:int -> ?rng:Puma_util.Rng.t -> Puma_util.Tensor.mat -> unit
+  t ->
+  index:int ->
+  ?rng:Puma_util.Rng.t ->
+  ?fault:Puma_xbar.Fault.spec ->
+  Puma_util.Tensor.mat ->
+  unit
+(** Configuration-time crossbar write; [fault] injects realized
+    device/circuit faults (see {!Puma_xbar.Mvmu.program}). *)
 
 val step : t -> mem:mem_iface -> step_result
 (** Execute the next instruction. Raises [Invalid_argument] on a tile

@@ -1,0 +1,1 @@
+include Puma_xbar.Fault

@@ -1,0 +1,7 @@
+(** Re-export of {!Puma_xbar.Fault}: the declarative fault models live
+    next to the crossbar device model they perturb; the reliability
+    subsystem refers to them as [Puma_fault.Fault_model]. *)
+
+include module type of struct
+  include Puma_xbar.Fault
+end

@@ -38,7 +38,7 @@ type t = {
 
 let cycle_cap = 200_000_000
 
-let create ?(noise_seed = 42) (program : Program.t) =
+let create ?(noise_seed = 42) ?faults (program : Program.t) =
   let config = program.config in
   let energy = Energy.create config in
   let ntiles = Array.length program.tiles in
@@ -60,7 +60,15 @@ let create ?(noise_seed = 42) (program : Program.t) =
       List.iter
         (fun (img : Program.mvmu_image) ->
           let core = Tile.core tiles.(ti) img.core_index in
-          Core.program_mvmu core ~index:img.mvmu_index ?rng img.weights)
+          (* Realize the fault plan per stack: a stack with nothing to
+             inject or remap gets [None] and keeps the exact fast path,
+             so a zero-fault plan is bit-identical to no plan. *)
+          let fault =
+            Option.bind faults (fun plan ->
+                Puma_xbar.Fault.realize plan ~config ~tile:ti
+                  ~core:img.core_index ~mvmu:img.mvmu_index)
+          in
+          Core.program_mvmu core ~index:img.mvmu_index ?rng ?fault img.weights)
         tp.mvmu_images)
     program.tiles;
   (* Preload constants. *)

@@ -41,10 +41,18 @@ type probe = {
 
 type t
 
-val create : ?noise_seed:int -> Puma_isa.Program.t -> t
+val create :
+  ?noise_seed:int -> ?faults:Puma_xbar.Fault.plan -> Puma_isa.Program.t -> t
 (** Instantiate tiles, program crossbars (with write noise when the
     program's configuration has [write_noise_sigma > 0]; [noise_seed]
-    makes it reproducible) and preload constant vectors. *)
+    makes it reproducible) and preload constant vectors.
+
+    [faults] injects device/circuit faults at configuration time: each
+    MVMU's fault set is realized deterministically from the plan's model
+    and seed plus the stack's [(tile, core, mvmu)] coordinates, and its
+    weights are routed through the plan's remap permutations when
+    present. A plan with nothing to inject or remap leaves every stack
+    on the exact fast path — bit-identical to passing no plan. *)
 
 val config : t -> Puma_hwmodel.Config.t
 val energy : t -> Puma_hwmodel.Energy.t

@@ -50,8 +50,6 @@ let unit_counts t =
       Option.map (fun n -> (u, n)) (Hashtbl.find_opt tally u))
     Puma_isa.Instr.all_units
 
-let unit_cycles = unit_counts
-
 let pp_entry layout fmt e =
   Format.fprintf fmt "%10d  tile %2d core %d  %s" e.cycle e.tile e.core
     (Puma_isa.Asm.instr_to_string layout e.instr)

@@ -40,11 +40,6 @@ val unit_counts : t -> (Puma_isa.Instr.unit_class * int) list
     {!Puma_profile.Profile}). Units with no retired instructions are
     omitted. *)
 
-val unit_cycles : t -> (Puma_isa.Instr.unit_class * int) list
-  [@@ocaml.deprecated "misnamed: returns counts, not cycles — use unit_counts"]
-(** @deprecated Historical name for {!unit_counts}; it always returned
-    instruction counts, never cycles. *)
-
 val pp_entry : Puma_isa.Operand.layout -> Format.formatter -> entry -> unit
 
 val dump : Puma_isa.Operand.layout -> t -> string

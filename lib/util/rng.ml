@@ -17,6 +17,10 @@ let split t =
   let s = next_int64 t in
   { state = mix64 s }
 
+let stream t k =
+  let z = Int64.add t.state (Int64.mul (Int64.of_int (k + 1)) golden_gamma) in
+  { state = mix64 z }
+
 let int t bound =
   assert (bound > 0);
   let r = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2) in

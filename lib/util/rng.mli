@@ -11,7 +11,15 @@ val create : int -> t
 (** [create seed] makes a fresh generator. Generators are mutable. *)
 
 val split : t -> t
-(** Derive an independent child stream (for per-component noise sources). *)
+(** Derive an independent child stream (for per-component noise sources).
+    Advances the parent: successive [split]s yield distinct children. *)
+
+val stream : t -> int -> t
+(** [stream t k] derives the [k]-th indexed child stream from [t]'s
+    current state {e without} advancing [t]: the same [(t, k)] always
+    yields the same stream, different [k] yield decorrelated streams.
+    Used to give every crossbar stack / fault category its own
+    reproducible noise source independent of evaluation order. *)
 
 val next_int64 : t -> int64
 (** Next raw 64-bit output. *)

@@ -15,6 +15,12 @@ type t = {
      matrix spans the full device range (maximizing noise margin, as in
      ISAAC's per-matrix mapping); the digital shift-and-add undoes it. *)
   scale_shift : int;
+  (* Fault-aware line remapping: logical line k lives on physical line
+     perm.(k). None = identity routing. *)
+  perms : Fault.perms option;
+  (* Static ADC conversion offsets per (slice, physical output line), in
+     LSBs; [||] when the fault model has none. *)
+  adc_offset : int array array;
   (* Per-polarity slice stacks, only materialized when noisy. *)
   pos : Crossbar.t array;
   neg : Crossbar.t array;
@@ -28,7 +34,56 @@ let magnitude_parts raw =
     let m = min (-raw) Fixed.max_raw in
     (0, m)
 
-let create (c : Puma_hwmodel.Config.t) ?rng (m : Tensor.mat) =
+(* Post-programming fault application: drift relaxes every stored level
+   toward the device mid-level, then stuck devices pin to their extreme
+   conductances, then dead lines zero out (an open line contributes no
+   current). Order matters: a stuck or dead device does not drift. *)
+let apply_instance ~dim ~pos ~neg (f : Fault.instance) =
+  if f.dim <> dim then
+    invalid_arg
+      (Printf.sprintf "Bitslice: fault instance dim %d does not match stack %d"
+         f.dim dim);
+  let each g =
+    Array.iter g pos;
+    Array.iter g neg
+  in
+  if f.drift_factor < 1.0 then
+    each (fun xb ->
+        let mid = Float.of_int (Device.max_level (Crossbar.device xb)) /. 2.0 in
+        for i = 0 to dim - 1 do
+          for j = 0 to dim - 1 do
+            let v = Crossbar.level xb i j in
+            Crossbar.force xb i j (mid +. ((v -. mid) *. f.drift_factor))
+          done
+        done);
+  List.iter
+    (fun (s : Fault.stuck) ->
+      let stack = if s.negative then neg else pos in
+      let xb = stack.(s.slice) in
+      let level =
+        if s.on then Float.of_int (Device.max_level (Crossbar.device xb))
+        else 0.0
+      in
+      Crossbar.force xb s.out_line s.in_line level)
+    f.stuck;
+  Array.iteri
+    (fun j dead ->
+      if dead then
+        each (fun xb ->
+            for i = 0 to dim - 1 do
+              Crossbar.force xb i j 0.0
+            done))
+    f.dead_in;
+  Array.iteri
+    (fun i dead ->
+      if dead then
+        each (fun xb ->
+            for j = 0 to dim - 1 do
+              Crossbar.force xb i j 0.0
+            done))
+    f.dead_out
+
+let create (c : Puma_hwmodel.Config.t) ?rng ?fault (m : Tensor.mat) =
   let dim = c.mvmu_dim in
   if m.Tensor.rows <> dim || m.Tensor.cols <> dim then
     invalid_arg
@@ -36,10 +91,18 @@ let create (c : Puma_hwmodel.Config.t) ?rng (m : Tensor.mat) =
          dim m.Tensor.rows m.Tensor.cols);
   let bits = c.bits_per_cell in
   let num_slices = Puma_hwmodel.Config.slices c in
-  (* Physical slice stacks are materialized whenever an RNG is supplied
-     (write noise and/or fault injection); without one the exact fast
-     path is used. *)
-  let noisy = Option.is_some rng in
+  (* Physical slice stacks are materialized whenever an RNG (write noise)
+     or a fault spec is supplied; without either the exact fast path is
+     used. *)
+  let noisy = Option.is_some rng || Option.is_some fault in
+  let perms =
+    match fault with
+    | Some { Fault.perms = Some p; _ } ->
+        if Array.length p.out_perm <> dim || Array.length p.in_perm <> dim then
+          invalid_arg "Bitslice.create: remap permutation length mismatch";
+        Some p
+    | _ -> None
+  in
   let device = Device.create ~bits ~sigma:c.write_noise_sigma in
   let logical = Array.make (dim * dim) 0 in
   let make_stack () =
@@ -76,18 +139,32 @@ let create (c : Puma_hwmodel.Config.t) ?rng (m : Tensor.mat) =
         let width = if s = 0 then low_bits else bits in
         (value lsr slice_offset s) land ((1 lsl width) - 1))
   in
-  if noisy then
+  if noisy then begin
+    (* Logical line k is programmed onto physical line perm.(k); the MVM
+       path routes through the same permutation, so in exact arithmetic a
+       remapped stack is equivalent — only the physical placement (and
+       therefore which faults land under live weights) changes. *)
+    let out_line, in_line =
+      match perms with
+      | None -> (Fun.id, Fun.id)
+      | Some p -> ((fun i -> p.Fault.out_perm.(i)), fun j -> p.Fault.in_perm.(j))
+    in
     for i = 0 to dim - 1 do
       for j = 0 to dim - 1 do
         let raw = logical.((i * dim) + j) lsl scale_shift in
         let p, n = magnitude_parts raw in
         let pslices = split p and nslices = split n in
+        let pi = out_line i and pj = in_line j in
         for s = 0 to num_slices - 1 do
-          Crossbar.write pos.(s) ?rng i j pslices.(s);
-          Crossbar.write neg.(s) ?rng i j nslices.(s)
+          Crossbar.write pos.(s) ?rng pi pj pslices.(s);
+          Crossbar.write neg.(s) ?rng pi pj nslices.(s)
         done
       done
     done;
+    match fault with
+    | Some f -> apply_instance ~dim ~pos ~neg f.Fault.instance
+    | None -> ()
+  end;
   {
     dim;
     bits_per_cell = bits;
@@ -97,6 +174,11 @@ let create (c : Puma_hwmodel.Config.t) ?rng (m : Tensor.mat) =
     adc = Adc.for_config c;
     logical;
     scale_shift;
+    perms;
+    adc_offset =
+      (match fault with
+      | Some { Fault.instance = { adc_offset; _ }; _ } -> adc_offset
+      | None -> [||]);
     pos;
     neg;
   }
@@ -118,19 +200,35 @@ let mvm_raw_exact t x =
 (* Noisy-device path. The conversion chain itself is conservatively
    provisioned to be lossless (Section 3.2.1's no-accuracy-compromise
    claim; the [Dac]/[Adc] models and the exact-path equality test document
-   that), so the analog impairment reduces to the programmed conductance
-   levels: each slice's column currents are accumulated with the noisy
-   levels, digitized once per slice, and combined by shift-and-add. *)
+   that), so the analog impairments reduce to the programmed conductance
+   levels plus the static per-column ADC conversion offset: each slice's
+   column currents are accumulated with the stored (noisy/faulted) analog
+   levels, digitized once per slice, and combined by shift-and-add.
+   Inputs and outputs route through the fault-remap permutations when
+   present. *)
 let mvm_raw_noisy t x =
-  let xf = Array.map Float.of_int x in
-  let out = Array.make t.dim 0 in
+  let d = t.dim in
+  let xf =
+    match t.perms with
+    | None -> Array.map Float.of_int x
+    | Some p ->
+        let a = Array.make d 0.0 in
+        Array.iteri (fun j v -> a.(p.Fault.in_perm.(j)) <- Float.of_int v) x;
+        a
+  in
+  let out = Array.make d 0 in
   for s = 0 to t.num_slices - 1 do
     let shift = if s = 0 then 0 else t.low_bits + ((s - 1) * t.bits_per_cell) in
     let sw = 1 lsl shift in
     let accp = Crossbar.mvm_acc t.pos.(s) xf in
     let accn = Crossbar.mvm_acc t.neg.(s) xf in
-    for i = 0 to t.dim - 1 do
-      let digital = Float.to_int (Float.round (accp.(i) -. accn.(i))) in
+    let off = if t.adc_offset = [||] then [||] else t.adc_offset.(s) in
+    for i = 0 to d - 1 do
+      let phys =
+        match t.perms with None -> i | Some p -> p.Fault.out_perm.(i)
+      in
+      let digital = Float.to_int (Float.round (accp.(phys) -. accn.(phys))) in
+      let digital = if off = [||] then digital else digital + off.(phys) in
       out.(i) <- out.(i) + (digital * sw)
     done
   done;

@@ -22,11 +22,20 @@
 type t
 
 val create :
-  Puma_hwmodel.Config.t -> ?rng:Puma_util.Rng.t -> Puma_util.Tensor.mat -> t
+  Puma_hwmodel.Config.t ->
+  ?rng:Puma_util.Rng.t ->
+  ?fault:Fault.spec ->
+  Puma_util.Tensor.mat ->
+  t
 (** Quantize a float matrix (shape exactly [dim x dim]; use
     {!Puma_util.Tensor.mat_sub_block} to pad) to 16-bit fixed point and
     program the crossbar stack. [rng] enables write noise with the
-    config's [write_noise_sigma]. *)
+    config's [write_noise_sigma]. [fault] materializes the stack (even
+    without an [rng]) and applies the realized device/circuit faults:
+    weights are programmed through the spec's remap permutations, then
+    conductance drift, stuck devices and dead lines are applied to the
+    stored levels, and static ADC offsets perturb each slice
+    digitization on the read path. *)
 
 val dim : t -> int
 val num_slices : t -> int
@@ -44,7 +53,7 @@ val mvm_fixed : t -> Puma_util.Fixed.t array -> Puma_util.Fixed.t array
 
 val is_noisy : t -> bool
 (** True when physical slice stacks are materialized (created with
-    [~rng]); the exact fast path is used otherwise. *)
+    [~rng] and/or [~fault]); the exact fast path is used otherwise. *)
 
 val inject_stuck : t -> Puma_util.Rng.t -> rate:float -> int
 (** Stuck-at fault injection: each physical device independently sticks

@@ -17,7 +17,8 @@ let create (c : Puma_hwmodel.Config.t) =
     xbar_out = Array.make c.mvmu_dim 0;
   }
 
-let program t ?rng m = t.stack <- Bitslice.create t.config ?rng m
+let program t ?rng ?fault m =
+  t.stack <- Bitslice.create t.config ?rng ?fault m
 let dim t = t.config.mvmu_dim
 let xbar_in t = t.xbar_in
 let xbar_out t = t.xbar_out

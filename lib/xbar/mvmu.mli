@@ -14,8 +14,15 @@ type t
 val create : Puma_hwmodel.Config.t -> t
 (** An unprogrammed MVMU (weights all zero, exact path). *)
 
-val program : t -> ?rng:Puma_util.Rng.t -> Puma_util.Tensor.mat -> unit
-(** Configuration-time serial weight write (Section 3.2.5). *)
+val program :
+  t ->
+  ?rng:Puma_util.Rng.t ->
+  ?fault:Fault.spec ->
+  Puma_util.Tensor.mat ->
+  unit
+(** Configuration-time serial weight write (Section 3.2.5). [fault]
+    injects realized device/circuit faults into the programmed stack
+    (see {!Bitslice.create}). *)
 
 val dim : t -> int
 

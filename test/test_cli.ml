@@ -1,0 +1,86 @@
+(* End-to-end exit-status regression for puma_cli: every subcommand that
+   resolves a model name must exit nonzero (status 1, via the shared
+   [exit_err]) when the name is unknown, and cheap known-good invocations
+   must exit 0. Runs the real executable; the dune rule depends on it. *)
+
+(* Resolve relative to this test binary (works under both `dune runtest`
+   and `dune exec`, whose working directories differ). *)
+let exe =
+  Filename.concat
+    (Filename.concat (Filename.dirname Sys.executable_name) "..")
+    (Filename.concat "bin" "puma_cli.exe")
+
+let run args =
+  Sys.command
+    (Filename.quote_command exe args ~stdout:Filename.null
+       ~stderr:Filename.null)
+
+let test_exe_present () =
+  Alcotest.(check bool) ("exists: " ^ exe) true (Sys.file_exists exe)
+
+(* One spelling of a bad model per model-resolving subcommand; the name
+   must not collide with a file either. *)
+let bad = "no-such-model-xyz"
+
+let unknown_model_cases =
+  [
+    [ "compile"; bad ];
+    [ "run"; bad ];
+    [ "graph"; bad ];
+    [ "analyze"; bad ];
+    [ "batch"; "--model"; bad ];
+    [ "faults"; "--model"; bad ];
+    [ "profile"; bad ];
+    [ "estimate"; bad ];
+  ]
+
+let test_unknown_model_exits_1 () =
+  List.iter
+    (fun args ->
+      Alcotest.(check int)
+        ("exit 1: " ^ String.concat " " args)
+        1 (run args))
+    unknown_model_cases
+
+let test_known_good_exit_0 () =
+  List.iter
+    (fun args ->
+      Alcotest.(check int)
+        ("exit 0: " ^ String.concat " " args)
+        0 (run args))
+    [
+      [ "models" ];
+      [ "graph"; "mlp" ];
+      [
+        "faults"; "--model"; "mlp"; "--dim"; "32"; "--rate"; "0.001";
+        "--seeds"; "1"; "--samples"; "2"; "--domains"; "1"; "--json";
+      ];
+    ]
+
+let test_bad_flag_values_exit_nonzero () =
+  List.iter
+    (fun args ->
+      Alcotest.(check bool)
+        ("nonzero exit: " ^ String.concat " " args)
+        true
+        (run args <> 0))
+    [
+      [ "batch"; "--model"; "mlp"; "--batch-size"; "0" ];
+      [ "faults"; "--model"; "mlp"; "--seeds"; "0" ];
+      [ "faults"; "--model"; "mlp"; "--samples"; "0" ];
+      [ "faults"; "--model"; "mlp"; "--stuck-on"; "2.0" ];
+    ]
+
+let () =
+  Alcotest.run "cli"
+    [
+      ( "exit-status",
+        [
+          Alcotest.test_case "exe present" `Quick test_exe_present;
+          Alcotest.test_case "unknown model -> 1" `Quick
+            test_unknown_model_exits_1;
+          Alcotest.test_case "known good -> 0" `Quick test_known_good_exit_0;
+          Alcotest.test_case "bad flags -> nonzero" `Quick
+            test_bad_flag_values_exit_nonzero;
+        ] );
+    ]

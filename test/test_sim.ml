@@ -184,9 +184,7 @@ let test_trace_unit_counts_are_counts () =
   Alcotest.(check int) "mvm tally is a count" mvm_entries
     (List.assoc Puma_isa.Instr.U_mvm counts);
   (* Cycle-weighting would dwarf the instruction count. *)
-  Alcotest.(check bool) "not cycle-weighted" true (total < Node.cycles node);
-  let alias = (Puma_sim.Trace.unit_cycles [@warning "-3"]) trace in
-  Alcotest.(check bool) "deprecated alias agrees" true (alias = counts)
+  Alcotest.(check bool) "not cycle-weighted" true (total < Node.cycles node)
 
 let test_trace_ring_buffer_wraps () =
   let trace = Puma_sim.Trace.create ~capacity:4 () in

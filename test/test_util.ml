@@ -150,6 +150,53 @@ let test_rng_split_independent () =
   let a = Rng.int parent 1_000_000 and b = Rng.int child 1_000_000 in
   Alcotest.(check bool) "streams differ" true (a <> b)
 
+(* Properties of the indexed child streams ({!Rng.stream}): the same
+   (parent state, index) must always yield the same stream, deriving a
+   child must not disturb the parent (the fault-injection paths rely on
+   this for order-independent realization), and distinct indices must
+   yield distinct streams. *)
+
+let draws rng n = List.init n (fun _ -> Rng.int rng 1_073_741_824)
+
+let prop_rng_stream_deterministic =
+  QCheck.Test.make ~name:"rng stream deterministic" ~count:200
+    (QCheck.pair QCheck.small_nat (QCheck.int_bound 10_000))
+    (fun (seed, k) ->
+      let c1 = Rng.stream (Rng.create seed) k in
+      let c2 = Rng.stream (Rng.create seed) k in
+      draws c1 16 = draws c2 16)
+
+let prop_rng_stream_non_mutating =
+  QCheck.Test.make ~name:"rng stream leaves parent untouched" ~count:200
+    (QCheck.pair QCheck.small_nat (QCheck.int_bound 10_000))
+    (fun (seed, k) ->
+      let touched = Rng.create seed and fresh = Rng.create seed in
+      ignore (Rng.stream touched k);
+      draws touched 16 = draws fresh 16)
+
+let prop_rng_stream_order_independent =
+  QCheck.Test.make ~name:"rng stream order independent" ~count:200
+    (QCheck.triple QCheck.small_nat (QCheck.int_bound 10_000)
+       (QCheck.int_bound 10_000))
+    (fun (seed, k1, k2) ->
+      let p = Rng.create seed in
+      let a1 = draws (Rng.stream p k1) 8 in
+      let a2 = draws (Rng.stream p k2) 8 in
+      let q = Rng.create seed in
+      let b2 = draws (Rng.stream q k2) 8 in
+      let b1 = draws (Rng.stream q k1) 8 in
+      a1 = b1 && a2 = b2)
+
+let prop_rng_stream_independent =
+  QCheck.Test.make ~name:"rng distinct stream indices differ" ~count:200
+    (QCheck.triple QCheck.small_nat (QCheck.int_bound 10_000)
+       (QCheck.int_bound 10_000))
+    (fun (seed, k1, k2) ->
+      QCheck.assume (k1 <> k2);
+      let p = Rng.create seed in
+      draws (Rng.stream p k1) 8 <> draws (Rng.stream p k2) 8
+      && draws (Rng.stream p k1) 8 <> draws (Rng.create seed) 8)
+
 let test_rng_shuffle_permutation () =
   let rng = Rng.create 7 in
   let arr = Array.init 50 (fun i -> i) in
@@ -322,6 +369,13 @@ let () =
         prop_fixed_add_neg_is_sub;
       ]
   in
+  let qc_rng =
+    List.map QCheck_alcotest.to_alcotest
+      [
+        prop_rng_stream_deterministic; prop_rng_stream_non_mutating;
+        prop_rng_stream_order_independent; prop_rng_stream_independent;
+      ]
+  in
   Alcotest.run "util"
     [
       ( "fixed",
@@ -341,7 +395,8 @@ let () =
           Alcotest.test_case "gaussian moments" `Quick test_rng_gaussian_moments;
           Alcotest.test_case "split" `Quick test_rng_split_independent;
           Alcotest.test_case "shuffle" `Quick test_rng_shuffle_permutation;
-        ] );
+        ]
+        @ qc_rng );
       ( "tensor",
         [
           Alcotest.test_case "mvm" `Quick test_tensor_mvm;
