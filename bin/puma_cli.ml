@@ -66,6 +66,22 @@ let dim_arg =
   let doc = "Crossbar dimension (power of two)." in
   Arg.(value & opt int 128 & info [ "dim" ] ~doc)
 
+let fast_arg =
+  Arg.(
+    value
+    & vflag true
+        [
+          ( true,
+            info [ "fast" ]
+              ~doc:
+                "Allow the pre-decoded fast execution path (the default). \
+                 Bit-identical to the reference loop; automatically disabled \
+                 when a profiler, trace or fault plan is attached." );
+          ( false,
+            info [ "no-fast" ]
+              ~doc:"Force the cycle-accurate reference execution loop." );
+        ])
+
 let config_of_dim dim = { Config.sweetspot with mvmu_dim = dim }
 
 let exit_err msg =
@@ -168,13 +184,13 @@ let run_cmd =
   let seed =
     Arg.(value & opt int 7 & info [ "seed" ] ~doc:"Input RNG seed.")
   in
-  let run model seed dim =
+  let run model seed dim fast =
     match find_mini model with
     | Error e -> exit_err e
     | Ok m ->
         let g = graph_of m in
         let config = config_of_dim dim in
-        let session = Puma.Session.create ~config g in
+        let session = Puma.Session.create ~config ~fast g in
         let rng = Puma_util.Rng.create seed in
         let inputs =
           List.map
@@ -198,7 +214,7 @@ let run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Simulate one inference and validate it")
-    Term.(const run $ model $ seed $ dim_arg)
+    Term.(const run $ model $ seed $ dim_arg $ fast_arg)
 
 (* ---- graph ---- *)
 
@@ -526,7 +542,7 @@ let batch_cmd =
             "Attach the cycle-level profiler to every worker node and report \
              the batch's stall decomposition.")
   in
-  let run model batch_size domains seed profile dim =
+  let run model batch_size domains seed profile dim fast =
     match find_mini model with
     | Error e -> exit_err e
     | Ok m ->
@@ -548,7 +564,7 @@ let batch_cmd =
         in
         let t0 = Unix.gettimeofday () in
         let responses, summary =
-          Puma_runtime.Batch.run ~domains ~profile program requests
+          Puma_runtime.Batch.run ~domains ~fast ~profile program requests
         in
         let host_s = Unix.gettimeofday () -. t0 in
         (* Spot-check the first request against the float reference. *)
@@ -575,7 +591,9 @@ let batch_cmd =
          "Serve a batch of inferences across parallel simulated nodes \
           (deterministic: outputs and per-request cycles are bit-identical \
           for any --domains)")
-    Term.(const run $ model $ batch_size $ domains $ seed $ profile $ dim_arg)
+    Term.(
+      const run $ model $ batch_size $ domains $ seed $ profile $ dim_arg
+      $ fast_arg)
 
 (* ---- profile ---- *)
 
@@ -614,7 +632,7 @@ let profile_cmd =
             "Also write a Chrome trace-event file (load in chrome://tracing \
              or ui.perfetto.dev; 1 trace microsecond = 1 simulated cycle).")
   in
-  let run target runs seed top json chrome dim =
+  let run target runs seed top json chrome dim fast =
     if runs <= 0 then exit_err "--runs must be positive";
     (* Gate off, as in analyze/bench: a program that fails static analysis
        (lenet5's known core-imem overflow) still simulates, and profiling
@@ -639,7 +657,9 @@ let profile_cmd =
         | Ok m -> compile_model m
         | Error e -> exit_err e
     in
-    let node = Puma_sim.Node.create program in
+    (* The attached profiler forces the reference loop regardless of
+       [fast]; the flag is accepted for interface symmetry. *)
+    let node = Puma_sim.Node.create ~fast program in
     let profile = Puma_profile.Profile.create () in
     Puma_profile.Profile.attach profile node;
     let rng = Puma_util.Rng.create seed in
@@ -671,7 +691,9 @@ let profile_cmd =
        ~doc:
          "Simulate with the cycle-level profiler attached: stall accounting, \
           per-tile energy attribution, optional Chrome trace export")
-    Term.(const run $ target $ runs $ seed $ top $ json $ chrome $ dim_arg)
+    Term.(
+      const run $ target $ runs $ seed $ top $ json $ chrome $ dim_arg
+      $ fast_arg)
 
 (* ---- faults ---- *)
 
@@ -754,7 +776,7 @@ let faults_cmd =
       & info [ "json" ] ~doc:"Emit the campaign report as one JSON document.")
   in
   let run model rates seeds fault_seed samples input_seed remap stuck_on
-      drift_tau drift_age adc_sigma domains json dim =
+      drift_tau drift_age adc_sigma domains json dim fast =
     match find_mini model with
     | Error e -> exit_err e
     | Ok m ->
@@ -797,7 +819,7 @@ let faults_cmd =
         in
         let program = result.Puma_compiler.Compile.program in
         let report =
-          Puma_fault.Campaign.run ~domains ~key:model program spec
+          Puma_fault.Campaign.run ~domains ~fast ~key:model program spec
         in
         if json then
           print_endline
@@ -823,7 +845,7 @@ let faults_cmd =
     Term.(
       const run $ model $ rates $ seeds $ fault_seed $ samples $ input_seed
       $ remap $ stuck_on $ drift_tau $ drift_age $ adc_sigma $ domains $ json
-      $ dim_arg)
+      $ dim_arg $ fast_arg)
 
 (* ---- estimate ---- *)
 

@@ -102,6 +102,32 @@ let charge_reg_range t base width =
 
 let sreg t s = t.sregs.(s)
 
+(* Fast-path internals: accessors and retirement helpers for the
+   pre-decoded executor (Puma_tile.Fastexec). The helpers repeat
+   [retire]/[retire_jump] minus the result allocation; keeping them here
+   keeps every mutation of the retirement state in one module. *)
+let layout t = t.layout
+let code t = t.code
+let sregs t = t.sregs
+let mvmus t = t.mvmus
+let rng t = t.rng
+let energy t = t.energy
+let force_halt t = t.halted <- true
+
+let retire_fast t ~cycles =
+  t.pc <- t.pc + 1;
+  t.retired <- t.retired + 1;
+  t.busy_cycles <- t.busy_cycles + cycles;
+  Energy.add t.energy Fetch 1;
+  cycles
+
+let retire_jump_fast t ~target ~cycles =
+  t.pc <- target;
+  t.retired <- t.retired + 1;
+  t.busy_cycles <- t.busy_cycles + cycles;
+  Energy.add t.energy Fetch 1;
+  cycles
+
 let resolve_addr t = function
   | Instr.Imm_addr a -> a
   | Instr.Sreg_addr s -> t.sregs.(s)

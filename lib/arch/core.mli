@@ -92,3 +92,31 @@ val step : t -> mem:mem_iface -> step_result
 
 val reset : t -> unit
 (** Rewind PC and halted state (register contents are preserved). *)
+
+(** {2 Fast-path internals}
+
+    Accessors and retirement helpers for the pre-decoded executor
+    ({!Puma_tile.Fastexec}). They expose mutable state; any consumer must
+    preserve {!step}'s observable semantics bit for bit (the contract
+    checked by the fast-path differential suite). *)
+
+val layout : t -> Puma_isa.Operand.layout
+val code : t -> Puma_isa.Instr.t array
+val sregs : t -> int array
+(** The scalar register array itself (mutations are live). *)
+
+val mvmus : t -> Puma_xbar.Mvmu.t array
+val rng : t -> Puma_util.Rng.t
+val energy : t -> Puma_hwmodel.Energy.t
+
+val force_halt : t -> unit
+(** Latch the halted flag (as executing [Halt] or running off the end
+    of the stream does). *)
+
+val retire_fast : t -> cycles:int -> int
+(** Retirement bookkeeping of a fall-through instruction — PC increment,
+    retired/busy counters, fetch energy — without allocating a
+    {!step_result}. Returns [cycles]. *)
+
+val retire_jump_fast : t -> target:int -> cycles:int -> int
+(** Like {!retire_fast} but setting the PC to [target]. *)

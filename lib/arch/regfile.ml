@@ -16,6 +16,7 @@ let create layout mvmus =
   { layout; gpr = Array.make (Operand.size_of layout Gpr) 0; mvmus }
 
 let layout t = t.layout
+let gpr t = t.gpr
 let space_of t idx = Operand.space_of t.layout idx
 
 let read t idx =

@@ -13,6 +13,11 @@ val create : Puma_isa.Operand.layout -> Puma_xbar.Mvmu.t array -> t
 
 val layout : t -> Puma_isa.Operand.layout
 
+val gpr : t -> int array
+(** The general-purpose register backing array (offset
+    [layout.gpr_base]); exposed for the pre-decoded fast path, which
+    resolves in-space vector operands to direct array views. *)
+
 val read : t -> int -> int
 val write : t -> int -> int -> unit
 

@@ -31,8 +31,11 @@ let table op =
       Hashtbl.add tables op t;
       t
 
-let eval op x =
-  let t = table op in
+(* The interpolation body, shared by [eval] and callers that hoist the
+   table lookup out of per-element loops (the fast-path ALU decoder):
+   both spellings perform the identical float chain, so results are
+   bit-identical. *)
+let eval_with t x =
   let xf = Fixed.to_float x in
   let pos = (xf -. lo) /. step in
   let k = Float.to_int pos in
@@ -40,6 +43,8 @@ let eval op x =
   let frac = pos -. Float.of_int k in
   let v = t.(k) +. (frac *. (t.(k + 1) -. t.(k))) in
   Fixed.of_float v
+
+let eval op x = eval_with (table op) x
 
 let max_abs_error op =
   let worst = ref 0.0 in

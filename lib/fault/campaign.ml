@@ -89,7 +89,7 @@ let compare_batches ~(golden : Batch.response array)
     (if !elements = 0 then 0.0 else !sum_err /. float_of_int !elements),
     if n = 0 then 0.0 else float_of_int !flips /. float_of_int n )
 
-let run ?domains ~key program spec =
+let run ?domains ?fast ~key program spec =
   List.iter
     (fun r ->
       match Fault_model.validate (at_rate spec.base r) with
@@ -99,7 +99,7 @@ let run ?domains ~key program spec =
   let requests =
     Batch.random_requests program ~batch:spec.samples ~seed:spec.input_seed
   in
-  let golden, _ = Batch.run ~domains:1 program requests in
+  let golden, _ = Batch.run ~domains:1 ?fast program requests in
   let grid =
     List.concat_map
       (fun rate -> List.map (fun seed -> (rate, seed)) spec.fault_seeds)
@@ -114,7 +114,7 @@ let run ?domains ~key program spec =
         let model = at_rate spec.base rate in
         let r = Remap.build ~remap:spec.remap ~model ~seed:fault_seed program in
         let responses, _ =
-          Batch.run ~domains:1 ~faults:r.Remap.plan program requests
+          Batch.run ~domains:1 ~faults:r.Remap.plan ?fast program requests
         in
         let max_err_ulps, mean_err_ulps, flip_rate =
           compare_batches ~golden responses

@@ -65,10 +65,14 @@ type report = {
   points : point array;  (** Rate-major, seed-minor grid order. *)
 }
 
-val run : ?domains:int -> key:string -> Puma_isa.Program.t -> spec -> report
+val run :
+  ?domains:int -> ?fast:bool -> key:string -> Puma_isa.Program.t -> spec -> report
 (** Evaluate the full grid. [domains] (default
     {!Puma_util.Pool.default_domains}) shards grid points, not the
-    per-point simulations. *)
+    per-point simulations. [fast] is forwarded to the golden and
+    per-point {!Puma_runtime.Batch.run} calls; faulted points always take
+    the cycle-accurate path regardless (fault plans disable fast mode),
+    so it only accelerates the golden batch. *)
 
 val by_rate : report -> (float * point list) list
 (** Points grouped by rate, in sweep order. *)

@@ -87,8 +87,8 @@ let tiles_used (program : Program.t) =
    all-zero inference first puts every node in the same steady state, so a
    request's cycle count does not depend on whether it happened to be the
    first one its worker served. *)
-let warmed_node ?noise_seed ?faults program =
-  let node = Node.create ?noise_seed ?faults program in
+let warmed_node ?noise_seed ?faults ?fast program =
+  let node = Node.create ?noise_seed ?faults ?fast program in
   let zeros =
     List.map (fun (name, len) -> (name, Array.make len 0.0))
       (input_lengths program)
@@ -132,8 +132,8 @@ let merge_stalls splits =
       if n > 0 then Some (reason, n) else None)
     Puma_arch.Core.all_stalls
 
-let run ?domains ?noise_seed ?faults ?(profile = false) (program : Program.t)
-    requests =
+let run ?domains ?noise_seed ?faults ?fast ?(profile = false)
+    (program : Program.t) requests =
   let domains =
     match domains with
     | Some d when d >= 1 -> d
@@ -147,7 +147,7 @@ let run ?domains ?noise_seed ?faults ?(profile = false) (program : Program.t)
       ~init:(fun ~worker:_ ->
         (* Attach the profiler only after warm-up, so the profile (like
            every other metric) covers exactly the served requests. *)
-        let node = warmed_node ?noise_seed ?faults program in
+        let node = warmed_node ?noise_seed ?faults ?fast program in
         let prof =
           if profile then begin
             let p = Profile.create () in

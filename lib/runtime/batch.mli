@@ -82,17 +82,19 @@ val run :
   ?domains:int ->
   ?noise_seed:int ->
   ?faults:Puma_xbar.Fault.plan ->
+  ?fast:bool ->
   ?profile:bool ->
   Puma_isa.Program.t ->
   request list ->
   response array * summary
 (** Execute the batch. [domains] defaults to
-    {!Puma_util.Pool.default_domains}; [noise_seed] and [faults] are
-    passed to every node (default as {!Puma_sim.Node.create} — with
+    {!Puma_util.Pool.default_domains}; [noise_seed], [faults] and [fast]
+    are passed to every node (defaults as {!Puma_sim.Node.create} — with
     [faults], every worker node carries the same deterministically
     realized fault set, so responses stay independent of the domain
-    count). The response array is in request-index order. Raises like
-    {!Puma_sim.Node.run} on bad programs or missing inputs.
+    count; [fast] is bit-identical either way, so batch results never
+    depend on it). The response array is in request-index order. Raises
+    like {!Puma_sim.Node.run} on bad programs or missing inputs.
 
     [profile] (default [false]) attaches a {!Puma_profile.Profile} to each
     worker's node after its warm-up run, filling [response.stalls] and the

@@ -1,5 +1,6 @@
 module Program = Puma_isa.Program
 module Tile = Puma_tile.Tile
+module Fastexec = Puma_tile.Fastexec
 module Core = Puma_arch.Core
 module Network = Puma_noc.Network
 module Energy = Puma_hwmodel.Energy
@@ -29,6 +30,9 @@ type t = {
   network : Network.t;
   core_ready : int array array;
   tcu_ready : int array;
+  faulted : bool;
+  mutable fast_enabled : bool;
+  mutable last_run_fast : bool;
   mutable now : int;
   mutable total_cycles : int;
   mutable retire_hook :
@@ -38,7 +42,7 @@ type t = {
 
 let cycle_cap = 200_000_000
 
-let create ?(noise_seed = 42) ?faults (program : Program.t) =
+let create ?(noise_seed = 42) ?faults ?(fast = true) (program : Program.t) =
   let config = program.config in
   let energy = Energy.create config in
   let ntiles = Array.length program.tiles in
@@ -84,6 +88,9 @@ let create ?(noise_seed = 42) ?faults (program : Program.t) =
     network = Network.create config ~energy ~num_tiles:(max 1 ntiles);
     core_ready = Array.init ntiles (fun _ -> Array.make config.cores_per_tile 0);
     tcu_ready = Array.make ntiles 0;
+    faulted = Option.is_some faults;
+    fast_enabled = fast;
+    last_run_fast = false;
     now = 0;
     total_cycles = 0;
     retire_hook = None;
@@ -169,12 +176,61 @@ let read_outputs t =
       (name, out) :: acc)
     by_name []
 
-let run t ~inputs =
-  inject_inputs t inputs;
-  Array.iter Tile.reset t.tiles;
+(* Advance [t.now] to the next event time, or raise [Deadlock] with the
+   full entity dump. Shared verbatim by both execution loops: the [now]
+   sequence and the diagnostic text are part of the bit-identity
+   contract. *)
+let advance_or_deadlock t =
+  let next = ref max_int in
+  let consider time = if time > t.now && time < !next then next := time in
+  Array.iteri
+    (fun ti tile ->
+      consider t.tcu_ready.(ti);
+      ignore tile;
+      Array.iter consider t.core_ready.(ti))
+    t.tiles;
+  (match Network.next_arrival t.network with
+  | Some a -> consider a
+  | None -> ());
+  if !next = max_int then begin
+    let buf = Buffer.create 256 in
+    Buffer.add_string buf
+      (Printf.sprintf
+         "all live entities blocked at cycle %d (in flight %d, next arrival %s)\n"
+         t.now
+         (Network.in_flight t.network)
+         (match Network.next_arrival t.network with
+          | Some a -> string_of_int a
+          | None -> "none"));
+    Array.iteri
+      (fun ti tile ->
+        for c = 0 to Tile.num_cores tile - 1 do
+          let core = Tile.core tile c in
+          if not (Core.halted core) then
+            Buffer.add_string buf
+              (Printf.sprintf "  tile %d core %d blocked at pc %d\n" ti c (Core.pc core))
+        done;
+        if not (Tile.all_halted tile) then
+          begin
+            let rb = Tile.recv_buffer tile in
+            let occ =
+              String.concat ","
+                (List.init (Puma_tile.Recv_buffer.num_fifos rb) (fun f ->
+                     string_of_int (Puma_tile.Recv_buffer.occupancy rb ~fifo:f)))
+            in
+            Buffer.add_string buf
+              (Printf.sprintf "  tile %d tcu pc %d, fifo occupancy [%s]\n" ti
+                 (Tile.tcu_pc tile) occ)
+          end)
+      t.tiles;
+    raise (Deadlock (Buffer.contents buf))
+  end
+  else t.now <- !next
+
+(* The cycle-accurate reference loop: full probe/hook dispatch and
+   per-tile energy scoping, stepping through [Core.step]. *)
+let run_reference t ~start =
   let ntiles = Array.length t.tiles in
-  let start = t.now in
-  (match t.probe with Some p -> p.on_run_start ~now:start | None -> ());
   let finished = ref false in
   while not !finished do
     if t.now - start > cycle_cap then failwith "Node.run: cycle cap exceeded";
@@ -272,55 +328,136 @@ let run t ~inputs =
     (* Completion / time advance / deadlock. *)
     let all_halted = Array.for_all Tile.all_halted t.tiles in
     if all_halted && Network.in_flight t.network = 0 then finished := true
-    else if not !progress then begin
-      (* Advance to the next event time. *)
-      let next = ref max_int in
-      let consider time = if time > t.now && time < !next then next := time in
-      Array.iteri
-        (fun ti tile ->
-          consider t.tcu_ready.(ti);
-          ignore tile;
-          Array.iter consider t.core_ready.(ti))
-        t.tiles;
-      (match Network.next_arrival t.network with
-      | Some a -> consider a
-      | None -> ());
-      if !next = max_int then begin
-        let buf = Buffer.create 256 in
-        Buffer.add_string buf
-          (Printf.sprintf
-             "all live entities blocked at cycle %d (in flight %d, next arrival %s)\n"
-             t.now
-             (Network.in_flight t.network)
-             (match Network.next_arrival t.network with
-              | Some a -> string_of_int a
-              | None -> "none"));
-        Array.iteri
-          (fun ti tile ->
-            for c = 0 to Tile.num_cores tile - 1 do
-              let core = Tile.core tile c in
-              if not (Core.halted core) then
-                Buffer.add_string buf
-                  (Printf.sprintf "  tile %d core %d blocked at pc %d\n" ti c (Core.pc core))
-            done;
-            if not (Tile.all_halted tile) then
-              begin
-                let rb = Tile.recv_buffer tile in
-                let occ =
-                  String.concat ","
-                    (List.init (Puma_tile.Recv_buffer.num_fifos rb) (fun f ->
-                         string_of_int (Puma_tile.Recv_buffer.occupancy rb ~fifo:f)))
-                in
-                Buffer.add_string buf
-                  (Printf.sprintf "  tile %d tcu pc %d, fifo occupancy [%s]\n" ti
-                     (Tile.tcu_pc tile) occ)
-              end)
-          t.tiles;
-        raise (Deadlock (Buffer.contents buf))
+    else if not !progress then advance_or_deadlock t
+  done
+
+(* The fast loop: same pass structure and [now] sequence as
+   [run_reference] — drain, deliver, step (TCU then cores, tiles
+   ascending), completion check, re-pass at the same cycle on progress
+   (a TCU receive can unblock a core's load within the cycle), advance
+   via the shared helper. Only eligible when nothing can observe the
+   differences: no probe, no retire hook, no fault plan, attribution
+   off. The deltas are exactly: no probe/hook dispatch, no
+   [Energy.set_scope] (dead with attribution off), cores step through
+   the pre-decoded [Fastexec] streams, and tiles that have fully halted
+   are skipped in the stepping pass (stepping a halted entity is a
+   no-op without a probe). *)
+let run_fast t ~start =
+  let ntiles = Array.length t.tiles in
+  let fcs = Array.map Tile.fast_code t.tiles in
+  (* Blocked-entity parking. A blocked attempt is effect-free and its
+     outcome is a deterministic function of the tile's shared-memory
+     state (cores: load/store) plus the receive-buffer state (TCU), so a
+     retry against an unchanged [Shared_mem.generation] (+ the per-tile
+     count of successful network deliveries, for the TCU) is guaranteed
+     to block again: skipping it is unobservable. Halted entities are
+     parked permanently ([never]) — a core or TCU cannot un-halt within
+     a run. Parks are per-run locals; [Tile.reset] starts the next run
+     fresh. *)
+  let never = max_int in
+  let core_park =
+    Array.init ntiles (fun ti ->
+        Array.make (Tile.num_cores t.tiles.(ti)) (-1))
+  in
+  let tcu_park = Array.make ntiles (-1) in
+  let delivered = Array.make ntiles 0 in
+  let finished = ref false in
+  while not !finished do
+    if t.now - start > cycle_cap then failwith "Node.run: cycle cap exceeded";
+    let progress = ref false in
+    Array.iter
+      (fun tile ->
+        let rec drain () =
+          match Tile.pop_outgoing tile with
+          | None -> ()
+          | Some (o : Tile.outgoing) ->
+              Network.send t.network ~now:o.issue_cycle
+                {
+                  Network.src_tile = Tile.index tile;
+                  dst_tile = o.target_tile;
+                  fifo_id = o.fifo_id;
+                  payload = o.payload;
+                };
+              progress := true;
+              drain ()
+        in
+        drain ())
+      t.tiles;
+    let rec deliver () =
+      match Network.pop_arrived t.network ~now:t.now with
+      | None -> ()
+      | Some msg ->
+          if
+            Tile.deliver t.tiles.(msg.Network.dst_tile) ~fifo:msg.fifo_id
+              ~src_tile:msg.src_tile ~payload:msg.payload
+          then begin
+            delivered.(msg.Network.dst_tile) <-
+              delivered.(msg.Network.dst_tile) + 1;
+            progress := true
+          end
+          else Network.requeue t.network ~now:t.now msg;
+          deliver ()
+    in
+    deliver ();
+    for ti = 0 to ntiles - 1 do
+      let tile = t.tiles.(ti) in
+      if not (Tile.all_halted tile) then begin
+        (if t.tcu_ready.(ti) <= t.now then
+           let park = tcu_park.(ti) in
+           if
+             park <> never
+             && park <> Tile.smem_generation tile + delivered.(ti)
+           then begin
+             match Tile.step_tcu tile ~now:t.now with
+             | Tile.Retired { cycles; _ } ->
+                 t.tcu_ready.(ti) <- t.now + cycles;
+                 progress := true
+             | Tile.Blocked _ ->
+                 tcu_park.(ti) <-
+                   Tile.smem_generation tile + delivered.(ti)
+             | Tile.Halted -> tcu_park.(ti) <- never
+           end);
+        let fc = fcs.(ti) in
+        let parks = core_park.(ti) in
+        for c = 0 to Tile.num_cores tile - 1 do
+          if t.core_ready.(ti).(c) <= t.now then begin
+            let park = parks.(c) in
+            if park <> never && park <> Tile.smem_generation tile then begin
+              let r = Tile.step_core_fast tile fc c in
+              if r >= 0 then begin
+                t.core_ready.(ti).(c) <- t.now + r;
+                progress := true
+              end
+              else if r = Fastexec.r_halted then parks.(c) <- never
+              else parks.(c) <- Tile.smem_generation tile
+            end
+          end
+        done
       end
-      else t.now <- !next
-    end
-  done;
+    done;
+    let all_halted = Array.for_all Tile.all_halted t.tiles in
+    if all_halted && Network.in_flight t.network = 0 then finished := true
+    else if not !progress then advance_or_deadlock t
+  done
+
+(* Fast mode engages only when the run is observationally equivalent:
+   any instrumentation, fault plan or attribution forces the reference
+   loop. *)
+let fast_eligible t =
+  t.fast_enabled
+  && Option.is_none t.probe
+  && Option.is_none t.retire_hook
+  && (not t.faulted)
+  && not (Energy.attribution_enabled t.energy)
+
+let run t ~inputs =
+  inject_inputs t inputs;
+  Array.iter Tile.reset t.tiles;
+  let start = t.now in
+  (match t.probe with Some p -> p.on_run_start ~now:start | None -> ());
+  let fast = fast_eligible t in
+  t.last_run_fast <- fast;
+  if fast then run_fast t ~start else run_reference t ~start;
   t.total_cycles <- t.total_cycles + (t.now - start);
   (match t.probe with Some p -> p.on_run_end ~now:t.now | None -> ());
   read_outputs t
@@ -344,6 +481,9 @@ let finish_energy t =
 let set_retire_hook t hook = t.retire_hook <- hook
 let set_probe t probe = t.probe <- probe
 let probe_attached t = t.probe <> None
+let set_fast t fast = t.fast_enabled <- fast
+let fast_enabled t = t.fast_enabled
+let last_run_fast t = t.last_run_fast
 
 let iter_mvmus t f =
   Array.iteri

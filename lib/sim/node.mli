@@ -42,10 +42,20 @@ type probe = {
 type t
 
 val create :
-  ?noise_seed:int -> ?faults:Puma_xbar.Fault.plan -> Puma_isa.Program.t -> t
+  ?noise_seed:int ->
+  ?faults:Puma_xbar.Fault.plan ->
+  ?fast:bool ->
+  Puma_isa.Program.t ->
+  t
 (** Instantiate tiles, program crossbars (with write noise when the
     program's configuration has [write_noise_sigma > 0]; [noise_seed]
     makes it reproducible) and preload constant vectors.
+
+    [fast] (default [true]) allows {!run} to use the pre-decoded fast
+    execution path when nothing can observe the difference — see
+    {!set_fast} for the exact engagement rule. Results are bit-identical
+    either way; pass [~fast:false] to force the cycle-accurate reference
+    loop (e.g. as the golden side of a differential test).
 
     [faults] injects device/circuit faults at configuration time: each
     MVMU's fault set is realized deterministically from the plan's model
@@ -97,3 +107,19 @@ val set_probe : t -> probe option -> unit
     the energy ledger totals are bit-identical with and without one. *)
 
 val probe_attached : t -> bool
+
+val set_fast : t -> bool -> unit
+(** Allow or forbid the fast execution path for subsequent {!run} calls.
+    Even when allowed, fast mode engages only if the run is
+    observationally equivalent to the reference loop: no probe attached,
+    no retire hook installed, no fault plan, per-tile energy attribution
+    off. Outputs, cycle counts, retired counts and the energy ledger
+    (counts {e and} picojoules) are bit-identical in both modes — the
+    contract test/test_fastpath.ml enforces. *)
+
+val fast_enabled : t -> bool
+(** Whether the fast path is currently allowed (not whether it ran). *)
+
+val last_run_fast : t -> bool
+(** Whether the most recent {!run} actually used the fast loop ([false]
+    before the first run). *)

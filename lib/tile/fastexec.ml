@@ -1,0 +1,368 @@
+(* Pre-decoded fast execution path for a core's instruction stream.
+
+   [decode] lowers every instruction into a closure with its operand
+   views, latency, and energy-event sequence resolved once, so the
+   per-cycle cost drops to an array index plus an indirect call —
+   no pattern match on boxed ISA values, no register-space dispatch, no
+   per-retire allocation. [step] then drives one instruction.
+
+   Bit-identity with [Core.step] is the contract, checked by
+   test/test_fastpath.ml:
+   - register and memory mutations happen in the same element order
+     (ascending [k] loops, so overlapping vector operands behave
+     identically);
+   - the per-category [Energy.add] sequence is reproduced call for call
+     (float accumulation order matters for bit-identical ledgers);
+   - RNG-consuming ops ([Rand]) go through the same [Vfu] entry points in
+     the same element order;
+   - anything that cannot be resolved statically — operands crossing a
+     register-space boundary, out-of-range bases whose exceptions must
+     stay lazy, tile instructions in a core stream — falls back to
+     [Core.step] itself. *)
+
+module Instr = Puma_isa.Instr
+module Operand = Puma_isa.Operand
+module Core = Puma_arch.Core
+module Regfile = Puma_arch.Regfile
+module Vfu = Puma_arch.Vfu
+module Sfu = Puma_arch.Sfu
+module Energy = Puma_hwmodel.Energy
+module Latency = Puma_hwmodel.Latency
+module Fixed = Puma_util.Fixed
+module Mvmu = Puma_xbar.Mvmu
+
+(* Step return codes: >= 0 is the occupancy in cycles of a retired
+   instruction; negative codes mirror the [Core.step_result] variants the
+   scheduler distinguishes. *)
+let r_halted = -1
+let r_blocked_read = -2
+let r_blocked_write = -3
+
+type code = (unit -> int) array
+
+(* A vector operand resolved to a flat backing array: (buffer, offset,
+   energy category of the containing register space). *)
+type view = int array * int * Energy.category
+
+let decode (core : Core.t) (smem : Shared_mem.t) : code =
+  let cfg = Core.config core in
+  let layout = Core.layout core in
+  let gpr = Regfile.gpr (Core.regfile core) in
+  let energy = Core.energy core in
+  let sregs = Core.sregs core in
+  let mvmus = Core.mvmus core in
+  let rng = Core.rng core in
+  let dim = layout.Operand.mvmu_dim in
+  (* Reference fallback: one shared mem_iface + closure, built once. *)
+  let mem : Core.mem_iface =
+    {
+      load = (fun ~addr ~width -> Shared_mem.read smem ~addr ~width);
+      store =
+        (fun ~addr ~values ~count -> Shared_mem.write smem ~addr ~values ~count);
+    }
+  in
+  let generic () =
+    match Core.step core ~mem with
+    | Core.Retired { cycles; _ } -> cycles
+    | Core.Blocked Core.Stall_smem_read -> r_blocked_read
+    | Core.Blocked _ -> r_blocked_write
+    | Core.Halted -> r_halted
+  in
+  (* Retirement bookkeeping, mirroring [Core.retire]/[Core.retire_jump]. *)
+  let commit cycles = Core.retire_fast core ~cycles in
+  let commit_jump ~target cycles = Core.retire_jump_fast core ~target ~cycles in
+  (* Resolve [base, base+width) to a single backing array, or [None] when
+     the range is empty, out of bounds (the reference path's lazy
+     exception must be preserved) or crosses an MVMU/space boundary
+     (element-wise dispatch required). *)
+  let view base width : view option =
+    if base < 0 || width < 1 || base + width > layout.Operand.total then None
+    else if base + width <= layout.Operand.xbar_out_base then
+      let off = base - layout.Operand.xbar_in_base in
+      let m = off / dim and e = off mod dim in
+      if e + width <= dim then Some (Mvmu.xbar_in mvmus.(m), e, Energy.Xbar_reg)
+      else None
+    else if
+      base >= layout.Operand.xbar_out_base
+      && base + width <= layout.Operand.gpr_base
+    then
+      let off = base - layout.Operand.xbar_out_base in
+      let m = off / dim and e = off mod dim in
+      if e + width <= dim then Some (Mvmu.xbar_out mvmus.(m), e, Energy.Xbar_reg)
+      else None
+    else if base >= layout.Operand.gpr_base then
+      Some (gpr, base - layout.Operand.gpr_base, Energy.Rf)
+    else None
+  in
+  (* Monomorphic element-wise loops for the hot ALU ops, replicating the
+     [Vfu.apply_*] Fixed chains exactly; everything else dispatches to the
+     shared [Vfu] entry points per element. *)
+  let binary_loop op (sa, oa, _) (sb, ob, _) (dd, od, _) w =
+    match (op : Instr.alu_op) with
+    | Add ->
+        fun () ->
+          for k = 0 to w - 1 do
+            dd.(od + k) <-
+              Fixed.to_raw
+                (Fixed.add (Fixed.of_raw sa.(oa + k)) (Fixed.of_raw sb.(ob + k)))
+          done
+    | Sub ->
+        fun () ->
+          for k = 0 to w - 1 do
+            dd.(od + k) <-
+              Fixed.to_raw
+                (Fixed.sub (Fixed.of_raw sa.(oa + k)) (Fixed.of_raw sb.(ob + k)))
+          done
+    | Mul ->
+        fun () ->
+          for k = 0 to w - 1 do
+            dd.(od + k) <-
+              Fixed.to_raw
+                (Fixed.mul (Fixed.of_raw sa.(oa + k)) (Fixed.of_raw sb.(ob + k)))
+          done
+    | Min ->
+        fun () ->
+          for k = 0 to w - 1 do
+            dd.(od + k) <-
+              Fixed.to_raw
+                (Fixed.min (Fixed.of_raw sa.(oa + k)) (Fixed.of_raw sb.(ob + k)))
+          done
+    | Max ->
+        fun () ->
+          for k = 0 to w - 1 do
+            dd.(od + k) <-
+              Fixed.to_raw
+                (Fixed.max (Fixed.of_raw sa.(oa + k)) (Fixed.of_raw sb.(ob + k)))
+          done
+    | _ ->
+        fun () ->
+          for k = 0 to w - 1 do
+            dd.(od + k) <- Vfu.apply_binary op sa.(oa + k) sb.(ob + k)
+          done
+  in
+  let unary_loop op (sa, oa, _) (dd, od, _) w =
+    match (op : Instr.alu_op) with
+    | Relu ->
+        fun () ->
+          for k = 0 to w - 1 do
+            dd.(od + k) <-
+              Fixed.to_raw (Fixed.max Fixed.zero (Fixed.of_raw sa.(oa + k)))
+          done
+    | Sigmoid | Tanh | Log | Exp ->
+        (* Hoist the per-op table lookup out of the element loop;
+           [Rom_lut.eval_with] is the identical interpolation chain
+           [Vfu.apply_unary] reaches through [Rom_lut.eval]. *)
+        let tbl = Puma_arch.Rom_lut.table op in
+        fun () ->
+          for k = 0 to w - 1 do
+            dd.(od + k) <-
+              Fixed.to_raw
+                (Puma_arch.Rom_lut.eval_with tbl (Fixed.of_raw sa.(oa + k)))
+          done
+    | _ ->
+        fun () ->
+          for k = 0 to w - 1 do
+            dd.(od + k) <- Vfu.apply_unary op ~rng sa.(oa + k)
+          done
+  in
+  let alui_loop op imm (sa, oa, _) (dd, od, _) w =
+    match (op : Instr.alu_op) with
+    | Add ->
+        fun () ->
+          for k = 0 to w - 1 do
+            dd.(od + k) <-
+              Fixed.to_raw
+                (Fixed.add (Fixed.of_raw sa.(oa + k)) (Fixed.of_raw imm))
+          done
+    | Mul ->
+        fun () ->
+          for k = 0 to w - 1 do
+            dd.(od + k) <-
+              Fixed.to_raw
+                (Fixed.mul (Fixed.of_raw sa.(oa + k)) (Fixed.of_raw imm))
+          done
+    | _ ->
+        fun () ->
+          for k = 0 to w - 1 do
+            dd.(od + k) <- Vfu.apply_binary op sa.(oa + k) imm
+          done
+  in
+  let cat_of (_, _, c) = c in
+  let decode_one (instr : Instr.t) : unit -> int =
+    match instr with
+    | Halt ->
+        fun () ->
+          Core.force_halt core;
+          r_halted
+    | Mvm { mask; filter = _; stride } ->
+        (* Active MVMU indices in ascending order, as [Array.iteri]
+           visits them; mask bits beyond the physical MVMUs are ignored. *)
+        let actives =
+          Array.of_list
+            (List.filter
+               (fun i -> mask land (1 lsl i) <> 0)
+               (List.init (Array.length mvmus) Fun.id))
+        in
+        let cycles = Latency.mvm cfg in
+        let two_dim = 2 * cfg.Puma_hwmodel.Config.mvmu_dim in
+        fun () ->
+          for k = 0 to Array.length actives - 1 do
+            Mvmu.execute_fast mvmus.(actives.(k)) ~stride;
+            Energy.add energy Energy.Mvm 1;
+            Energy.add energy Energy.Xbar_reg two_dim
+          done;
+          commit cycles
+    | Alu { op; dest; src1; src2; vec_width = w } -> (
+        let cycles = Latency.alu cfg ~vec_width:w in
+        let lut = Vfu.is_lut_op op in
+        match Instr.alu_op_arity op with
+        | 1 when op = Subsample -> (
+            (* Reads src1 + 2k for k < w: the source view must cover
+               2w - 1 elements. *)
+            match (view src1 ((2 * w) - 1), view dest w) with
+            | Some ((sa, oa, _) as sv), Some ((dd, od, _) as dv) ->
+                fun () ->
+                  for k = 0 to w - 1 do
+                    dd.(od + k) <- sa.(oa + (2 * k))
+                  done;
+                  Energy.add energy (cat_of sv) (2 * w);
+                  Energy.add energy (cat_of dv) w;
+                  Energy.add energy Energy.Vfu w;
+                  commit cycles
+            | _ -> generic)
+        | 1 -> (
+            match (view src1 w, view dest w) with
+            | Some sv, Some dv ->
+                let body = unary_loop op sv dv w in
+                fun () ->
+                  body ();
+                  Energy.add energy (cat_of sv) w;
+                  Energy.add energy (cat_of dv) w;
+                  Energy.add energy Energy.Vfu w;
+                  if lut then Energy.add energy Energy.Lut w;
+                  commit cycles
+            | _ -> generic)
+        | _ -> (
+            match (view src1 w, view src2 w, view dest w) with
+            | Some sv1, Some sv2, Some dv ->
+                let body = binary_loop op sv1 sv2 dv w in
+                fun () ->
+                  body ();
+                  Energy.add energy (cat_of sv1) w;
+                  Energy.add energy (cat_of sv2) w;
+                  Energy.add energy (cat_of dv) w;
+                  Energy.add energy Energy.Vfu w;
+                  if lut then Energy.add energy Energy.Lut w;
+                  commit cycles
+            | _ -> generic))
+    | Alui { op; dest; src1; imm; vec_width = w } -> (
+        let cycles = Latency.alu cfg ~vec_width:w in
+        match (view src1 w, view dest w) with
+        | Some sv, Some dv ->
+            let body = alui_loop op imm sv dv w in
+            fun () ->
+              body ();
+              Energy.add energy (cat_of sv) w;
+              Energy.add energy (cat_of dv) w;
+              Energy.add energy Energy.Vfu w;
+              commit cycles
+        | _ -> generic)
+    | Alu_int { op; dest; src1; src2 } ->
+        fun () ->
+          sregs.(dest) <- Sfu.apply op sregs.(src1) sregs.(src2);
+          Energy.add energy Energy.Sfu 1;
+          commit Latency.alu_int
+    | Set { dest; imm } -> (
+        match view dest 1 with
+        | Some ((dd, od, _) as dv) ->
+            fun () ->
+              dd.(od) <- imm;
+              Energy.add energy (cat_of dv) 1;
+              commit Latency.set
+        | None -> generic)
+    | Set_sreg { dest; imm } ->
+        fun () ->
+          sregs.(dest) <- imm;
+          Energy.add energy Energy.Sfu 1;
+          commit Latency.set
+    | Copy { dest; src; vec_width = w } -> (
+        let cycles = Latency.copy cfg ~vec_width:w in
+        match (view src w, view dest w) with
+        | Some ((ss, os, _) as sv), Some ((dd, od, _) as dv) ->
+            (* Ascending element loop, not a blit: overlapping src/dest
+               ranges must copy exactly as the reference path does. *)
+            fun () ->
+              for k = 0 to w - 1 do
+                dd.(od + k) <- ss.(os + k)
+              done;
+              Energy.add energy (cat_of sv) w;
+              Energy.add energy (cat_of dv) w;
+              commit cycles
+        | _ -> generic)
+    | Load { dest; addr; vec_width = w } -> (
+        let cycles = Latency.load cfg ~vec_width:w in
+        match view dest w with
+        | Some ((dd, od, _) as dv) ->
+            fun () ->
+              let a =
+                match addr with
+                | Instr.Imm_addr a -> a
+                | Instr.Sreg_addr s -> sregs.(s)
+              in
+              if Shared_mem.read_into smem ~addr:a ~width:w ~dst:dd ~dst_pos:od
+              then begin
+                Energy.add energy (cat_of dv) w;
+                Energy.add energy Energy.Smem w;
+                Energy.add energy Energy.Bus w;
+                Energy.add energy Energy.Attr 1;
+                commit cycles
+              end
+              else r_blocked_read
+        | None -> generic)
+    | Store { src; addr; count; vec_width = w } -> (
+        let cycles = Latency.store cfg ~vec_width:w in
+        match view src w with
+        | Some ((ss, os, _) as sv) ->
+            fun () ->
+              let a =
+                match addr with
+                | Instr.Imm_addr a -> a
+                | Instr.Sreg_addr s -> sregs.(s)
+              in
+              if
+                Shared_mem.write_from smem ~addr:a ~src:ss ~src_pos:os ~width:w
+                  ~count
+              then begin
+                Energy.add energy (cat_of sv) w;
+                Energy.add energy Energy.Smem w;
+                Energy.add energy Energy.Bus w;
+                Energy.add energy Energy.Attr 1;
+                commit cycles
+              end
+              else r_blocked_write
+        | None -> generic)
+    | Jmp { pc } -> fun () -> commit_jump ~target:pc Latency.jump
+    | Brn { op; src1; src2; pc } ->
+        fun () ->
+          (* SFU charge precedes the register reads, as in the reference. *)
+          Energy.add energy Energy.Sfu 1;
+          if Sfu.branch_taken op sregs.(src1) sregs.(src2) then
+            commit_jump ~target:pc Latency.branch
+          else commit Latency.branch
+    | Send _ | Receive _ ->
+        (* Tile instruction in a core stream: the reference path raises;
+           keep that behavior (and its laziness). *)
+        generic
+  in
+  Array.map decode_one (Core.code core)
+
+(* Run one instruction of [core] through its pre-decoded [code]. Mirrors
+   the halt/pc-range prologue of [Core.step]: [Core.halted] already
+   covers both the flag and an out-of-range pc, and the reference path
+   latches the flag in the out-of-range case. *)
+let step (core : Core.t) (dec : code) =
+  if Core.halted core then begin
+    Core.force_halt core;
+    r_halted
+  end
+  else (Array.unsafe_get dec (Core.pc core)) ()

@@ -2,6 +2,11 @@ type t = {
   data : int array;
   valid : bool array;
   count : int array;
+  (* Bumped by every successful (state-mutating) read or write. A blocked
+     load/store/send/receive retried against an unchanged generation is
+     guaranteed to block again, so the fast scheduler parks blocked
+     entities on this counter instead of re-polling them every pass. *)
+  mutable gen : int;
 }
 
 let create ~words =
@@ -10,7 +15,10 @@ let create ~words =
     data = Array.make words 0;
     valid = Array.make words false;
     count = Array.make words 0;
+    gen = 0;
   }
+
+let generation t = t.gen
 
 let words t = Array.length t.data
 
@@ -33,7 +41,32 @@ let read t ~addr ~width =
         if t.count.(k) = 0 then t.valid.(k) <- false
       end
     done;
+    t.gen <- t.gen + 1;
     Some values
+  end
+
+(* Allocation-free variant of [read] for the pre-decoded fast path: on
+   success copies the words into [dst] at [dst_pos] and performs exactly
+   the same consumer-count decrements; on failure (some word invalid)
+   touches nothing. *)
+let read_into t ~addr ~width ~dst ~dst_pos =
+  if not (in_range t addr width) then
+    invalid_arg (Printf.sprintf "Shared_mem.read: [%d, %d) out of range" addr (addr + width));
+  let ok = ref true in
+  for k = addr to addr + width - 1 do
+    if not t.valid.(k) then ok := false
+  done;
+  if not !ok then false
+  else begin
+    Array.blit t.data addr dst dst_pos width;
+    for k = addr to addr + width - 1 do
+      if t.count.(k) > 0 then begin
+        t.count.(k) <- t.count.(k) - 1;
+        if t.count.(k) = 0 then t.valid.(k) <- false
+      end
+    done;
+    t.gen <- t.gen + 1;
+    true
   end
 
 let peek t ~addr ~width =
@@ -65,6 +98,32 @@ let write t ~addr ~values ~count =
         t.valid.(k) <- true;
         t.count.(k) <- count)
       values;
+    t.gen <- t.gen + 1;
+    true
+  end
+
+(* Allocation-free variant of [write]: takes the values from [src] at
+   [src_pos] with the same blocking rule (a counted word still awaiting
+   consumers must not be overwritten) and the same per-word data/valid/
+   count update order. *)
+let write_from t ~addr ~src ~src_pos ~width ~count =
+  if not (in_range t addr width) then
+    invalid_arg (Printf.sprintf "Shared_mem.write: [%d, %d) out of range" addr (addr + width));
+  if count < 0 then invalid_arg "Shared_mem.write: negative count";
+  let blocked = ref false in
+  if count > 0 then
+    for k = addr to addr + width - 1 do
+      if t.valid.(k) && t.count.(k) > 0 then blocked := true
+    done;
+  if !blocked then false
+  else begin
+    for i = 0 to width - 1 do
+      let k = addr + i in
+      t.data.(k) <- src.(src_pos + i);
+      t.valid.(k) <- true;
+      t.count.(k) <- count
+    done;
+    t.gen <- t.gen + 1;
     true
   end
 

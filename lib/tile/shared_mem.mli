@@ -18,6 +18,11 @@ val read : t -> addr:int -> width:int -> int array option
 (** [None] if any requested word is invalid (reader must block). On
     success, counted words are consumed as described above. *)
 
+val read_into : t -> addr:int -> width:int -> dst:int array -> dst_pos:int -> bool
+(** Allocation-free {!read} for the fast path: on success copies the
+    words into [dst] at [dst_pos] and consumes counted words exactly as
+    {!read} does; on failure ([false]) touches nothing. *)
+
 val peek : t -> addr:int -> width:int -> int array option
 (** Like {!read} but never consumes (host-side inspection). *)
 
@@ -25,8 +30,20 @@ val write : t -> addr:int -> values:int array -> count:int -> bool
 (** [false] if any target word is still valid with pending consumers
     (writer must block). [count] applies to every written word. *)
 
+val write_from :
+  t -> addr:int -> src:int array -> src_pos:int -> width:int -> count:int -> bool
+(** Allocation-free {!write} for the fast path: takes the [width] values
+    from [src] at [src_pos] with the same blocking rule and per-word
+    update order as {!write}. *)
+
 val host_write : t -> addr:int -> values:int array -> unit
 (** Unconditional sticky write (network input injection). *)
 
 val valid : t -> addr:int -> bool
 val pending_count : t -> addr:int -> int
+
+val generation : t -> int
+(** Monotonic counter bumped by every successful (state-mutating) read or
+    write. A blocked access retried while the generation is unchanged is
+    guaranteed to block again with no side effects, so schedulers may park
+    blocked entities until it moves. *)

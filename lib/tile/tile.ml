@@ -32,6 +32,10 @@ type t = {
   outgoing : outgoing Queue.t;
   mutable tcu_pc : int;
   mutable tcu_halted : bool;
+  (* Lazily built pre-decoded streams (one per core) for the fast path;
+     decoding is pure over the immutable code arrays, so the cache never
+     needs invalidation. *)
+  mutable fast_code : Fastexec.code array option;
 }
 
 let create (config : Puma_hwmodel.Config.t) ~index ~energy ~core_code ~tile_code =
@@ -55,12 +59,14 @@ let create (config : Puma_hwmodel.Config.t) ~index ~energy ~core_code ~tile_code
     outgoing = Queue.create ();
     tcu_pc = 0;
     tcu_halted = false;
+    fast_code = None;
   }
 
 let index t = t.index
 let num_cores t = Array.length t.cores
 let core t i = t.cores.(i)
 let shared_mem t = t.smem
+let smem_generation t = Shared_mem.generation t.smem
 let recv_buffer t = t.recv
 
 let mem_iface t : Core.mem_iface =
@@ -71,6 +77,18 @@ let mem_iface t : Core.mem_iface =
   }
 
 let step_core t i = Core.step t.cores.(i) ~mem:(mem_iface t)
+
+let fast_code t =
+  match t.fast_code with
+  | Some fc -> fc
+  | None ->
+      let fc = Array.map (fun core -> Fastexec.decode core t.smem) t.cores in
+      t.fast_code <- Some fc;
+      fc
+
+(* Fast-path core step: returns a [Fastexec] return code (>= 0 retired
+   cycles, negative blocked/halted). *)
+let step_core_fast t fc i = Fastexec.step t.cores.(i) fc.(i)
 
 let step_tcu t ~now =
   if t.tcu_halted then Halted

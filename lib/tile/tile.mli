@@ -35,11 +35,26 @@ val index : t -> int
 val num_cores : t -> int
 val core : t -> int -> Puma_arch.Core.t
 val shared_mem : t -> Shared_mem.t
+
+val smem_generation : t -> int
+(** Shortcut for [Shared_mem.generation (shared_mem t)]; the fast
+    scheduler parks blocked cores and a blocked TCU on this counter. *)
+
 val recv_buffer : t -> Recv_buffer.t
 
 val step_core : t -> int -> Puma_arch.Core.step_result
 (** Advance core [i] by one instruction (wired to this tile's shared
     memory). *)
+
+val fast_code : t -> Fastexec.code array
+(** The pre-decoded instruction streams, one per core, built lazily on
+    first use and cached (decoding is pure over the immutable code
+    arrays). *)
+
+val step_core_fast : t -> Fastexec.code array -> int -> int
+(** [step_core_fast t (fast_code t) i] advances core [i] through its
+    pre-decoded stream; returns a {!Fastexec} return code ([>= 0] retired
+    cycles, negative blocked/halted). Bit-identical to {!step_core}. *)
 
 val step_tcu : t -> now:int -> step_result
 (** Advance the tile control unit by one send/receive instruction.

@@ -15,3 +15,12 @@ let max_code t = (1 lsl t.resolution) - 1
 let convert t v =
   let code = Float.to_int (Float.round v) in
   if code < 0 then 0 else if code > max_code t then max_code t else code
+
+(* Per-slice shift-and-add weights for a bit-sliced stack: slice [s]'s
+   digitized column sum contributes with weight 2^(offset of slice s),
+   where the least-significant slice holds [low_bits] bits and every
+   higher slice holds [bits_per_cell]. Precomputed once per stack so the
+   MVM loop never recomputes shifts. *)
+let shift_weights ~num_slices ~low_bits ~bits_per_cell =
+  Array.init num_slices (fun s ->
+      if s = 0 then 1 else 1 lsl (low_bits + ((s - 1) * bits_per_cell)))

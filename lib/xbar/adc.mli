@@ -19,3 +19,9 @@ val max_code : t -> int
 
 val convert : t -> float -> int
 (** Round to nearest integer code, clamped to [0, max_code]. *)
+
+val shift_weights :
+  num_slices:int -> low_bits:int -> bits_per_cell:int -> int array
+(** Per-slice shift-and-add weights (2^slice-offset) for digitizing a
+    bit-sliced stack whose least-significant slice holds [low_bits] bits;
+    precomputed once per stack so the MVM loop never recomputes shifts. *)

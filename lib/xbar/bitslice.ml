@@ -11,6 +11,17 @@ type t = {
   adc : Adc.t;
   (* Quantized signed raw weights, row-major; the exact-path operand. *)
   logical : int array;
+  (* [logical] mirrored into an unboxed float array for the fast exact
+     kernel: with |w| <= Fixed.max_raw < 2^15 and inputs bounded by
+     [x_limit], every product and partial sum is an integer below 2^53,
+     so the float dot product is exactly the integer one (float64
+     represents all such integers exactly). *)
+  logical_f : float array;
+  (* Largest input magnitude for which the float kernel is provably
+     exact: dim * (Fixed.max_raw * x_limit) <= 2^52. Inputs beyond it
+     (possible only in hand-written programs that [Set] oversized
+     immediates) fall back to the integer loop. *)
+  x_limit : int;
   (* Range scaling: stored conductances hold [raw lsl scale_shift] so the
      matrix spans the full device range (maximizing noise margin, as in
      ISAAC's per-matrix mapping); the digital shift-and-add undoes it. *)
@@ -24,6 +35,14 @@ type t = {
   (* Per-polarity slice stacks, only materialized when noisy. *)
   pos : Crossbar.t array;
   neg : Crossbar.t array;
+  (* Precomputed shift-and-add weight per slice (2^slice-offset). *)
+  slice_weight : int array;
+  (* Reusable float scratch for the noisy MVM path (input vector and the
+     per-slice positive/negative column sums), so a steady-state inference
+     allocates only its digital output vector. *)
+  nf_x : float array;
+  nf_p : float array;
+  nf_n : float array;
 }
 
 let magnitude_parts raw =
@@ -173,6 +192,8 @@ let create (c : Puma_hwmodel.Config.t) ?rng ?fault (m : Tensor.mat) =
     noisy;
     adc = Adc.for_config c;
     logical;
+    logical_f = Array.map Float.of_int logical;
+    x_limit = (1 lsl 52) / (Fixed.max_raw * dim);
     scale_shift;
     perms;
     adc_offset =
@@ -181,6 +202,10 @@ let create (c : Puma_hwmodel.Config.t) ?rng ?fault (m : Tensor.mat) =
       | None -> [||]);
     pos;
     neg;
+    slice_weight = Adc.shift_weights ~num_slices ~low_bits ~bits_per_cell:bits;
+    nf_x = Array.make dim 0.0;
+    nf_p = Array.make dim 0.0;
+    nf_n = Array.make dim 0.0;
   }
 
 let dim t = t.dim
@@ -197,6 +222,62 @@ let mvm_raw_exact t x =
       done;
       !acc)
 
+(* Scratch-buffer exact kernel for the pre-decoded fast path: computes
+   exactly the same integer results as [mvm_raw_exact] (exact arithmetic,
+   so accumulation order and number representation are immaterial)
+   without the per-call output allocation or bounds checks.
+
+   The hot variant runs in float64 over the mirrored [logical_f] weights:
+   every product and partial sum stays an integer below 2^53 (see
+   [x_limit]), where float64 arithmetic is exact, and it avoids the boxed
+   tagged-int multiply sequence. Four independent accumulators break the
+   serial add dependency chain, which is what actually bounds the scalar
+   integer loop. Inputs beyond [x_limit] take the integer loop instead. *)
+let mvm_raw_exact_into t x out =
+  assert (Array.length x = t.dim && Array.length out = t.dim);
+  let d = t.dim in
+  let xf = t.nf_x in
+  let limit = t.x_limit in
+  let exactable = ref true in
+  for j = 0 to d - 1 do
+    let v = Array.unsafe_get x j in
+    if v > limit || v < -limit then exactable := false;
+    Array.unsafe_set xf j (Float.of_int v)
+  done;
+  if !exactable then begin
+    let wf = t.logical_f in
+    for i = 0 to d - 1 do
+      let base = i * d in
+      let a0 = ref 0.0 and a1 = ref 0.0 and a2 = ref 0.0 and a3 = ref 0.0 in
+      let j = ref 0 in
+      while !j + 3 < d do
+        let k = base + !j in
+        a0 := !a0 +. (Array.unsafe_get wf k *. Array.unsafe_get xf !j);
+        a1 := !a1 +. (Array.unsafe_get wf (k + 1) *. Array.unsafe_get xf (!j + 1));
+        a2 := !a2 +. (Array.unsafe_get wf (k + 2) *. Array.unsafe_get xf (!j + 2));
+        a3 := !a3 +. (Array.unsafe_get wf (k + 3) *. Array.unsafe_get xf (!j + 3));
+        j := !j + 4
+      done;
+      let acc = ref (!a0 +. !a1 +. !a2 +. !a3) in
+      while !j < d do
+        acc := !acc +. (Array.unsafe_get wf (base + !j) *. Array.unsafe_get xf !j);
+        incr j
+      done;
+      Array.unsafe_set out i (Float.to_int !acc)
+    done
+  end
+  else begin
+    let w = t.logical in
+    for i = 0 to d - 1 do
+      let base = i * d in
+      let acc = ref 0 in
+      for j = 0 to d - 1 do
+        acc := !acc + (Array.unsafe_get w (base + j) * Array.unsafe_get x j)
+      done;
+      Array.unsafe_set out i !acc
+    done
+  end
+
 (* Noisy-device path. The conversion chain itself is conservatively
    provisioned to be lossless (Section 3.2.1's no-accuracy-compromise
    claim; the [Dac]/[Adc] models and the exact-path equality test document
@@ -208,20 +289,24 @@ let mvm_raw_exact t x =
    present. *)
 let mvm_raw_noisy t x =
   let d = t.dim in
-  let xf =
-    match t.perms with
-    | None -> Array.map Float.of_int x
-    | Some p ->
-        let a = Array.make d 0.0 in
-        Array.iteri (fun j v -> a.(p.Fault.in_perm.(j)) <- Float.of_int v) x;
-        a
-  in
+  let xf = t.nf_x in
+  (* The permutation covers every index, so the scatter (re)writes the
+     whole scratch vector — no stale data survives between calls. *)
+  (match t.perms with
+  | None ->
+      for j = 0 to d - 1 do
+        xf.(j) <- Float.of_int x.(j)
+      done
+  | Some p ->
+      for j = 0 to d - 1 do
+        xf.(p.Fault.in_perm.(j)) <- Float.of_int x.(j)
+      done);
+  let accp = t.nf_p and accn = t.nf_n in
   let out = Array.make d 0 in
   for s = 0 to t.num_slices - 1 do
-    let shift = if s = 0 then 0 else t.low_bits + ((s - 1) * t.bits_per_cell) in
-    let sw = 1 lsl shift in
-    let accp = Crossbar.mvm_acc t.pos.(s) xf in
-    let accn = Crossbar.mvm_acc t.neg.(s) xf in
+    let sw = t.slice_weight.(s) in
+    Crossbar.mvm_acc_into t.pos.(s) xf accp;
+    Crossbar.mvm_acc_into t.neg.(s) xf accn;
     let off = if t.adc_offset = [||] then [||] else t.adc_offset.(s) in
     for i = 0 to d - 1 do
       let phys =

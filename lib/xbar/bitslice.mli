@@ -48,6 +48,13 @@ val mvm_raw : t -> int array -> int array
     (2 * frac_bits fraction bits), as produced by the shift-and-add
     reduction; rescale with {!Puma_util.Fixed.of_acc}. *)
 
+val mvm_raw_exact_into : t -> int array -> int array -> unit
+(** Exact-path kernel writing the raw accumulators into the caller's
+    scratch buffer (length [dim]): identical integer arithmetic to the
+    exact {!mvm_raw} path without the per-call allocation. Only
+    meaningful when [not (is_noisy t)] (it ignores the physical
+    stacks). *)
+
 val mvm_fixed : t -> Puma_util.Fixed.t array -> Puma_util.Fixed.t array
 (** Full 16-bit MVM returning rescaled fixed-point outputs. *)
 

@@ -29,6 +29,23 @@ let mvm_acc t x =
       done;
       !acc)
 
+(* Scratch-buffer variant of [mvm_acc]: writes the row sums into [out]
+   instead of allocating. The accumulation order (ascending [j] per row)
+   is identical to [mvm_acc], so the float results are bit-identical. *)
+let mvm_acc_into t x out =
+  assert (Array.length x = t.dim && Array.length out = t.dim);
+  let d = t.dim in
+  let cells = t.cells in
+  for i = 0 to d - 1 do
+    let base = i * d in
+    let acc = ref 0.0 in
+    for j = 0 to d - 1 do
+      acc :=
+        !acc +. (Array.unsafe_get cells (base + j) *. Array.unsafe_get x j)
+    done;
+    Array.unsafe_set out i !acc
+  done
+
 let mvm_acc_binary t bits =
   assert (Array.length bits = t.dim);
   Array.init t.dim (fun i ->

@@ -28,6 +28,12 @@ val mvm_acc : t -> float array -> float array
 (** [mvm_acc t x] is the vector of column sums [sum_j level(i,j) * x(j)]
     for an arbitrary analog input [x] (length [dim]). *)
 
+val mvm_acc_into : t -> float array -> float array -> unit
+(** [mvm_acc_into t x out] writes {!mvm_acc}[ t x] into the caller's
+    scratch buffer [out] (length [dim]) with the identical accumulation
+    order, so the float results are bit-identical while the hot loop
+    allocates nothing. *)
+
 val mvm_acc_binary : t -> int array -> float array
 (** Specialized bit-plane pass: inputs are 0/1 (one DAC bit-plane of the
     streamed input). *)

@@ -6,6 +6,10 @@ type t = {
   mutable stack : Bitslice.t;
   xbar_in : int array;
   xbar_out : int array;
+  (* Reusable buffers for [execute_fast]: the stride-permuted input view
+     and the raw accumulator, so steady-state MVMs allocate nothing. *)
+  in_scratch : int array;
+  acc_scratch : int array;
 }
 
 let create (c : Puma_hwmodel.Config.t) =
@@ -15,6 +19,8 @@ let create (c : Puma_hwmodel.Config.t) =
     stack = Bitslice.create c zero;
     xbar_in = Array.make c.mvmu_dim 0;
     xbar_out = Array.make c.mvmu_dim 0;
+    in_scratch = Array.make c.mvmu_dim 0;
+    acc_scratch = Array.make c.mvmu_dim 0;
   }
 
 let program t ?rng ?fault m =
@@ -35,6 +41,31 @@ let execute t ~stride =
   for i = 0 to d - 1 do
     t.xbar_out.(i) <- Fixed.to_raw (Fixed.of_acc acc.(i))
   done
+
+(* Allocation-free [execute] used by the pre-decoded fast path. Exact
+   stacks route through the integer kernel into the reused accumulator;
+   noisy stacks (write noise or faults present) fall back to [execute],
+   whose float chain both paths share, keeping results bit-identical. *)
+let execute_fast t ~stride =
+  if Bitslice.is_noisy t.stack then execute t ~stride
+  else begin
+    let d = dim t in
+    let input =
+      if stride = 0 then t.xbar_in
+      else begin
+        let s = t.in_scratch in
+        for j = 0 to d - 1 do
+          s.(j) <- t.xbar_in.((j + stride) mod d)
+        done;
+        s
+      end
+    in
+    let acc = t.acc_scratch in
+    Bitslice.mvm_raw_exact_into t.stack input acc;
+    for i = 0 to d - 1 do
+      t.xbar_out.(i) <- Fixed.to_raw (Fixed.of_acc acc.(i))
+    done
+  end
 
 let mvm t x =
   assert (Array.length x = dim t);

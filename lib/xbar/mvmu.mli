@@ -40,5 +40,11 @@ val execute : t -> stride:int -> unit
 (** Perform the analog MVM: reads XbarIn (rotated by [stride]), writes
     XbarOut. *)
 
+val execute_fast : t -> stride:int -> unit
+(** Allocation-free {!execute} for the pre-decoded fast path: exact
+    stacks run the integer kernel through reused scratch buffers; noisy
+    stacks (write noise or faults) fall back to {!execute}. Results are
+    bit-identical to {!execute} in both cases. *)
+
 val mvm : t -> Puma_util.Fixed.t array -> Puma_util.Fixed.t array
 (** Convenience: load XbarIn, execute with no shuffling, read XbarOut. *)

@@ -1,0 +1,17 @@
+(* Shared helper for tests that spawn the real [puma_cli.exe]: resolves
+   the executable relative to the test binary (works under both
+   `dune runtest` and `dune exec`, whose working directories differ) and
+   runs it with stdout/stderr discarded, returning the exit status.
+
+   This module is deliberately not listed in the [names] of the test
+   stanza, so dune links it into every test binary in this directory. *)
+
+let exe =
+  Filename.concat
+    (Filename.concat (Filename.dirname Sys.executable_name) "..")
+    (Filename.concat "bin" "puma_cli.exe")
+
+let run args =
+  Sys.command
+    (Filename.quote_command exe args ~stdout:Filename.null
+       ~stderr:Filename.null)

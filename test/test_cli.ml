@@ -1,19 +1,11 @@
 (* End-to-end exit-status regression for puma_cli: every subcommand that
    resolves a model name must exit nonzero (status 1, via the shared
    [exit_err]) when the name is unknown, and cheap known-good invocations
-   must exit 0. Runs the real executable; the dune rule depends on it. *)
+   must exit 0. Runs the real executable via the shared {!Cli_runner}
+   helper; the dune rule depends on it. *)
 
-(* Resolve relative to this test binary (works under both `dune runtest`
-   and `dune exec`, whose working directories differ). *)
-let exe =
-  Filename.concat
-    (Filename.concat (Filename.dirname Sys.executable_name) "..")
-    (Filename.concat "bin" "puma_cli.exe")
-
-let run args =
-  Sys.command
-    (Filename.quote_command exe args ~stdout:Filename.null
-       ~stderr:Filename.null)
+let exe = Cli_runner.exe
+let run = Cli_runner.run
 
 let test_exe_present () =
   Alcotest.(check bool) ("exists: " ^ exe) true (Sys.file_exists exe)
@@ -57,6 +49,35 @@ let test_known_good_exit_0 () =
       ];
     ]
 
+(* The fast-path toggle must be accepted — and the run must succeed —
+   in both polarities on every simulating subcommand (results are
+   bit-identical either way; test_fastpath.ml pins that at the library
+   level, this pins the flag plumbing). Small dims keep these quick. *)
+let fastflag_cases =
+  List.concat_map
+    (fun fast_flag ->
+      [
+        [ "run"; "mlp"; "--dim"; "32"; fast_flag ];
+        [
+          "batch"; "--model"; "mlp"; "--dim"; "32"; "--batch-size"; "2";
+          "--domains"; "1"; fast_flag;
+        ];
+        [ "profile"; "mlp"; "--dim"; "32"; "--runs"; "1"; fast_flag ];
+        [
+          "faults"; "--model"; "mlp"; "--dim"; "32"; "--rate"; "0.001";
+          "--seeds"; "1"; "--samples"; "1"; "--domains"; "1"; fast_flag;
+        ];
+      ])
+    [ "--fast"; "--no-fast" ]
+
+let test_fast_flag_exit_0 () =
+  List.iter
+    (fun args ->
+      Alcotest.(check int)
+        ("exit 0: " ^ String.concat " " args)
+        0 (run args))
+    fastflag_cases
+
 let test_bad_flag_values_exit_nonzero () =
   List.iter
     (fun args ->
@@ -80,6 +101,8 @@ let () =
           Alcotest.test_case "unknown model -> 1" `Quick
             test_unknown_model_exits_1;
           Alcotest.test_case "known good -> 0" `Quick test_known_good_exit_0;
+          Alcotest.test_case "--fast/--no-fast -> 0" `Quick
+            test_fast_flag_exit_0;
           Alcotest.test_case "bad flags -> nonzero" `Quick
             test_bad_flag_values_exit_nonzero;
         ] );
