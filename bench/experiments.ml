@@ -915,12 +915,7 @@ let run_sim_throughput () =
       ("rnn", Network.build_graph Models.mini_rnn);
       ("lenet5", Network.build_graph Models.lenet5);
       ("bm", Models.mini_bm);
-      (* mini_rbm is absent: at mvmu_dim 64 its compiled program trips a
-         pre-existing inter-tile FIFO reordering bug (a 64-wide receive
-         meets a 52-word packet) in the reference loop and the fast loop
-         alike; see ROADMAP open items. It runs — and is covered by the
-         fast/reference differential — at the sweetspot dim in
-         test/test_fastpath.ml. *)
+      ("rbm", Models.mini_rbm);
     ]
   in
   let zoo = if quick then [ List.nth zoo 0; List.nth zoo 2 ] else zoo in

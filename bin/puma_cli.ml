@@ -414,6 +414,31 @@ let analyze_cmd =
             "Assume every program input lies in [LO, HI] (floats; default \
              the full fixed-point range). Implies $(b,--ranges).")
   in
+  let order =
+    Arg.(
+      value & flag
+      & info [ "order" ]
+          ~doc:
+            "Run the happens-before concurrency analysis: report shared-\
+             memory races (E-RACE) and same-FIFO sends the NoC can reorder \
+             (E-FIFO-ORDER).")
+  in
+  let dump_hb =
+    Arg.(
+      value & flag
+      & info [ "dump-hb" ]
+          ~doc:
+            "With the happens-before analysis, also dump the cross-stream \
+             ordering edges as I-ORDER infos (implies $(b,--order)).")
+  in
+  let no_repair =
+    Arg.(
+      value & flag
+      & info [ "no-repair" ]
+          ~doc:
+            "Compile zoo models without the ordering repair pass, so \
+             E-FIFO-ORDER hazards in the raw generated code stay visible.")
+  in
   let budget =
     Arg.(
       value
@@ -424,13 +449,14 @@ let analyze_cmd =
              program reports an error code not allowlisted for it in FILE, \
              or more warnings than FILE budgets for it.")
   in
-  let run targets all json ranges resources dump_ranges input_range budget dim
-      =
+  let run targets all json ranges resources dump_ranges input_range order
+      dump_hb no_repair budget dim =
     let config = config_of_dim dim in
     let targets = if all then List.map fst mini_models else targets in
     if targets = [] then
       exit_err "nothing to analyze (name a model or program file, or use --all)";
     let ranges = ranges || dump_ranges || input_range <> None in
+    let order = order || dump_hb in
     let input_range =
       Option.map
         (fun (lo, hi) ->
@@ -440,7 +466,7 @@ let analyze_cmd =
     in
     let analyze ?layer_of program =
       Puma_analysis.Analyze.program ~ranges ~resources ?input_range
-        ~dump_ranges ?layer_of program
+        ~dump_ranges ~order ~dump_hb ?layer_of program
     in
     let report_of target =
       (* A compiled program file analyzes as-is (even if broken); anything
@@ -449,7 +475,11 @@ let analyze_cmd =
       let from_model m =
         (* Gate off so a failing program still yields its full report. *)
         let options =
-          { Compile.default_options with analysis_gate = false }
+          {
+            Compile.default_options with
+            analysis_gate = false;
+            repair_ordering = not no_repair;
+          }
         in
         let r = Compile.compile ~options config (graph_of m) in
         analyze ~layer_of:r.Compile.layer_of r.Compile.program
@@ -498,10 +528,10 @@ let analyze_cmd =
     (Cmd.info "analyze"
        ~doc:
          "Run the static analyzers (dataflow, deadlock, value ranges, \
-          resource estimates) on compiled programs")
+          resource estimates, concurrency ordering) on compiled programs")
     Term.(
       const run $ targets $ all $ json $ ranges $ resources $ dump_ranges
-      $ input_range $ budget $ dim_arg)
+      $ input_range $ order $ dump_hb $ no_repair $ budget $ dim_arg)
 
 (* ---- batch ---- *)
 

@@ -51,7 +51,9 @@ let attribute_imem ~layer_of (p : Program.t) diags =
     diags
 
 let program ?(ranges = false) ?(resources = false) ?input_range
-    ?(dump_ranges = false) ?layer_of (p : Program.t) =
+    ?(dump_ranges = false) ?(order = false) ?(dump_hb = false) ?layer_of
+    (p : Program.t) =
+  let order = order || dump_hb in
   let structural = Check.diagnose p in
   let structural =
     match layer_of with
@@ -85,6 +87,7 @@ let program ?(ranges = false) ?(resources = false) ?input_range
       structural
       @ List.concat (List.rev !regflow)
       @ Smem.analyze p @ Channel.analyze p
+      @ (if order then Order.analyze ~dump_hb p else [])
       @ (if ranges then Range.analyze ?input_range ~dump_ranges p else [])
       @ (if resources then Resource.report (Resource.estimate p) else [])
     end

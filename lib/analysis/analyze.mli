@@ -25,13 +25,18 @@ val program :
   ?resources:bool ->
   ?input_range:int * int ->
   ?dump_ranges:bool ->
+  ?order:bool ->
+  ?dump_hb:bool ->
   ?layer_of:Resource.layer_of ->
   Puma_isa.Program.t ->
   report
 (** [ranges] (default off) runs {!Range}; [input_range] and
     [dump_ranges] are forwarded to it. [resources] (default off) runs
     {!Resource.report} and, when [layer_of] provenance is supplied,
-    appends a per-layer byte attribution to every [E-IMEM] message. *)
+    appends a per-layer byte attribution to every [E-IMEM] message.
+    [order] (default off) runs the happens-before pass ({!Order}:
+    [E-RACE] / [E-FIFO-ORDER]); [dump_hb] additionally dumps the HB
+    graph as [I-ORDER] infos (implies [order]). *)
 
 val has_errors : report -> bool
 

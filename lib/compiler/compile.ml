@@ -4,6 +4,7 @@ type options = {
   wrap_batch_loop : bool;
   optimize_graph : bool;
   analysis_gate : bool;
+  repair_ordering : bool;
 }
 
 let default_options =
@@ -13,12 +14,14 @@ let default_options =
     wrap_batch_loop = false;
     optimize_graph = true;
     analysis_gate = true;
+    repair_ordering = true;
   }
 
 type result = {
   program : Puma_isa.Program.t;
   analysis : Puma_analysis.Analyze.report;
   layer_of : Puma_analysis.Resource.layer_of;
+  sequencing_stats : Sequencing.stats;
   codegen_stats : Codegen.stats;
   optimize_stats : Optimize.stats option;
   edge_stats : Partition.edge_stats;
@@ -49,6 +52,12 @@ let compile ?(options = default_options) (config : Puma_hwmodel.Config.t) g =
   let program, codegen_stats, provenance =
     Codegen.generate config ~wrap_batch_loop:options.wrap_batch_loop g lg part
       sched
+  in
+  (* Serialize channels the happens-before analysis flags as reorderable
+     before the analysis gate sees the program (a no-op on clean code). *)
+  let program, provenance, sequencing_stats =
+    if options.repair_ordering then Sequencing.repair program ~provenance
+    else (program, provenance, Sequencing.no_repair)
   in
   (* Layer labels per source-graph node: MVMs carry their matrix name,
      I/O nodes their binding name; glue ops (concat, slices, elementwise
@@ -110,8 +119,8 @@ let compile ?(options = default_options) (config : Puma_hwmodel.Config.t) g =
       0 (Lgraph.nodes lg)
   in
   let analysis =
-    Puma_analysis.Analyze.program ~ranges:true ~resources:true ~layer_of
-      program
+    Puma_analysis.Analyze.program ~ranges:true ~resources:true ~order:true
+      ~layer_of program
   in
   if options.analysis_gate && Puma_analysis.Analyze.has_errors analysis then
     failwith
@@ -122,6 +131,7 @@ let compile ?(options = default_options) (config : Puma_hwmodel.Config.t) g =
     program;
     analysis;
     layer_of;
+    sequencing_stats;
     codegen_stats;
     optimize_stats;
     edge_stats = Partition.edge_stats part lg;

@@ -17,6 +17,12 @@ type options = {
       (** Fail compilation when the post-codegen static analysis reports
           errors (default on). Turning it off still runs the analysis and
           records the report in {!result.analysis}. *)
+  repair_ordering : bool;
+      (** Run the {!Sequencing} repair pass on channels the
+          happens-before analysis flags as reorderable (default on). A
+          program with no flagged channel passes through byte-identical.
+          Turning it off leaves any [E-FIFO-ORDER] for the analysis
+          gate. *)
 }
 
 val default_options : options
@@ -32,6 +38,9 @@ type result = {
       (** Instruction-level provenance: the source-graph layer label
           (matrix / binding name, glue ops inheriting their nearest
           labelled predecessor's) each emitted instruction belongs to. *)
+  sequencing_stats : Sequencing.stats;
+      (** What the ordering repair pass did ({!Sequencing.no_repair}
+          when [repair_ordering] is off or nothing was flagged). *)
   codegen_stats : Codegen.stats;
   optimize_stats : Optimize.stats option;
   edge_stats : Partition.edge_stats;

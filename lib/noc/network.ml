@@ -3,7 +3,13 @@ type message = {
   dst_tile : int;
   fifo_id : int;
   payload : int array;
+  mutable seq : int;
+      (* Per-(src, dst, fifo) injection sequence number, assigned by
+         [send]; [confirm_delivered] checks deliveries stay in this
+         order. *)
 }
+
+exception Reordered of string
 
 (* A simple pairing of arrival time and message kept in a leftist-style
    binary heap keyed by arrival time. *)
@@ -66,6 +72,11 @@ type t = {
   (* Wormhole routing preserves ordering between a given source and
      destination: a later message never overtakes an earlier one. *)
   last_arrival : (int * int, int) Hashtbl.t;
+  (* Sequence counters per (src, dst, fifo): next seq to assign on
+     injection and next seq expected at delivery. Never reset, so the
+     order contract holds across multiple runs on the same network. *)
+  next_seq : (int * int * int, int) Hashtbl.t;
+  next_delivery : (int * int * int, int) Hashtbl.t;
 }
 
 let create (c : Puma_hwmodel.Config.t) ~energy ~num_tiles =
@@ -75,6 +86,8 @@ let create (c : Puma_hwmodel.Config.t) ~energy ~num_tiles =
     energy;
     pending = Heap.create ();
     last_arrival = Hashtbl.create 32;
+    next_seq = Hashtbl.create 32;
+    next_delivery = Hashtbl.create 32;
   }
 
 (* Tiles beyond [tiles_per_node] live on further nodes; messages between
@@ -96,6 +109,10 @@ let transit_cycles t ~src ~dst ~words =
   else base
 
 let send t ~now msg =
+  let chan = (msg.src_tile, msg.dst_tile, msg.fifo_id) in
+  let seq = Option.value ~default:0 (Hashtbl.find_opt t.next_seq chan) in
+  Hashtbl.replace t.next_seq chan (seq + 1);
+  msg.seq <- seq;
   let words = Array.length msg.payload in
   let arrival =
     now + transit_cycles t ~src:msg.src_tile ~dst:msg.dst_tile ~words
@@ -119,5 +136,20 @@ let pop_arrived t ~now =
   | Some _ | None -> None
 
 let requeue t ~now msg = Heap.push t.pending (now + 1) msg
+
+let confirm_delivered t msg =
+  let chan = (msg.src_tile, msg.dst_tile, msg.fifo_id) in
+  let expected =
+    Option.value ~default:0 (Hashtbl.find_opt t.next_delivery chan)
+  in
+  if msg.seq <> expected then
+    raise
+      (Reordered
+         (Printf.sprintf
+            "Network: fifo %d packet from tile %d delivered to tile %d out of \
+             injection order (seq %d, expected %d)"
+            msg.fifo_id msg.src_tile msg.dst_tile msg.seq expected));
+  Hashtbl.replace t.next_delivery chan (expected + 1)
+
 let in_flight t = Heap.size t.pending
 let next_arrival t = Option.map fst (Heap.peek t.pending)

@@ -12,7 +12,22 @@ type message = {
   dst_tile : int;
   fifo_id : int;
   payload : int array;
+  mutable seq : int;
+      (** Per-(src, dst, fifo) injection sequence number. Assigned by
+          {!send} (any caller-supplied value is overwritten); used by
+          {!confirm_delivered} to assert deliveries follow injection
+          order on each channel. *)
 }
+
+exception Reordered of string
+(** Raised by {!confirm_delivered} when a packet lands out of injection
+    order on its (src, dst, fifo) channel — the situation the static
+    [E-FIFO-ORDER] analysis exists to rule out. Ordering is only at risk
+    when {!requeue} fires: a requeued packet can fall behind a later
+    one whose arrival time ties or follows within the retry window. The
+    happens-before analyzer guarantees repaired/clean programs keep
+    per-channel in-flight pressure at or below [fifo_depth], so delivery
+    never requeues and this exception never fires for them. *)
 
 type t
 
@@ -42,6 +57,15 @@ val pop_arrived : t -> now:int -> message option
 val requeue : t -> now:int -> message -> unit
 (** Destination FIFO full: retry delivery one cycle later (models
     backpressure at the ejection port). *)
+
+val confirm_delivered : t -> message -> unit
+(** Record a successful delivery (the destination accepted the packet)
+    and assert it is the next one in injection order for its
+    (src, dst, fifo) channel; raises {!Reordered} otherwise. Pure
+    bookkeeping — no timing or energy effect — so calling it from a run
+    loop cannot perturb simulation results. Counters persist for the
+    lifetime of the network, so the contract holds across repeated runs
+    of the same node. *)
 
 val in_flight : t -> int
 val next_arrival : t -> int option

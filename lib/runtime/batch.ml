@@ -110,6 +110,26 @@ let greedy_makespan ~domains costs =
     costs;
   Array.fold_left max 0 loads
 
+(* Per-request dynamic energy from event-count deltas: every charge
+   during [Node.run] goes through [Energy.add] with an integer event
+   count, so (count_after - count_before) * per_event_pj summed in fixed
+   category order is exact and independent of how much energy the worker
+   node had already accumulated. Subtracting cumulative [total_pj]
+   snapshots instead rounds differently at different magnitudes, making a
+   request's reported energy depend on which pool worker served it and in
+   what order. *)
+let energy_counts node =
+  Array.of_list
+    (List.map (Energy.count (Node.energy node)) Energy.all_categories)
+
+let energy_delta_pj config ~before ~after =
+  List.fold_left
+    (fun (i, acc) cat ->
+      let events = after.(i) - before.(i) in
+      (i + 1, acc +. (Float.of_int events *. Energy.per_event_pj config cat)))
+    (0, 0.0) Energy.all_categories
+  |> snd
+
 (* Stall-cycle deltas between two profiler snapshots, nonzero only. *)
 let stall_delta (before : Profile.totals) (after : Profile.totals) =
   List.filter_map
@@ -160,7 +180,7 @@ let run ?domains ?noise_seed ?faults ?fast ?(profile = false)
       (fun (node, prof) i ->
         let r = requests.(i) in
         let c0 = Node.cycles node in
-        let e0 = Energy.total_pj (Node.energy node) in
+        let e0 = energy_counts node in
         let t0 = Option.map Profile.totals prof in
         let outputs = Node.run node ~inputs:r.inputs in
         let stalls, busy =
@@ -175,7 +195,9 @@ let run ?domains ?noise_seed ?faults ?fast ?(profile = false)
             index = r.index;
             outputs;
             cycles = Node.cycles node - c0;
-            dynamic_energy_pj = Energy.total_pj (Node.energy node) -. e0;
+            dynamic_energy_pj =
+              energy_delta_pj program.config ~before:e0
+                ~after:(energy_counts node);
             stalls;
           },
           busy ))

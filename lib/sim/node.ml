@@ -250,6 +250,7 @@ let run_reference t ~start =
                   dst_tile = o.target_tile;
                   fifo_id = o.fifo_id;
                   payload = o.payload;
+                  seq = 0 (* assigned by Network.send *);
                 };
               progress := true;
               drain ()
@@ -268,6 +269,7 @@ let run_reference t ~start =
             Tile.deliver t.tiles.(msg.Network.dst_tile) ~fifo:msg.fifo_id
               ~src_tile:msg.src_tile ~payload:msg.payload
           then begin
+            Network.confirm_delivered t.network msg;
             progress := true;
             match t.probe with
             | Some p ->
@@ -377,6 +379,7 @@ let run_fast t ~start =
                   dst_tile = o.target_tile;
                   fifo_id = o.fifo_id;
                   payload = o.payload;
+                  seq = 0 (* assigned by Network.send *);
                 };
               progress := true;
               drain ()
@@ -391,6 +394,7 @@ let run_fast t ~start =
             Tile.deliver t.tiles.(msg.Network.dst_tile) ~fifo:msg.fifo_id
               ~src_tile:msg.src_tile ~payload:msg.payload
           then begin
+            Network.confirm_delivered t.network msg;
             delivered.(msg.Network.dst_tile) <-
               delivered.(msg.Network.dst_tile) + 1;
             progress := true

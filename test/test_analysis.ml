@@ -304,6 +304,105 @@ let test_mutation_channel_width () =
   Alcotest.(check bool) "width mismatch" true
     (List.mem "E-CHANW" (error_codes r))
 
+let test_mutation_smem_race () =
+  (* Redirect one core's store onto a word another core of the same tile
+     already writes: the word becomes multi-writer across streams with no
+     happens-before edge between the writes. *)
+  let p = clone (compile ~dim:32 (mlp ())).Compile.program in
+  let seeded = ref false in
+  Array.iter
+    (fun (tp : Program.tile_program) ->
+      if not !seeded then begin
+        let first_store = ref None in
+        Array.iteri
+          (fun c code ->
+            Array.iteri
+              (fun pc i ->
+                match (i, !first_store, !seeded) with
+                | Instr.Store { addr = Instr.Imm_addr a; _ }, None, false ->
+                    first_store := Some (c, a)
+                | Instr.Store ({ addr = Instr.Imm_addr _; _ } as s),
+                  Some (c0, a0), false
+                  when c <> c0 ->
+                    code.(pc) <- Instr.Store { s with addr = Instr.Imm_addr a0 };
+                    seeded := true
+                | _ -> ())
+              code)
+          tp.core_code
+      end)
+    p.Program.tiles;
+  Alcotest.(check bool) "seeded a cross-core write pair" true !seeded;
+  let r = Analyze.program ~order:true p in
+  Alcotest.(check bool) "race reported" true
+    (List.mem "E-RACE" (error_codes r))
+
+let test_mutation_fifo_order () =
+  (* Seed the rbm@dim64 crash shape on a fresh fifo: a burst of
+     width-mismatched sends on one channel, all in flight together
+     (pressure 4 > depth 2), with the matching receives afterwards. *)
+  let p = clone (compile ~dim:32 (mlp ())).Compile.program in
+  let depth = p.Program.config.Config.fifo_depth in
+  Alcotest.(check int) "test assumes 2-deep fifos" 2 depth;
+  let smem_words = p.Program.config.Config.smem_bytes / 2 in
+  let g = ref 0 in
+  Program.iter_instrs p (fun i ->
+      match i with
+      | Instr.Send { fifo_id; _ } | Instr.Receive { fifo_id; _ } ->
+          g := max !g (fifo_id + 1)
+      | _ -> ());
+  let g = !g in
+  let edge = ref None in
+  Array.iter
+    (fun (tp : Program.tile_program) ->
+      Array.iter
+        (fun i ->
+          match i with
+          | Instr.Send { target; _ } when !edge = None ->
+              edge := Some (tp.tile_index, target)
+          | _ -> ())
+        tp.tile_code)
+    p.Program.tiles;
+  let a, b =
+    match !edge with
+    | Some e -> e
+    | None -> Alcotest.fail "mlp at dim 32 should span tiles"
+  in
+  let widths = [| 2; 1; 2; 1 |] in
+  let sends =
+    Array.map
+      (fun w ->
+        Instr.Send
+          { mem_addr = smem_words - 8; fifo_id = g; target = b; vec_width = w })
+      widths
+  in
+  let recvs =
+    Array.mapi
+      (fun k w ->
+        Instr.Receive
+          {
+            mem_addr = smem_words - 8 + (2 * k);
+            fifo_id = g;
+            count = 0;
+            vec_width = w;
+          })
+      widths
+  in
+  let ta = p.Program.tiles.(a) and tb = p.Program.tiles.(b) in
+  p.Program.tiles.(a) <-
+    { ta with Program.tile_code = Array.append sends ta.tile_code };
+  p.Program.tiles.(b) <-
+    { tb with Program.tile_code = Array.append recvs tb.tile_code };
+  let r = Analyze.program ~order:true p in
+  Alcotest.(check bool) "reorder hazard reported" true
+    (List.mem "E-FIFO-ORDER" (error_codes r));
+  let msg =
+    List.find
+      (fun (d : Diag.t) -> d.code = "E-FIFO-ORDER")
+      r.Analyze.diags
+  in
+  Alcotest.(check bool) "message names the receive FIFO depth" true
+    (Puma_util.Strings.contains ~sub:"2-deep" msg.Diag.message)
+
 (* ---- Synthetic unit tests for the passes ---- *)
 
 let layout = Operand.layout (config 32)
@@ -484,6 +583,8 @@ let () =
           Alcotest.test_case "skew count" `Quick test_mutation_skew_count;
           Alcotest.test_case "clobber def" `Quick test_mutation_clobber_def;
           Alcotest.test_case "deadlock" `Quick test_mutation_deadlock;
+          Alcotest.test_case "smem race" `Quick test_mutation_smem_race;
+          Alcotest.test_case "fifo order" `Quick test_mutation_fifo_order;
           Alcotest.test_case "channel width" `Quick
             test_mutation_channel_width;
         ] );

@@ -54,6 +54,7 @@ let msg src dst words =
     dst_tile = dst;
     fifo_id = 0;
     payload = Array.make words 1;
+    seq = 0;
   }
 
 let test_network_delivery_time () =
