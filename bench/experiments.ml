@@ -1026,6 +1026,154 @@ let run_sim_throughput () =
   close_out oc;
   [ t ]
 
+(* ------------------------------------------------------------------ *)
+(* Serving tail latency vs offered load                                *)
+(* ------------------------------------------------------------------ *)
+
+(* The serving runtime's signature curve: sweep a Poisson open stream
+   from light load past the fleet's capacity and record the latency
+   percentiles at each point. Below the knee, p99 tracks the service
+   time; past it the queues grow without bound over the run and tail
+   latency climbs with the backlog — asserted in-bench (the run is
+   deterministic, so the assertion is stable). Writes
+   BENCH_serve_latency.json; PUMA_BENCH_QUICK=1 runs a reduced sweep. *)
+let run_serve_latency () =
+  let module Json = Puma_util.Json in
+  let module Engine = Puma_serve.Engine in
+  let quick = bench_quick () in
+  let r = Compile.compile mini_config (Network.build_graph Models.mini_mlp) in
+  let fleet = [| Engine.model ~name:"mlp" r.Compile.program |] in
+  let nodes = 4 in
+  let serve_config = { Engine.nodes; max_batch = 4; input_seed = 7 } in
+  let hz = mini_config.Config.frequency_ghz *. 1.0e9 in
+  (* Capacity from the mean service time of a probe batch served with no
+     queueing (arrivals spaced far beyond the service time). *)
+  let mean_service_cycles =
+    let probe =
+      Array.init 4 (fun i -> { Engine.cycle = i * 50_000_000; model = 0 })
+    in
+    let report = Engine.run serve_config fleet probe in
+    fi
+      (Array.fold_left
+         (fun acc (s : Engine.served) -> acc + s.Engine.cycles)
+         0 report.Engine.served)
+    /. fi (Array.length report.Engine.served)
+  in
+  let capacity_rps = fi nodes *. hz /. mean_service_cycles in
+  let loads =
+    if quick then [ 0.5; 1.3; 1.8 ]
+    else [ 0.2; 0.4; 0.6; 0.8; 1.0; 1.2; 1.5; 2.0 ]
+  in
+  let target_arrivals = if quick then 40 else 120 in
+  let t =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "Serving tail latency vs offered load (mini MLP, %d nodes, \
+            capacity %.0f inf/s)"
+           nodes capacity_rps)
+      ~headers:
+        [
+          "load"; "rate (inf/s)"; "arrivals"; "p50 ms"; "p99 ms"; "p99.9 ms";
+          "util"; "queue avg";
+        ]
+  in
+  let points =
+    List.map
+      (fun load ->
+        let rate = load *. capacity_rps in
+        let duration_s = fi target_arrivals /. rate in
+        let workload =
+          Engine.synthesize ~models:1
+            (Puma_serve.Arrival.Poisson { rate_rps = rate })
+            ~seed:13 ~duration_s
+            ~frequency_ghz:mini_config.Config.frequency_ghz
+        in
+        let report = Engine.run serve_config fleet workload in
+        let m = report.Engine.models.(0) in
+        Table.add_row t
+          [
+            Printf.sprintf "%.1f" load;
+            Printf.sprintf "%.0f" rate;
+            string_of_int report.Engine.arrivals;
+            Printf.sprintf "%.4f" m.Engine.p50_ms;
+            Printf.sprintf "%.4f" m.Engine.p99_ms;
+            Printf.sprintf "%.4f" m.Engine.p999_ms;
+            Table.fmt_pct report.Engine.utilization;
+            Printf.sprintf "%.1f" m.Engine.mean_queue_depth;
+          ];
+        (load, report, m))
+      loads
+  in
+  (* The knee: past saturation, every further load step must push p99
+     strictly higher (queues only deepen); and any saturated point must
+     be worse than every sub-knee point. *)
+  let saturated =
+    List.filter_map
+      (fun (load, _, (m : Engine.model_stats)) ->
+        if load >= 1.05 then Some (load, m.Engine.p99_ms) else None)
+      points
+  in
+  let rec check_increasing = function
+    | (l1, p1) :: ((l2, p2) :: _ as rest) ->
+        if p2 <= p1 then
+          failwith
+            (Printf.sprintf
+               "p99 not increasing past the knee: %.4f ms at load %.1f vs \
+                %.4f ms at load %.1f"
+               p1 l1 p2 l2);
+        check_increasing rest
+    | _ -> ()
+  in
+  check_increasing saturated;
+  List.iter
+    (fun (load, _, (m : Engine.model_stats)) ->
+      if load <= 0.8 then
+        List.iter
+          (fun (_, sat_p99) ->
+            if sat_p99 <= m.Engine.p99_ms then
+              failwith
+                (Printf.sprintf
+                   "saturated p99 %.4f ms not above sub-knee p99 %.4f ms \
+                    (load %.1f)"
+                   sat_p99 m.Engine.p99_ms load))
+          saturated)
+    points;
+  let doc =
+    Json.Obj
+      [
+        ("mvmu_dim", Json.Int mini_config.Config.mvmu_dim);
+        ("quick", Json.Bool quick);
+        ("nodes", Json.Int nodes);
+        ("max_batch", Json.Int serve_config.Engine.max_batch);
+        ("mean_service_cycles", Json.Float mean_service_cycles);
+        ("capacity_rps", Json.Float capacity_rps);
+        ( "points",
+          Json.List
+            (List.map
+               (fun (load, (report : Engine.report), (m : Engine.model_stats)) ->
+                 Json.Obj
+                   [
+                     ("load", Json.Float load);
+                     ("rate_rps", Json.Float (load *. capacity_rps));
+                     ("arrivals", Json.Int report.Engine.arrivals);
+                     ("p50_ms", Json.Float m.Engine.p50_ms);
+                     ("p99_ms", Json.Float m.Engine.p99_ms);
+                     ("p999_ms", Json.Float m.Engine.p999_ms);
+                     ("utilization", Json.Float report.Engine.utilization);
+                     ( "mean_queue_depth",
+                       Json.Float m.Engine.mean_queue_depth );
+                     ("makespan_cycles", Json.Int report.Engine.makespan_cycles);
+                   ])
+               points) );
+      ]
+  in
+  let oc = open_out "BENCH_serve_latency.json" in
+  output_string oc (Json.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  [ t ]
+
 (* Kernel-level micro-profiles of the MVM hot path: the allocating exact
    kernel vs the scratch-buffer kernel, and the full MVMU execute vs its
    fast variant (with and without stride shuffling). *)
@@ -1104,4 +1252,5 @@ let all_experiments =
     ("fault_tolerance", run_fault_tolerance);
     ("sim_throughput", run_sim_throughput);
     ("sim_hotspots", run_sim_hotspots);
+    ("serve_latency", run_serve_latency);
   ]

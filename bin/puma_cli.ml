@@ -625,6 +625,282 @@ let batch_cmd =
       const run $ model $ batch_size $ domains $ seed $ profile $ dim_arg
       $ fast_arg)
 
+(* ---- serve ---- *)
+
+module Serve_engine = Puma_serve.Engine
+module Serve_trace = Puma_serve.Trace
+module Serve_arrival = Puma_serve.Arrival
+
+(* Serving-budget gate (serve --budget FILE). The baseline maps model
+   names to latency ceilings; a model absent from the file is
+   unconstrained. *)
+let check_serve_budget path (report : Serve_engine.report) =
+  let module Json = Puma_util.Json in
+  let budget =
+    match
+      let ic = open_in_bin path in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      Json.parse s
+    with
+    | Ok j -> j
+    | Error e -> exit_err (Printf.sprintf "%s: %s" path e)
+    | exception Sys_error e -> exit_err e
+  in
+  let violations = ref [] in
+  let violation fmt =
+    Printf.ksprintf (fun s -> violations := s :: !violations) fmt
+  in
+  Array.iter
+    (fun (m : Serve_engine.model_stats) ->
+      match
+        Option.bind (Json.member "models" budget) (Json.member m.name)
+      with
+      | None -> ()
+      | Some entry ->
+          let ceiling key got =
+            match Option.bind (Json.member key entry) Json.to_float with
+            | Some limit when got > limit ->
+                violation "%s: %s %.4f exceeds the budgeted %.4f" m.name key
+                  got limit
+            | _ -> ()
+          in
+          ceiling "max_p50_ms" m.p50_ms;
+          ceiling "max_p99_ms" m.p99_ms;
+          ceiling "max_rejection_rate" m.rejection_rate)
+    report.models;
+  match List.rev !violations with
+  | [] ->
+      Printf.eprintf "serving budget %s: pass (%d model%s)\n%!" path
+        (Array.length report.models)
+        (if Array.length report.models = 1 then "" else "s");
+      true
+  | vs ->
+      List.iter (fun v -> Printf.eprintf "budget violation: %s\n" v) vs;
+      Printf.eprintf "serving budget %s: FAIL (%d violation%s)\n%!" path
+        (List.length vs)
+        (if List.length vs = 1 then "" else "s");
+      false
+
+let serve_cmd =
+  let models_arg =
+    Arg.(
+      value
+      & opt (list string) [ "mlp" ]
+      & info [ "models" ] ~docv:"NAME[=PRIO],..."
+          ~doc:
+            "Comma-separated co-resident models (zoo names or description \
+             files), each with an optional dispatch priority (higher wins; \
+             default 0).")
+  in
+  let arrival =
+    Arg.(
+      value
+      & opt string "poisson:2000"
+      & info [ "arrival" ] ~docv:"SPEC"
+          ~doc:
+            "Arrival process: $(b,poisson:RATE), \
+             $(b,bursty:BASE,BURST,PERIOD[,DUTY]) or \
+             $(b,diurnal:MEAN,AMPLITUDE,PERIOD) (rates in requests per \
+             virtual second).")
+  in
+  let duration =
+    Arg.(
+      value & opt float 0.01
+      & info [ "duration" ] ~docv:"SECONDS"
+          ~doc:"Virtual seconds of open-stream traffic to synthesize.")
+  in
+  let nodes =
+    Arg.(value & opt int 4 & info [ "nodes" ] ~doc:"Simulated fleet size.")
+  in
+  let max_batch =
+    Arg.(
+      value & opt int 4
+      & info [ "max-batch" ]
+          ~doc:"Largest same-model batch a free node dispatches.")
+  in
+  let queue_limit =
+    Arg.(
+      value & opt int 0
+      & info [ "queue-limit" ]
+          ~doc:
+            "Per-model admission bound on waiting requests (0 = unbounded).")
+  in
+  let slo =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "slo-ms" ] ~docv:"MS"
+          ~doc:"Per-model latency target, virtual milliseconds (reporting).")
+  in
+  let seed =
+    Arg.(
+      value & opt int 11
+      & info [ "seed" ] ~doc:"Arrival-process seed (times and model mix).")
+  in
+  let input_seed =
+    Arg.(
+      value & opt int 7
+      & info [ "input-seed" ] ~doc:"Root seed of every request's inputs.")
+  in
+  let domains =
+    Arg.(
+      value & opt int 0
+      & info [ "domains" ]
+          ~doc:
+            "Worker domains for the simulation phase; 0 picks the host's \
+             recommended count. The report is identical for any value.")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit the report as one JSON document.")
+  in
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:"Record the run (workload + every decision) to a trace file.")
+  in
+  let replay =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "replay" ] ~docv:"FILE"
+          ~doc:
+            "Replay a recorded trace: rerun its workload on a freshly \
+             compiled fleet and fail unless every decision reproduces bit \
+             for bit. Overrides the workload and fleet options.")
+  in
+  let budget =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "budget" ] ~docv:"FILE"
+          ~doc:
+            "Gate against a serving-budget baseline: fail if any model's \
+             p50/p99 latency or rejection rate exceeds its ceiling in FILE.")
+  in
+  let compile_fleet ~config specs =
+    let cache =
+      Puma_runtime.Program_cache.create ~capacity:(List.length specs) ()
+    in
+    List.map
+      (fun (name, priority, queue_limit, slo_ms) ->
+        match find_mini name with
+        | Error e -> exit_err e
+        | Ok m ->
+            let r =
+              Puma_runtime.Program_cache.get cache ~config ~key:name (fun () ->
+                  graph_of m)
+            in
+            Serve_engine.model ~priority ~queue_limit ?slo_ms ~name
+              r.Puma_compiler.Compile.program)
+      specs
+    |> Array.of_list
+  in
+  let finish ~json ~budget report =
+    if json then
+      print_endline (Puma_util.Json.to_string (Serve_engine.to_json report))
+    else begin
+      Puma_util.Table.print (Serve_engine.report_table report);
+      Format.printf "%a@." Serve_engine.pp_report report
+    end;
+    match budget with
+    | Some path -> if not (check_serve_budget path report) then exit 1
+    | None -> ()
+  in
+  let run models arrival duration nodes max_batch queue_limit slo seed
+      input_seed domains json trace replay budget dim fast =
+    let domains =
+      if domains = 0 then Puma_util.Pool.default_domains ()
+      else if domains < 0 then exit_err "domains must be positive"
+      else domains
+    in
+    match replay with
+    | Some path -> (
+        match Serve_trace.load path with
+        | Error e -> exit_err e
+        | Ok t ->
+            let fleet =
+              compile_fleet ~config:(config_of_dim t.Serve_trace.mvmu_dim)
+                (Array.to_list t.Serve_trace.models
+                |> List.map (fun (m : Serve_trace.model_spec) ->
+                       (m.name, m.priority, m.queue_limit, m.slo_ms)))
+            in
+            let report =
+              Serve_engine.run ~domains ~fast (Serve_trace.config_of t) fleet
+                (Serve_trace.workload_of t)
+            in
+            (match Serve_trace.check t report with
+            | Ok () ->
+                Printf.eprintf "replay %s: %d requests reproduced exactly\n%!"
+                  path
+                  (Array.length t.Serve_trace.requests)
+            | Error e -> exit_err (Printf.sprintf "replay diverged: %s" e));
+            finish ~json ~budget report)
+    | None ->
+        if models = [] then exit_err "name at least one model (--models)";
+        if nodes <= 0 then exit_err "nodes must be positive";
+        if max_batch <= 0 then exit_err "max batch must be positive";
+        if queue_limit < 0 then exit_err "queue limit must be non-negative";
+        if duration <= 0.0 then exit_err "duration must be positive";
+        let specs =
+          List.map
+            (fun entry ->
+              match String.index_opt entry '=' with
+              | None -> (entry, 0, queue_limit, slo)
+              | Some i -> (
+                  let name = String.sub entry 0 i in
+                  let prio =
+                    String.sub entry (i + 1) (String.length entry - i - 1)
+                  in
+                  match int_of_string_opt prio with
+                  | Some p -> (name, p, queue_limit, slo)
+                  | None ->
+                      exit_err
+                        (Printf.sprintf "bad priority %S for model %S" prio
+                           name)))
+            models
+        in
+        let process =
+          match Serve_arrival.parse arrival with
+          | Ok p -> p
+          | Error e -> exit_err (Printf.sprintf "bad --arrival: %s" e)
+        in
+        let config = config_of_dim dim in
+        let fleet = compile_fleet ~config specs in
+        let workload =
+          Serve_engine.synthesize ~models:(Array.length fleet) process ~seed
+            ~duration_s:duration ~frequency_ghz:config.Config.frequency_ghz
+        in
+        let serve_config =
+          { Serve_engine.nodes; max_batch; input_seed }
+        in
+        let report = Serve_engine.run ~domains ~fast serve_config fleet workload in
+        (match trace with
+        | Some path ->
+            Serve_trace.save path
+              (Serve_trace.of_report
+                 ~arrival_spec:(Serve_arrival.to_spec process) fleet report);
+            Printf.eprintf "wrote trace to %s\n%!" path
+        | None -> ());
+        finish ~json ~budget report
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve an open request stream against a fleet of nodes with \
+          co-resident models: deterministic virtual-clock scheduling, \
+          continuous batching, admission control, tail-latency and energy \
+          reporting, record/replay")
+    Term.(
+      const run $ models_arg $ arrival $ duration $ nodes $ max_batch
+      $ queue_limit $ slo $ seed $ input_seed $ domains $ json $ trace
+      $ replay $ budget $ dim_arg $ fast_arg)
+
 (* ---- profile ---- *)
 
 let profile_cmd =
@@ -985,6 +1261,7 @@ let () =
             exec_cmd;
             run_cmd;
             batch_cmd;
+            serve_cmd;
             faults_cmd;
             profile_cmd;
             estimate_cmd;

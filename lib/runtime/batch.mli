@@ -78,6 +78,22 @@ val random_requests :
 (** [batch] requests with uniform random inputs in [-0.8, 0.8] drawn from
     {!request_seed}-derived generators (the CLI / bench workload). *)
 
+val warmed_node :
+  ?noise_seed:int ->
+  ?faults:Puma_xbar.Fault.plan ->
+  ?fast:bool ->
+  Puma_isa.Program.t ->
+  Puma_sim.Node.t
+(** A fresh node that has already served one throwaway all-zero inference,
+    so every subsequent request sees identical steady state (the warmed-
+    node pattern behind the determinism guarantee; also used by the
+    serving runtime's fleet). The warm-up's cycles and energy stay on the
+    node's counters — callers measure per-request deltas. *)
+
+val tiles_used : Puma_isa.Program.t -> int
+(** Tiles with a nonempty instruction stream — the occupied-tile count
+    that static (leakage/clock) energy is billed for. *)
+
 val run :
   ?domains:int ->
   ?noise_seed:int ->

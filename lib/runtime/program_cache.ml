@@ -1,14 +1,54 @@
 type key = { descriptor : string; config : Puma_hwmodel.Config.t }
 
-type t = {
-  lock : Mutex.t;
-  table : (key, Puma_compiler.Compile.result) Hashtbl.t;
-  mutable hits : int;
-  mutable misses : int;
+type entry = {
+  result : Puma_compiler.Compile.result;
+  mutable last_use : int;  (* logical clock of the most recent lookup *)
 }
 
-let create () =
-  { lock = Mutex.create (); table = Hashtbl.create 8; hits = 0; misses = 0 }
+type t = {
+  lock : Mutex.t;
+  table : (key, entry) Hashtbl.t;
+  capacity : int option;
+  mutable clock : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+let create ?capacity () =
+  (match capacity with
+  | Some c when c < 1 ->
+      invalid_arg "Program_cache.create: capacity must be >= 1"
+  | _ -> ());
+  {
+    lock = Mutex.create ();
+    table = Hashtbl.create 8;
+    capacity;
+    clock = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+  }
+
+let touch t entry =
+  t.clock <- t.clock + 1;
+  entry.last_use <- t.clock
+
+(* Evict the least-recently-used entry. Linear scan: caches hold a
+   handful of models, so an index structure would be all overhead. *)
+let evict_lru t =
+  let victim = ref None in
+  Hashtbl.iter
+    (fun k e ->
+      match !victim with
+      | Some (_, oldest) when oldest.last_use <= e.last_use -> ()
+      | _ -> victim := Some (k, e))
+    t.table;
+  match !victim with
+  | Some (k, _) ->
+      Hashtbl.remove t.table k;
+      t.evictions <- t.evictions + 1
+  | None -> ()
 
 let get t ~config ~key build =
   let k = { descriptor = key; config } in
@@ -17,13 +57,19 @@ let get t ~config ~key build =
     ~finally:(fun () -> Mutex.unlock t.lock)
     (fun () ->
       match Hashtbl.find_opt t.table k with
-      | Some r ->
+      | Some e ->
           t.hits <- t.hits + 1;
-          r
+          touch t e;
+          e.result
       | None ->
           t.misses <- t.misses + 1;
           let r = Puma_compiler.Compile.compile config (build ()) in
-          Hashtbl.replace t.table k r;
+          (match t.capacity with
+          | Some cap when Hashtbl.length t.table >= cap -> evict_lru t
+          | _ -> ());
+          let e = { result = r; last_use = 0 } in
+          touch t e;
+          Hashtbl.replace t.table k e;
           r)
 
 let get_network t ~config net =
@@ -35,6 +81,10 @@ let with_lock t f =
   Mutex.lock t.lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
+let mem t ~config ~key =
+  with_lock t (fun () -> Hashtbl.mem t.table { descriptor = key; config })
+
 let length t = with_lock t (fun () -> Hashtbl.length t.table)
 let hits t = with_lock t (fun () -> t.hits)
 let misses t = with_lock t (fun () -> t.misses)
+let evictions t = with_lock t (fun () -> t.evictions)

@@ -5,11 +5,20 @@
     descriptor and the hardware configuration. Safe to share across
     domains: lookups and fills are serialized by a mutex (compilation
     itself also runs under the lock, so concurrent requests for the same
-    model compile it exactly once). *)
+    model compile it exactly once).
+
+    A multi-tenant serving fleet keeps many models resident but not
+    unboundedly many: {!create}'s [capacity] turns the cache into a
+    size-bounded LRU — a fill past the bound evicts the entry whose last
+    lookup is oldest. Hits return the physically identical cached result
+    (no copy), so two lookups of a resident model share one compiled
+    program. *)
 
 type t
 
-val create : unit -> t
+val create : ?capacity:int -> unit -> t
+(** Unbounded by default. With [capacity] (>= 1), holds at most that many
+    compiled programs, evicting least-recently-used on overflow. *)
 
 val get :
   t ->
@@ -31,9 +40,16 @@ val get_network :
     ({!Puma_nn.Model_desc.to_string}), so two structurally identical
     networks share one compilation regardless of how they were built. *)
 
+val mem : t -> config:Puma_hwmodel.Config.t -> key:string -> bool
+(** Whether [(key, config)] is currently resident (does not touch the LRU
+    clock). *)
+
 val length : t -> int
 (** Distinct programs held. *)
 
 val hits : t -> int
 val misses : t -> int
 (** Lookup counters (a hit returns a memoized program). *)
+
+val evictions : t -> int
+(** Entries dropped by the LRU bound. Always 0 for an unbounded cache. *)

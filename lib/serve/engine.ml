@@ -1,0 +1,667 @@
+module Batch = Puma_runtime.Batch
+module Node = Puma_sim.Node
+module Energy = Puma_hwmodel.Energy
+module Pool = Puma_util.Pool
+module Rng = Puma_util.Rng
+module Stats = Puma_util.Stats
+module Json = Puma_util.Json
+module Table = Puma_util.Table
+module Program = Puma_isa.Program
+
+type model = {
+  name : string;
+  program : Program.t;
+  priority : int;
+  queue_limit : int;
+  slo_ms : float option;
+}
+
+let model ?(priority = 0) ?(queue_limit = 0) ?slo_ms ~name program =
+  if queue_limit < 0 then
+    invalid_arg "Engine.model: queue_limit must be nonnegative";
+  { name; program; priority; queue_limit; slo_ms }
+
+type config = { nodes : int; max_batch : int; input_seed : int }
+
+let default_config = { nodes = 4; max_batch = 4; input_seed = 7 }
+
+type arrival = { cycle : int; model : int }
+type workload = arrival array
+
+let cycle_of_s ~frequency_ghz s =
+  int_of_float (Float.round (s *. frequency_ghz *. 1e9))
+
+let synthesize ~models process ~seed ~duration_s ~frequency_ghz =
+  if models <= 0 then invalid_arg "Engine.synthesize: no models";
+  let ts = Arrival.times process ~seed ~duration_s in
+  (* Index -1 is outside the candidate streams Arrival.times consumes
+     (2k, 2k+1 for k >= 0), so assignment draws never collide with gap or
+     acceptance draws. *)
+  let assign = Rng.stream (Rng.create seed) (-1) in
+  Array.mapi
+    (fun k t ->
+      {
+        cycle = cycle_of_s ~frequency_ghz t;
+        model = (if models = 1 then 0 else Rng.int (Rng.stream assign k) models);
+      })
+    ts
+
+let model_input_seed ~input_seed ~model =
+  Batch.request_seed ~seed:input_seed ~index:model
+
+let validate_workload models (workload : workload) =
+  let nm = Array.length models in
+  if nm = 0 then invalid_arg "Engine: no models";
+  Array.iteri
+    (fun i a ->
+      if a.model < 0 || a.model >= nm then
+        invalid_arg
+          (Printf.sprintf "Engine: arrival %d names model %d of %d" i a.model
+             nm);
+      if a.cycle < 0 then
+        invalid_arg (Printf.sprintf "Engine: arrival %d at negative cycle" i);
+      if i > 0 && a.cycle < workload.(i - 1).cycle then
+        invalid_arg
+          (Printf.sprintf "Engine: workload not sorted at arrival %d" i))
+    workload
+
+(* Per-arrival index into its model's request stream. *)
+let model_request_indices models (workload : workload) =
+  let next = Array.make (Array.length models) 0 in
+  Array.map
+    (fun a ->
+      let r = next.(a.model) in
+      next.(a.model) <- r + 1;
+      r)
+    workload
+
+let model_counts models (workload : workload) =
+  let counts = Array.make (Array.length models) 0 in
+  Array.iter (fun a -> counts.(a.model) <- counts.(a.model) + 1) workload;
+  counts
+
+let requests_for config models workload m =
+  validate_workload models workload;
+  if m < 0 || m >= Array.length models then
+    invalid_arg "Engine.requests_for: model index out of range";
+  let counts = model_counts models workload in
+  Batch.random_requests models.(m).program ~batch:counts.(m)
+    ~seed:(model_input_seed ~input_seed:config.input_seed ~model:m)
+
+type cost = {
+  cycles : int;
+  energy_pj : float;
+  outputs : (string * float array) list;
+}
+
+type served = {
+  arrival : int;
+  model : int;
+  model_request : int;
+  arrival_cycle : int;
+  start_cycle : int;
+  finish_cycle : int;
+  node : int;
+  cycles : int;
+  energy_pj : float;
+  outputs : (string * float array) list;
+}
+
+type rejection = {
+  arrival : int;
+  model : int;
+  model_request : int;
+  arrival_cycle : int;
+  queue_depth : int;
+}
+
+type model_stats = {
+  name : string;
+  arrivals : int;
+  served : int;
+  rejected : int;
+  rejection_rate : float;
+  p50_ms : float;
+  p99_ms : float;
+  p999_ms : float;
+  mean_queue_depth : float;
+  max_queue_depth : int;
+  slo_ms : float option;
+  slo_attainment : float;
+  dynamic_energy_uj : float;
+  throughput_rps : float;
+}
+
+type report = {
+  nodes : int;
+  max_batch : int;
+  input_seed : int;
+  frequency_ghz : float;
+  arrivals : int;
+  served : served array;
+  rejections : rejection array;
+  makespan_cycles : int;
+  utilization : float;
+  models : model_stats array;
+  dynamic_energy_uj : float;
+  static_energy_uj : float;
+  total_energy_uj : float;
+  event_cycles : int array;
+}
+
+(* Completion events, keyed (cycle, schedule sequence number): a plain
+   binary min-heap; the sequence number makes the ordering total, so the
+   loop is deterministic even when several nodes finish on one cycle. *)
+module Heap = struct
+  type t = { mutable a : (int * int * int) array; mutable len : int }
+
+  let create () = { a = Array.make 16 (0, 0, 0); len = 0 }
+
+  let less (c1, s1, _) (c2, s2, _) = c1 < c2 || (c1 = c2 && s1 < s2)
+
+  let push h x =
+    if h.len = Array.length h.a then begin
+      let a = Array.make (2 * h.len) h.a.(0) in
+      Array.blit h.a 0 a 0 h.len;
+      h.a <- a
+    end;
+    h.a.(h.len) <- x;
+    h.len <- h.len + 1;
+    let i = ref (h.len - 1) in
+    while
+      !i > 0
+      &&
+      let p = (!i - 1) / 2 in
+      less h.a.(!i) h.a.(p)
+    do
+      let p = (!i - 1) / 2 in
+      let tmp = h.a.(p) in
+      h.a.(p) <- h.a.(!i);
+      h.a.(!i) <- tmp;
+      i := p
+    done
+
+  let peek h = if h.len = 0 then None else Some h.a.(0)
+
+  let pop h =
+    let top = h.a.(0) in
+    h.len <- h.len - 1;
+    h.a.(0) <- h.a.(h.len);
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let smallest = ref !i in
+      if l < h.len && less h.a.(l) h.a.(!smallest) then smallest := l;
+      if r < h.len && less h.a.(r) h.a.(!smallest) then smallest := r;
+      if !smallest = !i then continue := false
+      else begin
+        let tmp = h.a.(!smallest) in
+        h.a.(!smallest) <- h.a.(!i);
+        h.a.(!i) <- tmp;
+        i := !smallest
+      end
+    done;
+    top
+end
+
+let schedule (config : config) models (workload : workload) (costs : cost array) =
+  validate_workload models workload;
+  if config.nodes < 1 then invalid_arg "Engine.schedule: nodes must be >= 1";
+  if config.max_batch < 1 then
+    invalid_arg "Engine.schedule: max_batch must be >= 1";
+  let n = Array.length workload in
+  let nm = Array.length models in
+  if Array.length costs <> n then
+    invalid_arg "Engine.schedule: one cost per arrival";
+  Array.iteri
+    (fun i (c : cost) ->
+      if c.cycles <= 0 then
+        invalid_arg
+          (Printf.sprintf "Engine.schedule: arrival %d has cost %d cycles" i
+             c.cycles))
+    costs;
+  let mreq = model_request_indices models workload in
+  (* Per-model waiting queues of arrival indices. *)
+  let queues = Array.init nm (fun _ -> Queue.create ()) in
+  let depth = Array.make nm 0 in
+  let depth_integral = Array.make nm 0.0 in
+  let max_depth = Array.make nm 0 in
+  let free = Array.make config.nodes true in
+  let heap = Heap.create () in
+  let comp_seq = ref 0 in
+  let busy_cycles = ref 0 in
+  let served_acc = ref [] in
+  let rejected_acc = ref [] in
+  let events = ref (Array.make 64 0) in
+  let n_events = ref 0 in
+  let now = ref 0 in
+  let advance t =
+    assert (t >= !now);
+    if t > !now then begin
+      let dt = Float.of_int (t - !now) in
+      for m = 0 to nm - 1 do
+        depth_integral.(m) <- depth_integral.(m) +. (Float.of_int depth.(m) *. dt)
+      done;
+      now := t
+    end;
+    if !n_events = Array.length !events then begin
+      let a = Array.make (2 * !n_events) 0 in
+      Array.blit !events 0 a 0 !n_events;
+      events := a
+    end;
+    !events.(!n_events) <- t;
+    incr n_events
+  in
+  let first_free () =
+    let rec go i =
+      if i = config.nodes then None else if free.(i) then Some i else go (i + 1)
+    in
+    go 0
+  in
+  (* Highest priority first; ties to the earliest waiting head, then the
+     lowest model index — FIFO within a priority class. *)
+  let pick_model () =
+    let best = ref (-1) in
+    for m = nm - 1 downto 0 do
+      if depth.(m) > 0 then
+        if !best < 0 then best := m
+        else begin
+          let b = !best in
+          let pm = models.(m).priority and pb = models.(b).priority in
+          if
+            pm > pb
+            || pm = pb
+               && workload.(Queue.peek queues.(m)).cycle
+                  < workload.(Queue.peek queues.(b)).cycle
+          then best := m
+        end
+    done;
+    if !best < 0 then None else Some !best
+  in
+  let rec dispatch () =
+    match first_free () with
+    | None -> ()
+    | Some nd -> (
+        match pick_model () with
+        | None -> ()
+        | Some m ->
+            free.(nd) <- false;
+            let start = !now in
+            let finish = ref start in
+            let b = ref 0 in
+            while !b < config.max_batch && depth.(m) > 0 do
+              let idx = Queue.pop queues.(m) in
+              depth.(m) <- depth.(m) - 1;
+              let c = costs.(idx) in
+              finish := !finish + c.cycles;
+              busy_cycles := !busy_cycles + c.cycles;
+              served_acc :=
+                {
+                  arrival = idx;
+                  model = m;
+                  model_request = mreq.(idx);
+                  arrival_cycle = workload.(idx).cycle;
+                  start_cycle = start;
+                  finish_cycle = !finish;
+                  node = nd;
+                  cycles = c.cycles;
+                  energy_pj = c.energy_pj;
+                  outputs = c.outputs;
+                }
+                :: !served_acc;
+              incr b
+            done;
+            Heap.push heap (!finish, !comp_seq, nd);
+            incr comp_seq;
+            dispatch ())
+  in
+  let do_completion () =
+    let c, _, nd = Heap.pop heap in
+    advance c;
+    free.(nd) <- true;
+    dispatch ()
+  in
+  let ai = ref 0 in
+  let do_arrival () =
+    let idx = !ai in
+    incr ai;
+    let a = workload.(idx) in
+    advance a.cycle;
+    let m = a.model in
+    let limit = models.(m).queue_limit in
+    if limit > 0 && depth.(m) >= limit then
+      rejected_acc :=
+        {
+          arrival = idx;
+          model = m;
+          model_request = mreq.(idx);
+          arrival_cycle = a.cycle;
+          queue_depth = depth.(m);
+        }
+        :: !rejected_acc
+    else begin
+      Queue.push idx queues.(m);
+      depth.(m) <- depth.(m) + 1;
+      if depth.(m) > max_depth.(m) then max_depth.(m) <- depth.(m);
+      dispatch ()
+    end
+  in
+  let continue = ref true in
+  while !continue do
+    match (Heap.peek heap, !ai < n) with
+    | None, false -> continue := false
+    (* Completions before arrivals on a shared cycle: a node that frees
+       exactly when a request lands serves it immediately. *)
+    | Some (c, _, _), true when c <= workload.(!ai).cycle -> do_completion ()
+    | Some _, false -> do_completion ()
+    | _, true -> do_arrival ()
+  done;
+  let by_arrival (a : served) (b : served) = compare a.arrival b.arrival in
+  let served = Array.of_list (List.sort by_arrival !served_acc) in
+  let rejections =
+    Array.of_list
+      (List.sort
+         (fun (a : rejection) b -> compare a.arrival b.arrival)
+         !rejected_acc)
+  in
+  let freq = models.(0).program.Program.config.frequency_ghz in
+  let makespan = !now in
+  let makespan_s = Float.of_int makespan /. (freq *. 1e9) in
+  let ms_of_cycles c = Float.of_int c /. (freq *. 1e6) in
+  let counts = model_counts models workload in
+  let dynamic_pj =
+    Array.fold_left (fun acc (s : served) -> acc +. s.energy_pj) 0.0 served
+  in
+  let stats =
+    Array.mapi
+      (fun m (mdl : model) ->
+        let lats =
+          Array.of_list
+            (List.rev
+               (Array.fold_left
+                  (fun acc (s : served) ->
+                    if s.model = m then
+                      ms_of_cycles (s.finish_cycle - s.arrival_cycle) :: acc
+                    else acc)
+                  [] served))
+        in
+        let served_n = Array.length lats in
+        let rejected_n =
+          Array.fold_left
+            (fun acc (r : rejection) -> if r.model = m then acc + 1 else acc)
+            0 rejections
+        in
+        let pct p = if served_n = 0 then 0.0 else Stats.percentile lats p in
+        let energy_pj =
+          Array.fold_left
+            (fun acc (s : served) ->
+              if s.model = m then acc +. s.energy_pj else acc)
+            0.0 served
+        in
+        {
+          name = mdl.name;
+          arrivals = counts.(m);
+          served = served_n;
+          rejected = rejected_n;
+          rejection_rate =
+            (if counts.(m) = 0 then 0.0
+             else Float.of_int rejected_n /. Float.of_int counts.(m));
+          p50_ms = pct 50.0;
+          p99_ms = pct 99.0;
+          p999_ms = pct 99.9;
+          mean_queue_depth =
+            (if makespan = 0 then 0.0
+             else depth_integral.(m) /. Float.of_int makespan);
+          max_queue_depth = max_depth.(m);
+          slo_ms = mdl.slo_ms;
+          slo_attainment =
+            (match mdl.slo_ms with
+            | None -> 1.0
+            | Some slo ->
+                if served_n = 0 then 1.0
+                else
+                  Float.of_int
+                    (Array.fold_left
+                       (fun acc l -> if l <= slo then acc + 1 else acc)
+                       0 lats)
+                  /. Float.of_int served_n);
+          dynamic_energy_uj = energy_pj /. 1.0e6;
+          throughput_rps =
+            (if makespan_s = 0.0 then 0.0
+             else Float.of_int served_n /. makespan_s);
+        })
+      models
+  in
+  let static_pj =
+    let tiles =
+      config.nodes
+      * Array.fold_left
+          (fun acc (m : model) -> acc + Batch.tiles_used m.program)
+          0 models
+    in
+    let ledger = Energy.create models.(0).program.Program.config in
+    Energy.add_static ledger ~tiles ~cycles:(Float.of_int makespan);
+    Energy.total_pj ledger
+  in
+  {
+    nodes = config.nodes;
+    max_batch = config.max_batch;
+    input_seed = config.input_seed;
+    frequency_ghz = freq;
+    arrivals = n;
+    served;
+    rejections;
+    makespan_cycles = makespan;
+    utilization =
+      (if makespan = 0 then 0.0
+       else
+         Float.of_int !busy_cycles /. Float.of_int (config.nodes * makespan));
+    models = stats;
+    dynamic_energy_uj = dynamic_pj /. 1.0e6;
+    static_energy_uj = static_pj /. 1.0e6;
+    total_energy_uj = (dynamic_pj +. static_pj) /. 1.0e6;
+    event_cycles = Array.sub !events 0 !n_events;
+  }
+
+(* Per-request dynamic energy from event-count deltas, exactly as
+   Puma_runtime.Batch computes it: integer counts make a request's energy
+   independent of whatever the worker node served before. *)
+let energy_counts node =
+  Array.of_list
+    (List.map (Energy.count (Node.energy node)) Energy.all_categories)
+
+let energy_delta_pj config ~before ~after =
+  List.fold_left
+    (fun (i, acc) cat ->
+      let events = after.(i) - before.(i) in
+      (i + 1, acc +. (Float.of_int events *. Energy.per_event_pj config cat)))
+    (0, 0.0) Energy.all_categories
+  |> snd
+
+let run ?domains ?fast (config : config) models (workload : workload) =
+  validate_workload models workload;
+  let n = Array.length workload in
+  let mreq = model_request_indices models workload in
+  let counts = model_counts models workload in
+  let requests =
+    Array.init (Array.length models) (fun m ->
+        Array.of_list
+          (Batch.random_requests models.(m).program ~batch:counts.(m)
+             ~seed:(model_input_seed ~input_seed:config.input_seed ~model:m)))
+  in
+  let costs =
+    if n = 0 then [||]
+    else
+      Pool.map_init ?domains ~n
+        ~init:(fun ~worker:_ ->
+          (* One warmed node per resident model, built lazily so a worker
+             only pays for the models it actually serves. *)
+          Array.map
+            (fun (m : model) -> lazy (Batch.warmed_node ?fast m.program))
+            models)
+        (fun lnodes i ->
+          let a = workload.(i) in
+          let node = Lazy.force lnodes.(a.model) in
+          let req : Batch.request = requests.(a.model).(mreq.(i)) in
+          let c0 = Node.cycles node in
+          let e0 = energy_counts node in
+          let outputs = Node.run node ~inputs:req.Batch.inputs in
+          {
+            cycles = Node.cycles node - c0;
+            energy_pj =
+              energy_delta_pj models.(a.model).program.Program.config
+                ~before:e0 ~after:(energy_counts node);
+            outputs;
+          })
+  in
+  schedule config models workload costs
+
+let latency_ms report (s : served) =
+  Float.of_int (s.finish_cycle - s.arrival_cycle)
+  /. (report.frequency_ghz *. 1e6)
+
+let report_table report =
+  let t =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "Serving report: %d arrivals on %d nodes (max batch %d)"
+           report.arrivals report.nodes report.max_batch)
+      ~headers:
+        [
+          "model"; "arrivals"; "served"; "rej%"; "p50 ms"; "p99 ms";
+          "p99.9 ms"; "queue avg/max"; "SLO"; "inf/s"; "energy uJ";
+        ]
+  in
+  Array.iter
+    (fun (m : model_stats) ->
+      Table.add_row t
+        [
+          m.name;
+          string_of_int m.arrivals;
+          string_of_int m.served;
+          Printf.sprintf "%.1f" (100.0 *. m.rejection_rate);
+          Printf.sprintf "%.4f" m.p50_ms;
+          Printf.sprintf "%.4f" m.p99_ms;
+          Printf.sprintf "%.4f" m.p999_ms;
+          Printf.sprintf "%.1f/%d" m.mean_queue_depth m.max_queue_depth;
+          (match m.slo_ms with
+          | None -> "-"
+          | Some _ -> Printf.sprintf "%.1f%%" (100.0 *. m.slo_attainment));
+          Printf.sprintf "%.0f" m.throughput_rps;
+          Printf.sprintf "%.3f" (m.dynamic_energy_uj);
+        ])
+    report.models;
+  t
+
+let pp_report fmt r =
+  let served = Array.length r.served and rej = Array.length r.rejections in
+  Format.fprintf fmt
+    "@[<v>arrivals            %d (%d served, %d rejected)@,\
+     fleet               %d nodes, max batch %d, utilization %.1f%%@,\
+     makespan            %d cycles (%.4f ms virtual)@,\
+     energy              %.3f uJ (%.3f dynamic + %.3f static)"
+    r.arrivals served rej r.nodes r.max_batch
+    (100.0 *. r.utilization)
+    r.makespan_cycles
+    (Float.of_int r.makespan_cycles /. (r.frequency_ghz *. 1e6))
+    r.total_energy_uj r.dynamic_energy_uj r.static_energy_uj;
+  Array.iter
+    (fun (m : model_stats) ->
+      Format.fprintf fmt
+        "@,%-10s p50/p99/p99.9  %.4f / %.4f / %.4f ms; rejected %.1f%%; \
+         queue %.1f avg / %d max%s"
+        m.name m.p50_ms m.p99_ms m.p999_ms
+        (100.0 *. m.rejection_rate)
+        m.mean_queue_depth m.max_queue_depth
+        (match m.slo_ms with
+        | None -> ""
+        | Some slo ->
+            Printf.sprintf "; SLO %.3f ms attained %.1f%%" slo
+              (100.0 *. m.slo_attainment)))
+    r.models;
+  Format.fprintf fmt "@]"
+
+let to_json r =
+  let model_json (m : model_stats) =
+    Json.Obj
+      [
+        ("name", Json.String m.name);
+        ("arrivals", Json.Int m.arrivals);
+        ("served", Json.Int m.served);
+        ("rejected", Json.Int m.rejected);
+        ("rejection_rate", Json.Float m.rejection_rate);
+        ("p50_ms", Json.Float m.p50_ms);
+        ("p99_ms", Json.Float m.p99_ms);
+        ("p999_ms", Json.Float m.p999_ms);
+        ("mean_queue_depth", Json.Float m.mean_queue_depth);
+        ("max_queue_depth", Json.Int m.max_queue_depth);
+        ( "slo_ms",
+          match m.slo_ms with None -> Json.Null | Some s -> Json.Float s );
+        ("slo_attainment", Json.Float m.slo_attainment);
+        ("dynamic_energy_uj", Json.Float m.dynamic_energy_uj);
+        ("throughput_rps", Json.Float m.throughput_rps);
+      ]
+  in
+  let served_json (s : served) =
+    Json.Obj
+      [
+        ("arrival", Json.Int s.arrival);
+        ("model", Json.Int s.model);
+        ("model_request", Json.Int s.model_request);
+        ("arrival_cycle", Json.Int s.arrival_cycle);
+        ("admitted", Json.Bool true);
+        ("start_cycle", Json.Int s.start_cycle);
+        ("finish_cycle", Json.Int s.finish_cycle);
+        ("node", Json.Int s.node);
+        ("cycles", Json.Int s.cycles);
+        ("energy_pj", Json.Float s.energy_pj);
+      ]
+  in
+  let rejection_json (j : rejection) =
+    Json.Obj
+      [
+        ("arrival", Json.Int j.arrival);
+        ("model", Json.Int j.model);
+        ("model_request", Json.Int j.model_request);
+        ("arrival_cycle", Json.Int j.arrival_cycle);
+        ("admitted", Json.Bool false);
+        ("queue_depth", Json.Int j.queue_depth);
+      ]
+  in
+  (* Served and rejected records interleave back into arrival order. *)
+  let requests =
+    let out = ref [] in
+    let si = ref 0 and ri = ref 0 in
+    let ns = Array.length r.served and nr = Array.length r.rejections in
+    while !si < ns || !ri < nr do
+      if
+        !ri = nr
+        || (!si < ns && r.served.(!si).arrival < r.rejections.(!ri).arrival)
+      then begin
+        out := served_json r.served.(!si) :: !out;
+        incr si
+      end
+      else begin
+        out := rejection_json r.rejections.(!ri) :: !out;
+        incr ri
+      end
+    done;
+    List.rev !out
+  in
+  Json.Obj
+    [
+      ("nodes", Json.Int r.nodes);
+      ("max_batch", Json.Int r.max_batch);
+      ("input_seed", Json.Int r.input_seed);
+      ("frequency_ghz", Json.Float r.frequency_ghz);
+      ("arrivals", Json.Int r.arrivals);
+      ("makespan_cycles", Json.Int r.makespan_cycles);
+      ("utilization", Json.Float r.utilization);
+      ("dynamic_energy_uj", Json.Float r.dynamic_energy_uj);
+      ("static_energy_uj", Json.Float r.static_energy_uj);
+      ("total_energy_uj", Json.Float r.total_energy_uj);
+      ("models", Json.List (Array.to_list (Array.map model_json r.models)));
+      ("requests", Json.List requests);
+    ]

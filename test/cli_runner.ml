@@ -15,3 +15,21 @@ let run args =
   Sys.command
     (Filename.quote_command exe args ~stdout:Filename.null
        ~stderr:Filename.null)
+
+(* Like {!run}, but hands back what the command printed on stderr (for
+   tests asserting on diagnostic wording, e.g. that a trace parse error
+   names the offending line). *)
+let run_capture args =
+  let err = Filename.temp_file "puma_cli_stderr" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove err)
+    (fun () ->
+      let status =
+        Sys.command
+          (Filename.quote_command exe args ~stdout:Filename.null ~stderr:err)
+      in
+      let ic = open_in_bin err in
+      let n = in_channel_length ic in
+      let text = really_input_string ic n in
+      close_in ic;
+      (status, text))

@@ -21,6 +21,8 @@ let unknown_model_cases =
     [ "graph"; bad ];
     [ "analyze"; bad ];
     [ "batch"; "--model"; bad ];
+    [ "serve"; "--models"; bad ];
+    [ "serve"; "--models"; "mlp," ^ bad ];
     [ "faults"; "--model"; bad ];
     [ "profile"; bad ];
     [ "estimate"; bad ];
@@ -90,7 +92,79 @@ let test_bad_flag_values_exit_nonzero () =
       [ "faults"; "--model"; "mlp"; "--seeds"; "0" ];
       [ "faults"; "--model"; "mlp"; "--samples"; "0" ];
       [ "faults"; "--model"; "mlp"; "--stuck-on"; "2.0" ];
+      [ "serve"; "--arrival"; "poisson:-5" ];
+      [ "serve"; "--arrival"; "uniform:10" ];
+      [ "serve"; "--arrival"; "bursty:100" ];
+      [ "serve"; "--models"; "mlp=notanint" ];
+      [ "serve"; "--nodes"; "0" ];
+      [ "serve"; "--duration"; "0" ];
     ]
+
+(* A tiny serve run at dim 32 with a handful of arrivals, exercising the
+   full record -> replay -> budget-gate pipeline through the real
+   executable. *)
+let serve_args =
+  [
+    "serve"; "--models"; "mlp,rnn=1"; "--arrival"; "poisson:1500";
+    "--duration"; "0.002"; "--dim"; "32"; "--nodes"; "2"; "--domains"; "1";
+    "--seed"; "3";
+  ]
+
+let test_serve_roundtrip () =
+  let dir = Filename.temp_file "puma_serve_cli" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  let trace = Filename.concat dir "trace.json" in
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+      Sys.rmdir dir)
+    (fun () ->
+      Alcotest.(check int) "record run exits 0" 0
+        (run (serve_args @ [ "--trace"; trace; "--json" ]));
+      Alcotest.(check bool) "trace written" true (Sys.file_exists trace);
+      Alcotest.(check int) "replay reproduces -> 0" 0
+        (run [ "serve"; "--replay"; trace ]);
+      (* A generous budget passes; an absurd one fails the gate. *)
+      let write_budget path p99 =
+        let oc = open_out path in
+        Printf.fprintf oc "{\"models\": {\"mlp\": {\"max_p99_ms\": %s}}}" p99;
+        close_out oc
+      in
+      let pass_budget = Filename.concat dir "budget_pass.json" in
+      let fail_budget = Filename.concat dir "budget_fail.json" in
+      write_budget pass_budget "1e9";
+      write_budget fail_budget "1e-9";
+      Alcotest.(check int) "budget within -> 0" 0
+        (run (serve_args @ [ "--budget"; pass_budget ]));
+      Alcotest.(check int) "budget violated -> 1" 1
+        (run (serve_args @ [ "--budget"; fail_budget ])))
+
+let test_serve_replay_errors () =
+  let status, _ = Cli_runner.run_capture [ "serve"; "--replay"; "/nonexistent/trace.json" ] in
+  Alcotest.(check bool) "missing trace -> nonzero" true (status <> 0);
+  let corrupt = Filename.temp_file "puma_corrupt_trace" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove corrupt)
+    (fun () ->
+      let oc = open_out corrupt in
+      output_string oc "{\n  \"version\": 1,\n  }\n";
+      close_out oc;
+      let status, stderr =
+        Cli_runner.run_capture [ "serve"; "--replay"; corrupt ]
+      in
+      Alcotest.(check bool) "corrupt trace -> nonzero" true (status <> 0);
+      let contains hay needle =
+        let nh = String.length hay and nn = String.length needle in
+        let rec at i =
+          i + nn <= nh && (String.sub hay i nn = needle || at (i + 1))
+        in
+        at 0
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "parse error names the line (stderr: %S)" stderr)
+        true
+        (contains stderr "line 3"))
 
 let () =
   Alcotest.run "cli"
@@ -105,5 +179,12 @@ let () =
             test_fast_flag_exit_0;
           Alcotest.test_case "bad flags -> nonzero" `Quick
             test_bad_flag_values_exit_nonzero;
+        ] );
+      ( "serve",
+        [
+          Alcotest.test_case "record/replay/budget roundtrip" `Quick
+            test_serve_roundtrip;
+          Alcotest.test_case "replay errors name the failure" `Quick
+            test_serve_replay_errors;
         ] );
     ]

@@ -79,6 +79,49 @@ let test_cache_by_key () =
   ignore (Cache.get cache ~config ~key:"mlp" build);
   Alcotest.(check int) "built once" 1 !builds
 
+(* The serving runtime's size-bounded mode: a fill past the capacity
+   evicts the entry whose last lookup is oldest. *)
+let test_cache_lru_eviction () =
+  let cache = Cache.create ~capacity:2 () in
+  let config = { Config.sweetspot with mvmu_dim = 32 } in
+  let build () = Puma_nn.Network.build_graph Puma_nn.Models.mini_mlp in
+  let get key = ignore (Cache.get cache ~config ~key build) in
+  let resident key = Cache.mem cache ~config ~key in
+  get "a";
+  get "b";
+  Alcotest.(check int) "at capacity" 2 (Cache.length cache);
+  Alcotest.(check int) "no evictions yet" 0 (Cache.evictions cache);
+  (* A hit on "a" makes "b" the LRU victim of the next fill. *)
+  get "a";
+  get "c";
+  Alcotest.(check int) "still at capacity" 2 (Cache.length cache);
+  Alcotest.(check int) "one eviction" 1 (Cache.evictions cache);
+  Alcotest.(check bool) "a pinned by its hit" true (resident "a");
+  Alcotest.(check bool) "b evicted" false (resident "b");
+  Alcotest.(check bool) "c resident" true (resident "c");
+  (* Re-fetching "b" recompiles and pushes out the now-oldest "a". *)
+  get "b";
+  Alcotest.(check int) "second eviction" 2 (Cache.evictions cache);
+  Alcotest.(check bool) "a evicted in turn" false (resident "a");
+  Alcotest.(check int) "four misses total" 4 (Cache.misses cache)
+
+let test_cache_lru_hit_identity () =
+  (* Hits under the bound return the physically identical result — the
+     co-resident fleet shares one compiled program per model. *)
+  let cache = Cache.create ~capacity:2 () in
+  let config = { Config.sweetspot with mvmu_dim = 32 } in
+  let net = Puma_nn.Models.mini_mlp in
+  let r1 = Cache.get_network cache ~config net in
+  let r2 = Cache.get_network cache ~config net in
+  Alcotest.(check bool) "physically equal" true (r1 == r2);
+  Alcotest.(check int) "one hit" 1 (Cache.hits cache);
+  Alcotest.(check int) "no evictions" 0 (Cache.evictions cache)
+
+let test_cache_bad_capacity () =
+  Alcotest.check_raises "capacity 0 rejected"
+    (Invalid_argument "Program_cache.create: capacity must be >= 1")
+    (fun () -> ignore (Cache.create ~capacity:0 ()))
+
 (* ---- Batched runtime ---- *)
 
 let config =
@@ -235,6 +278,12 @@ let () =
         [
           Alcotest.test_case "compiles once" `Quick test_cache_compiles_once;
           Alcotest.test_case "keyed lookup" `Quick test_cache_by_key;
+          Alcotest.test_case "LRU eviction order" `Quick
+            test_cache_lru_eviction;
+          Alcotest.test_case "LRU hit shares the program" `Quick
+            test_cache_lru_hit_identity;
+          Alcotest.test_case "bad capacity rejected" `Quick
+            test_cache_bad_capacity;
         ] );
       ( "batch",
         [
