@@ -127,12 +127,23 @@ let compile_cmd =
       & opt (some string) None
       & info [ "o"; "output" ] ~doc:"Write the compiled program to a file.")
   in
-  let run model asm output dim =
+  let no_equiv =
+    Arg.(
+      value & flag
+      & info [ "no-equiv" ]
+          ~doc:
+            "Skip the translation validator (the symbolic proof that the \
+             compiled program computes the source dataflow).")
+  in
+  let run model asm output no_equiv dim =
     match find_mini model with
     | Error e -> exit_err e
     | Ok m ->
         let config = config_of_dim dim in
-        let r = Compile.compile config (graph_of m) in
+        let options =
+          { Compile.default_options with check_equiv = not no_equiv }
+        in
+        let r = Compile.compile ~options config (graph_of m) in
         Puma_isa.Check.check_exn r.Compile.program;
         Printf.printf
           "%d instructions across %d tiles / %d cores; %d MVMU slots; %d MVM \
@@ -146,6 +157,15 @@ let compile_cmd =
           r.codegen_stats.num_sends r.codegen_stats.num_receives
           (100.0 *. r.codegen_stats.spilled_fraction)
           r.codegen_stats.smem_high_water;
+        (match r.Compile.equiv with
+        | Some e ->
+            Printf.printf
+              "translation validation: proved %d output words equal to the \
+               source dataflow (%d MVM applications, %d instructions \
+               executed)\n"
+              e.Puma_analysis.Equiv.output_words
+              e.Puma_analysis.Equiv.mvm_apps e.Puma_analysis.Equiv.steps
+        | None -> ());
         Format.printf "%a@." Puma_isa.Usage.pp (Compile.usage r);
         (match output with
         | Some path ->
@@ -173,7 +193,7 @@ let compile_cmd =
   in
   Cmd.v
     (Cmd.info "compile" ~doc:"Compile a model and report compiler statistics")
-    Term.(const run $ model $ asm $ output $ dim_arg)
+    Term.(const run $ model $ asm $ output $ no_equiv $ dim_arg)
 
 (* ---- run ---- *)
 
@@ -439,6 +459,27 @@ let analyze_cmd =
             "Compile zoo models without the ordering repair pass, so \
              E-FIFO-ORDER hazards in the raw generated code stay visible.")
   in
+  let equiv =
+    Arg.(
+      value & flag
+      & info [ "equiv" ]
+          ~doc:
+            "Run the translation validator: symbolically execute the \
+             program and prove every output word equals the source \
+             dataflow (E-EQUIV on refutation). Model targets validate \
+             against their own compilation; program files need \
+             $(b,--reference).")
+  in
+  let reference =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "reference" ] ~docv:"MODEL"
+          ~doc:
+            "With $(b,--equiv), the model whose dataflow program-file \
+             targets are validated against (compiled at the same \
+             $(b,--dim)).")
+  in
   let budget =
     Arg.(
       value
@@ -450,7 +491,7 @@ let analyze_cmd =
              or more warnings than FILE budgets for it.")
   in
   let run targets all json ranges resources dump_ranges input_range order
-      dump_hb no_repair budget dim =
+      dump_hb no_repair equiv reference budget dim =
     let config = config_of_dim dim in
     let targets = if all then List.map fst mini_models else targets in
     if targets = [] then
@@ -464,29 +505,62 @@ let analyze_cmd =
             Puma_util.Fixed.to_raw (Puma_util.Fixed.of_float hi) ))
         input_range
     in
-    let analyze ?layer_of program =
+    let analyze ?equiv ?layer_of program =
       Puma_analysis.Analyze.program ~ranges ~resources ?input_range
-        ~dump_ranges ~order ~dump_hb ?layer_of program
+        ~dump_ranges ~order ~dump_hb ?equiv ?layer_of program
+    in
+    (* With --equiv, program-file targets are validated against the
+       dataflow of --reference MODEL, compiled once at the same --dim. *)
+    let reference_dataflow =
+      lazy
+        (match reference with
+        | None ->
+            exit_err
+              "--equiv on a program file needs --reference MODEL (the \
+               source dataflow to validate against)"
+        | Some name -> (
+            match find_mini name with
+            | Error e -> exit_err e
+            | Ok m ->
+                let options =
+                  {
+                    Compile.default_options with
+                    analysis_gate = false;
+                    check_equiv = false;
+                    repair_ordering = not no_repair;
+                  }
+                in
+                (Compile.compile ~options config (graph_of m))
+                  .Compile.equiv_reference))
     in
     let report_of target =
       (* A compiled program file analyzes as-is (even if broken); anything
          else resolves through the model registry and compiles first, which
          also yields instruction->layer provenance for imem attribution. *)
       let from_model m =
-        (* Gate off so a failing program still yields its full report. *)
+        (* Gate off so a failing program still yields its full report;
+           equiv off too — the validator runs in [analyze] below, against
+           the compilation's own reference dataflow. *)
         let options =
           {
             Compile.default_options with
             analysis_gate = false;
+            check_equiv = false;
             repair_ordering = not no_repair;
           }
         in
         let r = Compile.compile ~options config (graph_of m) in
-        analyze ~layer_of:r.Compile.layer_of r.Compile.program
+        analyze
+          ?equiv:(if equiv then Some r.Compile.equiv_reference else None)
+          ~layer_of:r.Compile.layer_of r.Compile.program
       in
       if Sys.file_exists target && not (Sys.is_directory target) then
         match Puma_isa.Program_io.load target with
-        | Ok program -> analyze program
+        | Ok program ->
+            analyze
+              ?equiv:
+                (if equiv then Some (Lazy.force reference_dataflow) else None)
+              program
         | Error _ -> (
             match find_mini target with
             | Ok m -> from_model m
@@ -531,7 +605,8 @@ let analyze_cmd =
           resource estimates, concurrency ordering) on compiled programs")
     Term.(
       const run $ targets $ all $ json $ ranges $ resources $ dump_ranges
-      $ input_range $ order $ dump_hb $ no_repair $ budget $ dim_arg)
+      $ input_range $ order $ dump_hb $ no_repair $ equiv $ reference
+      $ budget $ dim_arg)
 
 (* ---- batch ---- *)
 

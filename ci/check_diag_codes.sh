@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Diagnostic codes are a stable surface (tests and the CI budget gates
+# match on them): every code emitted by the analyzers in lib/ must have
+# a row in a docs/ANALYSIS.md code table, and every documented code must
+# still be emitted somewhere. Fails on either direction of drift.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+emitted=$(grep -rhoE '"[EWI]-[A-Z0-9]+(-[A-Z0-9]+)*"' lib --include='*.ml' \
+  | tr -d '"' | sort -u)
+documented=$(grep -ohE '\|[[:space:]]*`[EWI]-[A-Z0-9]+(-[A-Z0-9]+)*`[[:space:]]*\|' \
+    docs/ANALYSIS.md \
+  | grep -oE '[EWI]-[A-Z0-9]+(-[A-Z0-9]+)*' | sort -u)
+
+status=0
+undocumented=$(comm -23 <(printf '%s\n' "$emitted") <(printf '%s\n' "$documented"))
+if [ -n "$undocumented" ]; then
+  echo "codes emitted in lib/ but missing from docs/ANALYSIS.md:" >&2
+  printf '  %s\n' $undocumented >&2
+  status=1
+fi
+stale=$(comm -13 <(printf '%s\n' "$emitted") <(printf '%s\n' "$documented"))
+if [ -n "$stale" ]; then
+  echo "codes documented in docs/ANALYSIS.md but never emitted in lib/:" >&2
+  printf '  %s\n' $stale >&2
+  status=1
+fi
+if [ "$status" -eq 0 ]; then
+  echo "diagnostic codes in sync: $(printf '%s\n' "$emitted" | wc -l) codes"
+fi
+exit $status

@@ -51,7 +51,7 @@ let attribute_imem ~layer_of (p : Program.t) diags =
     diags
 
 let program ?(ranges = false) ?(resources = false) ?input_range
-    ?(dump_ranges = false) ?(order = false) ?(dump_hb = false) ?layer_of
+    ?(dump_ranges = false) ?(order = false) ?(dump_hb = false) ?equiv ?layer_of
     (p : Program.t) =
   let order = order || dump_hb in
   let structural = Check.diagnose p in
@@ -91,6 +91,15 @@ let program ?(ranges = false) ?(resources = false) ?input_range
       @ (if ranges then Range.analyze ?input_range ~dump_ranges p else [])
       @ (if resources then Resource.report (Resource.estimate p) else [])
     end
+  in
+  (* Translation validation runs even on structurally invalid programs
+     (like imem attribution): the symbolic executor defends itself and
+     degrades to W-EQUIV-UNKNOWN, and e.g. an over-budget stream (E-IMEM)
+     is exactly where a semantic verdict is still meaningful. *)
+  let diags =
+    match equiv with
+    | Some reference -> diags @ (Equiv.check ~reference p).Equiv.diags
+    | None -> diags
   in
   make_report (List.sort Diag.compare diags)
 

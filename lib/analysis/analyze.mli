@@ -27,6 +27,7 @@ val program :
   ?dump_ranges:bool ->
   ?order:bool ->
   ?dump_hb:bool ->
+  ?equiv:Equiv.dataflow ->
   ?layer_of:Resource.layer_of ->
   Puma_isa.Program.t ->
   report
@@ -36,7 +37,11 @@ val program :
     appends a per-layer byte attribution to every [E-IMEM] message.
     [order] (default off) runs the happens-before pass ({!Order}:
     [E-RACE] / [E-FIFO-ORDER]); [dump_hb] additionally dumps the HB
-    graph as [I-ORDER] infos (implies [order]). *)
+    graph as [I-ORDER] infos (implies [order]). [equiv] (default off)
+    runs the translation validator ({!Equiv}) against the given
+    reference dataflow; unlike the other semantic passes it also runs on
+    structurally invalid programs, degrading to [W-EQUIV-UNKNOWN] where
+    the program cannot be modelled. *)
 
 val has_errors : report -> bool
 

@@ -5,6 +5,7 @@ type options = {
   optimize_graph : bool;
   analysis_gate : bool;
   repair_ordering : bool;
+  check_equiv : bool;
 }
 
 let default_options =
@@ -15,11 +16,14 @@ let default_options =
     optimize_graph = true;
     analysis_gate = true;
     repair_ordering = true;
+    check_equiv = true;
   }
 
 type result = {
   program : Puma_isa.Program.t;
   analysis : Puma_analysis.Analyze.report;
+  equiv : Puma_analysis.Equiv.result option;
+  equiv_reference : Puma_analysis.Equiv.dataflow;
   layer_of : Puma_analysis.Resource.layer_of;
   sequencing_stats : Sequencing.stats;
   codegen_stats : Codegen.stats;
@@ -118,9 +122,34 @@ let compile ?(options = default_options) (config : Puma_hwmodel.Config.t) g =
             acc)
       0 (Lgraph.nodes lg)
   in
+  (* Translation validation: prove the emitted (and Sequencing-repaired)
+     program computes the lowered dataflow. The reference is extracted
+     regardless (it is cheap and callers revalidate saved program files
+     against it); the check itself is gated by [check_equiv]. Its
+     diagnostics merge into the analysis report so the analysis gate
+     rejects miscompilations like any other error. *)
+  let equiv_reference =
+    let matrix_name m =
+      (Puma_graph.Graph.matrix g m).Puma_graph.Graph.mat_name
+    in
+    Lgraph.to_reference ~matrix_name lg
+  in
+  let equiv =
+    if options.check_equiv then
+      Some (Puma_analysis.Equiv.check ~reference:equiv_reference program)
+    else None
+  in
   let analysis =
     Puma_analysis.Analyze.program ~ranges:true ~resources:true ~order:true
       ~layer_of program
+  in
+  let analysis =
+    match equiv with
+    | Some e ->
+        Puma_analysis.Analyze.make_report
+          (List.sort Puma_analysis.Diag.compare
+             (analysis.Puma_analysis.Analyze.diags @ e.Puma_analysis.Equiv.diags))
+    | None -> analysis
   in
   if options.analysis_gate && Puma_analysis.Analyze.has_errors analysis then
     failwith
@@ -130,6 +159,8 @@ let compile ?(options = default_options) (config : Puma_hwmodel.Config.t) g =
   {
     program;
     analysis;
+    equiv;
+    equiv_reference;
     layer_of;
     sequencing_stats;
     codegen_stats;

@@ -23,6 +23,11 @@ type options = {
           program with no flagged channel passes through byte-identical.
           Turning it off leaves any [E-FIFO-ORDER] for the analysis
           gate. *)
+  check_equiv : bool;
+      (** Run the translation validator ({!Puma_analysis.Equiv}) on the
+          final program against the lowered dataflow (default on). Its
+          diagnostics merge into {!result.analysis}, so a refuted
+          compilation ([E-EQUIV]) trips the analysis gate. *)
 }
 
 val default_options : options
@@ -34,6 +39,15 @@ type result = {
           including the value-range and resource passes. [compile] fails
           if it contains errors; warnings and infos are kept here for
           callers to surface. *)
+  equiv : Puma_analysis.Equiv.result option;
+      (** The translation-validation verdict ([None] when [check_equiv]
+          is off). For a compilation that passed the default gate this is
+          always [Some r] with [r.verdict = Proved]. *)
+  equiv_reference : Puma_analysis.Equiv.dataflow;
+      (** The reference dataflow extracted from the lowered graph
+          ({!Lgraph.to_reference}) — always present, so callers can
+          revalidate a saved/mutated program file against this model
+          (the CLI's [analyze --equiv --reference]). *)
   layer_of : Puma_analysis.Resource.layer_of;
       (** Instruction-level provenance: the source-graph layer label
           (matrix / binding name, glue ops inheriting their nearest

@@ -131,3 +131,63 @@ let reverse_postorder t =
     visit id
   done;
   Array.of_list (List.rev !order)
+
+(* ---- Reference-dataflow extraction for translation validation ----
+
+   Deliberately independent of Codegen: the binop/unop/immop encodings and
+   the fixed-point immediate quantization are re-derived here, so a wrong
+   mapping in the code generator refutes instead of reproducing on both
+   sides of the Equiv check. *)
+
+module E = Puma_analysis.Equiv
+
+let ref_binop : Puma_graph.Graph.binop -> Puma_isa.Instr.alu_op = function
+  | Puma_graph.Graph.Add -> Puma_isa.Instr.Add
+  | Sub -> Sub
+  | Mul -> Mul
+  | Div -> Div
+  | Min -> Min
+  | Max -> Max
+
+let ref_unop : Puma_graph.Graph.unop -> Puma_isa.Instr.alu_op = function
+  | Puma_graph.Graph.Relu -> Puma_isa.Instr.Relu
+  | Sigmoid -> Sigmoid
+  | Tanh -> Tanh
+  | Exp -> Exp
+  | Log -> Log
+
+let quantize f = Puma_util.Fixed.to_raw (Puma_util.Fixed.of_float f)
+
+let to_reference ~matrix_name t =
+  let slots = slots t in
+  Array.map
+    (fun (n : lnode) ->
+      let op =
+        match n.op with
+        | L_input { name; offset } -> E.R_input { name; offset }
+        | L_const data -> E.R_const (Array.map quantize data)
+        | L_mvm { slot } ->
+            let s = slots.(slot) in
+            E.R_mvm
+              {
+                weights = s.block;
+                label =
+                  Printf.sprintf "%s[r%d,c%d]" (matrix_name s.matrix)
+                    s.row_block s.col_block;
+              }
+        | L_binop op -> E.R_alu (ref_binop op)
+        | L_unop op -> E.R_alu (ref_unop op)
+        | L_immop (Puma_graph.Graph.Add_imm f) ->
+            E.R_alui { op = Puma_isa.Instr.Add; imm = quantize f }
+        | L_immop (Puma_graph.Graph.Mul_imm f) ->
+            E.R_alui { op = Puma_isa.Instr.Mul; imm = quantize f }
+        | L_gather pieces ->
+            E.R_gather
+              (Array.map
+                 (fun { src; src_off; piece_len; dst_off } ->
+                   { E.src; src_off; piece_len; dst_off })
+                 pieces)
+        | L_output { name; offset } -> E.R_output { name; offset }
+      in
+      { E.op; preds = n.preds; len = n.len })
+    (nodes t)

@@ -65,3 +65,12 @@ val reverse_postorder : t -> int array
     consumes values soon after production, computed over the whole graph
     at once so per-core subsequences are globally consistent (deadlock
     avoidance, Section 5.3.3). *)
+
+val to_reference :
+  matrix_name:(int -> string) -> t -> Puma_analysis.Equiv.dataflow
+(** Extract the reference dataflow the translation validator
+    ({!Puma_analysis.Equiv}) checks compiled programs against.
+    [matrix_name] maps a graph matrix id to its name (for diagnostics).
+    The op encodings and fixed-point immediates are re-derived here,
+    independently of {!Codegen}, so a codegen mapping bug is refuted
+    rather than reproduced on both sides. *)

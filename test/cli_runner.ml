@@ -16,6 +16,13 @@ let run args =
     (Filename.quote_command exe args ~stdout:Filename.null
        ~stderr:Filename.null)
 
+let slurp path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let text = really_input_string ic n in
+  close_in ic;
+  text
+
 (* Like {!run}, but hands back what the command printed on stderr (for
    tests asserting on diagnostic wording, e.g. that a trace parse error
    names the offending line). *)
@@ -28,8 +35,17 @@ let run_capture args =
         Sys.command
           (Filename.quote_command exe args ~stdout:Filename.null ~stderr:err)
       in
-      let ic = open_in_bin err in
-      let n = in_channel_length ic in
-      let text = really_input_string ic n in
-      close_in ic;
-      (status, text))
+      (status, slurp err))
+
+(* Like {!run_capture}, but for stdout (where `analyze` prints its
+   diagnostic report). *)
+let run_capture_out args =
+  let out = Filename.temp_file "puma_cli_stdout" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove out)
+    (fun () ->
+      let status =
+        Sys.command
+          (Filename.quote_command exe args ~stdout:out ~stderr:Filename.null)
+      in
+      (status, slurp out))

@@ -49,6 +49,8 @@ let test_known_good_exit_0 () =
         "faults"; "--model"; "mlp"; "--dim"; "32"; "--rate"; "0.001";
         "--seeds"; "1"; "--samples"; "2"; "--domains"; "1"; "--json";
       ];
+      [ "analyze"; "mlp"; "--dim"; "32"; "--equiv" ];
+      [ "compile"; "mlp"; "--dim"; "32"; "--no-equiv" ];
     ]
 
 (* The fast-path toggle must be accepted — and the run must succeed —
@@ -166,6 +168,102 @@ let test_serve_replay_errors () =
         true
         (contains stderr "line 3"))
 
+(* ---- translation validation of saved program files ---- *)
+
+(* Build a deliberately miscompiled artifact with the library — swap one
+   transcendental LUT, scanning sites until the validator refutes it —
+   save it, and check the CLI rejects it against the source model,
+   naming the falsified output. The unmutated artifact must pass the
+   same invocation. *)
+let test_analyze_equiv_program_file () =
+  let module Compile = Puma_compiler.Compile in
+  let module Equiv = Puma_analysis.Equiv in
+  let module Instr = Puma_isa.Instr in
+  let module Program = Puma_isa.Program in
+  let module Config = Puma_hwmodel.Config in
+  let r =
+    Compile.compile
+      { Config.sweetspot with Config.mvmu_dim = 32 }
+      (Puma_nn.Network.build_graph Puma_nn.Models.mini_mlp)
+  in
+  let base = r.Compile.program in
+  let mutated = ref None in
+  Array.iteri
+    (fun t (tp : Program.tile_program) ->
+      Array.iteri
+        (fun c code ->
+          Array.iteri
+            (fun pc i ->
+              if !mutated = None then
+                match i with
+                | Instr.Alu ({ op = Instr.Sigmoid; _ } as a) ->
+                    let p =
+                      {
+                        base with
+                        Program.tiles =
+                          Array.map
+                            (fun (tp : Program.tile_program) ->
+                              {
+                                tp with
+                                Program.core_code =
+                                  Array.map Array.copy tp.core_code;
+                              })
+                            base.Program.tiles;
+                      }
+                    in
+                    p.Program.tiles.(t).Program.core_code.(c).(pc) <-
+                      Instr.Alu { a with op = Instr.Tanh };
+                    let e =
+                      Equiv.check ~reference:r.Compile.equiv_reference p
+                    in
+                    if e.Equiv.verdict = Equiv.Refuted then mutated := Some p
+                | _ -> ())
+            code)
+        tp.core_code)
+    base.Program.tiles;
+  let bad =
+    match !mutated with
+    | Some p -> p
+    | None -> Alcotest.fail "no LUT swap refuted mini_mlp"
+  in
+  let good_file = Filename.temp_file "puma_good" ".puma" in
+  let bad_file = Filename.temp_file "puma_bad" ".puma" in
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.remove good_file;
+      Sys.remove bad_file)
+    (fun () ->
+      Puma_isa.Program_io.save good_file base;
+      Puma_isa.Program_io.save bad_file bad;
+      let against = [ "--equiv"; "--reference"; "mlp"; "--dim"; "32" ] in
+      let status, out =
+        Cli_runner.run_capture_out ([ "analyze"; good_file ] @ against)
+      in
+      Alcotest.(check int) "clean artifact revalidates -> 0" 0 status;
+      Alcotest.(check bool) "clean artifact proof line" true
+        (Puma_util.Strings.contains ~sub:"I-EQUIV" out);
+      let status, out =
+        Cli_runner.run_capture_out ([ "analyze"; bad_file ] @ against)
+      in
+      Alcotest.(check int) "miscompiled artifact -> 1" 1 status;
+      Alcotest.(check bool) "refutation reported" true
+        (Puma_util.Strings.contains ~sub:"E-EQUIV" out);
+      let output_name =
+        (List.hd base.Program.outputs).Program.name
+      in
+      Alcotest.(check bool) "names the falsified output" true
+        (Puma_util.Strings.contains ~sub:("output " ^ output_name) out);
+      (* A program file alone has no source dataflow to validate
+         against: requiring --reference is an error, not a silent
+         skip. *)
+      let status, err =
+        Cli_runner.run_capture [ "analyze"; bad_file; "--equiv" ]
+      in
+      Alcotest.(check bool) "--equiv without --reference -> nonzero" true
+        (status <> 0);
+      Alcotest.(check bool) "error explains the missing flag" true
+        (Puma_util.Strings.contains ~sub:"--reference" err))
+
 let () =
   Alcotest.run "cli"
     [
@@ -186,5 +284,10 @@ let () =
             test_serve_roundtrip;
           Alcotest.test_case "replay errors name the failure" `Quick
             test_serve_replay_errors;
+        ] );
+      ( "equiv",
+        [
+          Alcotest.test_case "revalidate saved artifacts" `Quick
+            test_analyze_equiv_program_file;
         ] );
     ]
