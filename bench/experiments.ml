@@ -1230,6 +1230,166 @@ let run_sim_hotspots () =
   [ t ]
 
 (* ------------------------------------------------------------------ *)
+(* Multi-node scale-out                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Throughput / latency / energy vs node count for both cross-node
+   partitioning schemes, on the functional cluster simulator, next to the
+   static Resource lower bounds of the same compiled programs. Asserts
+   in-bench that every configuration's outputs equal the single-node
+   run's bit for bit (placement never changes the fixed-point dataflow)
+   and that scaling out never makes a single inference faster (the fabric
+   only adds latency; the win is weight capacity, not single-stream
+   speed). One extra row runs the multi-node fault campaign at the
+   largest node count. Writes BENCH_scaleout.json; PUMA_BENCH_QUICK=1
+   runs a reduced sweep. *)
+let run_scaleout () =
+  let module Json = Puma_util.Json in
+  let module Cluster = Puma_cluster.Cluster in
+  let module Partition = Puma_compiler.Partition in
+  let module Resource = Puma_analysis.Resource in
+  let quick = bench_quick () in
+  let node_counts = if quick then [ 1; 2 ] else [ 1; 2; 4; 8 ] in
+  let schemes = [ Partition.Pipelined; Partition.Sharded ] in
+  let g = Network.build_graph Models.mini_lstm in
+  let rng = Puma_util.Rng.create 11 in
+  let baseline_r = Compile.compile mini_config g in
+  let inputs =
+    List.map
+      (fun (n, len) -> (n, Puma_util.Tensor.vec_rand rng len 0.8))
+      (Puma_runtime.Batch.input_lengths baseline_r.Compile.program)
+  in
+  let hz = mini_config.Config.frequency_ghz *. 1.0e9 in
+  (* One warmed cluster per configuration; the measured inference is the
+     second one, so every row sees identical steady state. *)
+  let measure program ~nodes =
+    let cluster = Cluster.create ~nodes program in
+    ignore (Cluster.run cluster ~inputs);
+    let c0 = Cluster.cycles cluster in
+    let e0 = Cluster.dynamic_energy_pj cluster in
+    let w0 = Cluster.offchip_words cluster in
+    let outputs = Cluster.run cluster ~inputs in
+    ( outputs,
+      Cluster.cycles cluster - c0,
+      Cluster.dynamic_energy_pj cluster -. e0,
+      Cluster.offchip_words cluster - w0 )
+  in
+  let baseline_outputs, _, _, _ =
+    measure baseline_r.Compile.program ~nodes:1
+  in
+  let t =
+    Table.create
+      ~title:
+        (Printf.sprintf "Scale-out: mini-lstm across PUMA nodes (mesh, %dx%d)"
+           mini_config.Config.mvmu_dim mini_config.Config.mvmu_dim)
+      ~headers:
+        [
+          "scheme"; "nodes"; "cycles/inf"; "latency us"; "inf/s";
+          "dyn pJ/inf"; "link words"; "LB cycles"; "sim/LB";
+        ]
+  in
+  let rows =
+    List.concat_map
+      (fun scheme ->
+        List.map
+          (fun nodes ->
+            let r =
+              if nodes = 1 then baseline_r
+              else
+                let options =
+                  {
+                    Compile.default_options with
+                    cluster = Some { Partition.nodes; scheme };
+                  }
+                in
+                Compile.compile ~options mini_config g
+            in
+            let lb = Resource.estimate r.Compile.program in
+            let outputs, cycles, dyn_pj, words =
+              measure r.Compile.program ~nodes:r.Compile.nodes_used
+            in
+            (* The bit-identity contract, asserted on real link costs:
+               outputs never depend on the placement. Cycles can move in
+               either direction — partitioning spreads work over more
+               tiles even as the fabric adds link latency — so only the
+               link-traffic invariant is checked. *)
+            assert (outputs = baseline_outputs);
+            assert ((nodes = 1) = (words = 0));
+            let latency_s = fi cycles /. hz in
+            Table.add_row t
+              [
+                Partition.scheme_name scheme;
+                string_of_int nodes;
+                string_of_int cycles;
+                Printf.sprintf "%.2f" (latency_s *. 1e6);
+                Printf.sprintf "%.0f" (1.0 /. latency_s);
+                Printf.sprintf "%.0f" dyn_pj;
+                string_of_int words;
+                string_of_int lb.Resource.cycle_lower_bound;
+                Printf.sprintf "%.2fx"
+                  (fi cycles /. fi lb.Resource.cycle_lower_bound);
+              ];
+            Json.Obj
+              [
+                ("scheme", Json.String (Partition.scheme_name scheme));
+                ("nodes", Json.Int nodes);
+                ("cycles_per_inference", Json.Int cycles);
+                ("latency_us", Json.Float (latency_s *. 1e6));
+                ("inf_per_s", Json.Float (1.0 /. latency_s));
+                ("dynamic_pj_per_inference", Json.Float dyn_pj);
+                ("offchip_link_words", Json.Int words);
+                ("cycle_lower_bound", Json.Int lb.Resource.cycle_lower_bound);
+                ( "energy_lower_bound_pj",
+                  Json.Float lb.Resource.energy_lower_bound_pj );
+              ])
+          node_counts)
+      schemes
+  in
+  (* The reliability row: the same model under the multi-node fault
+     campaign at the sweep's largest node count — per-chip blast radius
+     next to the cluster-wide flip rate. *)
+  let fault_nodes = List.fold_left max 1 node_counts in
+  let fault_report =
+    let options =
+      {
+        Compile.default_options with
+        cluster = Some { Partition.nodes = fault_nodes; scheme = Pipelined };
+      }
+    in
+    let r = Compile.compile ~options mini_config g in
+    Puma_fault.Campaign.run_cluster ~nodes:r.Compile.nodes_used
+      ~key:"mini-lstm" r.Compile.program
+      {
+        Puma_fault.Campaign.default_spec with
+        rates = [ 1e-3 ];
+        fault_seeds = [ 1 ];
+        samples = (if quick then 4 else 8);
+      }
+  in
+  let ft = Puma_fault.Campaign.cluster_table fault_report in
+  let fault_json =
+    match Puma_fault.Campaign.cluster_to_json fault_report with
+    | Json.Obj fields -> Json.Obj (("table", Json.String "faults") :: fields)
+    | j -> j
+  in
+  let doc =
+    Json.Obj
+      [
+        ("model", Json.String "mini-lstm");
+        ("mvmu_dim", Json.Int mini_config.Config.mvmu_dim);
+        ("topology", Json.String "mesh");
+        ("quick", Json.Bool quick);
+        ("points", Json.List rows);
+        ("faults", fault_json);
+      ]
+  in
+  let oc = open_out "BENCH_scaleout.json" in
+  output_string oc (Json.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  [ t; ft ]
+
+(* ------------------------------------------------------------------ *)
 
 let all_experiments =
   [
@@ -1253,4 +1413,5 @@ let all_experiments =
     ("sim_throughput", run_sim_throughput);
     ("sim_hotspots", run_sim_hotspots);
     ("serve_latency", run_serve_latency);
+    ("scaleout", run_scaleout);
   ]

@@ -32,7 +32,7 @@ let bechamel_tests =
                 "figure13"; "table8"; "figure4"; "table1"; "ablation_fifo";
                 "batch_throughput"; "profile_occupancy"; "static_vs_sim";
                 "fault_tolerance"; "sim_throughput"; "sim_hotspots";
-                "serve_latency";
+                "serve_latency"; "scaleout";
               ]))
        Experiments.all_experiments)
 

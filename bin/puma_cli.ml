@@ -34,21 +34,6 @@ let graph_of = function
   | `Net n -> Network.build_graph n
   | `Graph g -> g
 
-let find_mini name =
-  (* A path to a .model description file works anywhere a zoo name does. *)
-  if Sys.file_exists name && not (Sys.is_directory name) then
-    match Puma_nn.Model_desc.parse_file name with
-    | Ok net -> Ok (`Net net)
-    | Error e -> Error (Printf.sprintf "%s: %s" name e)
-  else
-    match List.assoc_opt (String.lowercase_ascii name) mini_models with
-    | Some m -> Ok m
-    | None ->
-        Error
-          (Printf.sprintf
-             "unknown mini model %S (try a description file or: %s)" name
-             (String.concat ", " (List.map fst mini_models)))
-
 let find_full name =
   let canon = String.lowercase_ascii name in
   match
@@ -59,6 +44,30 @@ let find_full name =
       Error
         (Printf.sprintf "unknown benchmark model %S (try: %s)" name
            (String.concat ", " (List.map fst full_models)))
+
+let find_mini name =
+  (* A path to a .model description file works anywhere a zoo name does. *)
+  if Sys.file_exists name && not (Sys.is_directory name) then
+    match Puma_nn.Model_desc.parse_file name with
+    | Ok net -> Ok (`Net net)
+    | Error e -> Error (Printf.sprintf "%s: %s" name e)
+  else
+    match List.assoc_opt (String.lowercase_ascii name) mini_models with
+    | Some m -> Ok m
+    | None -> (
+        (* The Table 5 benchmark models compile and run too — at full
+           size they just need a multi-node cluster (and usually
+           --seq-len 1) to be tractable. *)
+        match find_full name with
+        | Ok n -> Ok (`Net n)
+        | Error _ ->
+            Error
+              (Printf.sprintf
+                 "unknown model %S (try a description file or: %s; full-size: \
+                  %s)"
+                 name
+                 (String.concat ", " (List.map fst mini_models))
+                 (String.concat ", " (List.map fst full_models))))
 
 (* ---- Common arguments ---- *)
 
@@ -87,6 +96,59 @@ let config_of_dim dim = { Config.sweetspot with mvmu_dim = dim }
 let exit_err msg =
   prerr_endline ("error: " ^ msg);
   exit 1
+
+(* ---- Cluster arguments (run / batch / serve / faults) ---- *)
+
+module Partition = Puma_compiler.Partition
+module Fabric = Puma_noc.Fabric
+module Cluster = Puma_cluster.Cluster
+
+let topology_arg =
+  Arg.(
+    value & opt string "mesh"
+    & info [ "topology" ] ~docv:"TOPO"
+        ~doc:
+          "Chip-to-chip fabric topology: $(b,mesh), $(b,ring) or \
+           $(b,all-to-all).")
+
+let scheme_arg =
+  Arg.(
+    value & opt string "pipelined"
+    & info [ "scheme" ] ~docv:"SCHEME"
+        ~doc:
+          "Cross-node partitioning scheme: $(b,pipelined) (contiguous layer \
+           blocks per node) or $(b,sharded) (matrix row blocks round-robined \
+           across nodes).")
+
+let seq_len_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "seq-len" ] ~docv:"N"
+        ~doc:
+          "Override a recurrent model's sequence length (full-size models \
+           default to their paper configuration; 1 keeps them tractable in \
+           functional simulation).")
+
+let parse_topology s =
+  match Fabric.topology_of_string s with
+  | Some t -> t
+  | None ->
+      exit_err
+        (Printf.sprintf "unknown topology %S (try mesh, ring, all-to-all)" s)
+
+let parse_scheme s =
+  match Partition.scheme_of_string s with
+  | Some sc -> sc
+  | None ->
+      exit_err (Printf.sprintf "unknown scheme %S (try pipelined, sharded)" s)
+
+let apply_seq_len m = function
+  | None -> m
+  | Some l -> (
+      match m with
+      | `Net n -> `Net (Network.with_seq_len n l)
+      | `Graph _ -> exit_err "--seq-len applies to layered networks only")
 
 (* ---- models ---- *)
 
@@ -204,13 +266,31 @@ let run_cmd =
   let seed =
     Arg.(value & opt int 7 & info [ "seed" ] ~doc:"Input RNG seed.")
   in
-  let run model seed dim fast =
+  let nodes =
+    Arg.(
+      value & opt int 1
+      & info [ "nodes" ]
+          ~doc:
+            "Split the model across this many PUMA nodes (chips) connected \
+             by the chip-to-chip fabric; 1 keeps the single-node simulator.")
+  in
+  let no_analysis =
+    Arg.(
+      value & flag
+      & info [ "no-analysis" ]
+          ~doc:
+            "Skip the whole-program static-analysis gate and the \
+             translation validator (for full-size models, whose analysis \
+             costs more than their simulation).")
+  in
+  let run model seed nodes topology scheme seq_len no_analysis dim fast =
     match find_mini model with
     | Error e -> exit_err e
     | Ok m ->
+        if nodes < 1 then exit_err "--nodes must be positive";
+        let m = apply_seq_len m seq_len in
         let g = graph_of m in
         let config = config_of_dim dim in
-        let session = Puma.Session.create ~config ~fast g in
         let rng = Puma_util.Rng.create seed in
         let inputs =
           List.map
@@ -221,20 +301,75 @@ let run_cmd =
               | _ -> assert false)
             (Puma_graph.Graph.inputs g)
         in
-        let got = Puma.Session.infer session inputs in
         let want = Puma.reference g inputs in
-        List.iter
-          (fun (name, w) ->
-            let h = List.assoc name got in
-            Printf.printf "output %s: max |error| vs float reference %.5f\n"
-              name
-              (Puma_util.Tensor.vec_max_abs_diff w h))
-          want;
-        Format.printf "%a@." Puma_sim.Metrics.pp (Puma.Session.metrics session)
+        let report_outputs got =
+          List.iter
+            (fun (name, w) ->
+              let h = List.assoc name got in
+              Printf.printf "output %s: max |error| vs float reference %.5f\n"
+                name
+                (Puma_util.Tensor.vec_max_abs_diff w h))
+            want
+        in
+        if nodes = 1 then begin
+          let session = Puma.Session.create ~config ~fast g in
+          let got = Puma.Session.infer session inputs in
+          report_outputs got;
+          Format.printf "%a@." Puma_sim.Metrics.pp
+            (Puma.Session.metrics session)
+        end
+        else begin
+          let topology = parse_topology topology in
+          let scheme = parse_scheme scheme in
+          let options =
+            {
+              Compile.default_options with
+              cluster = Some { Partition.nodes; scheme };
+              static_analysis = not no_analysis;
+              check_equiv = not no_analysis;
+            }
+          in
+          let r = Compile.compile ~options config g in
+          let program = r.Compile.program in
+          Printf.printf
+            "partitioned %s across %d nodes (%s fabric, %d tiles/node)\n"
+            (Partition.scheme_name scheme)
+            r.Compile.nodes_used
+            (Fabric.topology_name topology)
+            r.Compile.tiles_per_node;
+          if not no_analysis then
+            List.iter
+              (fun (sr : Cluster.shard_report) ->
+                Printf.printf
+                  "node %d gates: %d errors, %d warnings (%d out / %d in \
+                   cross-node channels)\n"
+                  sr.Cluster.node sr.Cluster.report.errors
+                  sr.Cluster.report.warnings sr.Cluster.cross_out
+                  sr.Cluster.cross_in)
+              (Cluster.analyze_shards ~nodes:r.Compile.nodes_used program);
+          let cluster =
+            Cluster.create ~nodes:r.Compile.nodes_used ~topology program
+          in
+          let got = Cluster.run cluster ~inputs in
+          report_outputs got;
+          Cluster.finish_energy cluster;
+          Printf.printf
+            "cluster: %d cycles; %.3f uJ total (%.3f uJ dynamic); %d words \
+             over chip-to-chip links\n"
+            (Cluster.cycles cluster)
+            (Cluster.total_energy_pj cluster /. 1.0e6)
+            (Cluster.dynamic_energy_pj cluster /. 1.0e6)
+            (Cluster.offchip_words cluster)
+        end
   in
   Cmd.v
-    (Cmd.info "run" ~doc:"Simulate one inference and validate it")
-    Term.(const run $ model $ seed $ dim_arg $ fast_arg)
+    (Cmd.info "run"
+       ~doc:
+         "Simulate one inference and validate it (optionally across a \
+          multi-node cluster)")
+    Term.(
+      const run $ model $ seed $ nodes $ topology_arg $ scheme_arg
+      $ seq_len_arg $ no_analysis $ dim_arg $ fast_arg)
 
 (* ---- graph ---- *)
 
@@ -647,11 +782,24 @@ let batch_cmd =
             "Attach the cycle-level profiler to every worker node and report \
              the batch's stall decomposition.")
   in
-  let run model batch_size domains seed profile dim fast =
+  let nodes =
+    Arg.(
+      value & opt int 1
+      & info [ "nodes" ]
+          ~doc:
+            "Serve every request on a cluster of this many chips (split by \
+             --scheme, connected by --topology); 1 keeps single-node \
+             workers.")
+  in
+  let run model batch_size domains seed profile nodes topology scheme dim fast
+      =
     match find_mini model with
     | Error e -> exit_err e
     | Ok m ->
         if batch_size <= 0 then exit_err "batch size must be positive";
+        if nodes < 1 then exit_err "--nodes must be positive";
+        if nodes > 1 && profile then
+          exit_err "profiling is single-node only (drop --nodes or --profile)";
         let domains =
           if domains = 0 then Puma_util.Pool.default_domains ()
           else if domains < 0 then exit_err "domains must be positive"
@@ -661,15 +809,33 @@ let batch_cmd =
         let cache = Puma_runtime.Program_cache.create () in
         let g = graph_of m in
         let result =
-          Puma_runtime.Program_cache.get cache ~config ~key:model (fun () -> g)
+          if nodes > 1 then
+            let options =
+              {
+                Compile.default_options with
+                cluster = Some { Partition.nodes; scheme = parse_scheme scheme };
+              }
+            in
+            Compile.compile ~options config g
+          else
+            Puma_runtime.Program_cache.get cache ~config ~key:model (fun () ->
+                g)
         in
         let program = result.Puma_compiler.Compile.program in
+        let cluster_nodes =
+          if nodes > 1 then Some result.Puma_compiler.Compile.nodes_used
+          else None
+        in
+        let topology =
+          if nodes > 1 then Some (parse_topology topology) else None
+        in
         let requests =
           Puma_runtime.Batch.random_requests program ~batch:batch_size ~seed
         in
         let t0 = Unix.gettimeofday () in
         let responses, summary =
-          Puma_runtime.Batch.run ~domains ~fast ~profile program requests
+          Puma_runtime.Batch.run ~domains ~fast ~profile ?cluster_nodes
+            ?topology program requests
         in
         let host_s = Unix.gettimeofday () -. t0 in
         (* Spot-check the first request against the float reference. *)
@@ -695,10 +861,11 @@ let batch_cmd =
        ~doc:
          "Serve a batch of inferences across parallel simulated nodes \
           (deterministic: outputs and per-request cycles are bit-identical \
-          for any --domains)")
+          for any --domains); --nodes > 1 serves every request on a \
+          multi-chip cluster instead of a single node")
     Term.(
-      const run $ model $ batch_size $ domains $ seed $ profile $ dim_arg
-      $ fast_arg)
+      const run $ model $ batch_size $ domains $ seed $ profile $ nodes
+      $ topology_arg $ scheme_arg $ dim_arg $ fast_arg)
 
 (* ---- serve ---- *)
 
@@ -789,6 +956,15 @@ let serve_cmd =
   let nodes =
     Arg.(value & opt int 4 & info [ "nodes" ] ~doc:"Simulated fleet size.")
   in
+  let cluster_nodes =
+    Arg.(
+      value & opt int 1
+      & info [ "cluster-nodes" ]
+          ~doc:
+            "Chips per fleet machine: every --nodes slot becomes a cluster \
+             of this many chips (split by --scheme, connected by \
+             --topology); 1 keeps single-chip machines.")
+  in
   let max_batch =
     Arg.(
       value & opt int 4
@@ -858,7 +1034,7 @@ let serve_cmd =
             "Gate against a serving-budget baseline: fail if any model's \
              p50/p99 latency or rejection rate exceeds its ceiling in FILE.")
   in
-  let compile_fleet ~config specs =
+  let compile_fleet ?cluster ~config specs =
     let cache =
       Puma_runtime.Program_cache.create ~capacity:(List.length specs) ()
     in
@@ -868,8 +1044,15 @@ let serve_cmd =
         | Error e -> exit_err e
         | Ok m ->
             let r =
-              Puma_runtime.Program_cache.get cache ~config ~key:name (fun () ->
-                  graph_of m)
+              match cluster with
+              | Some _ ->
+                  (* Cluster layouts are not what the cache holds; compile
+                     directly with the node-aware partitioner. *)
+                  let options = { Compile.default_options with cluster } in
+                  Compile.compile ~options config (graph_of m)
+              | None ->
+                  Puma_runtime.Program_cache.get cache ~config ~key:name
+                    (fun () -> graph_of m)
             in
             Serve_engine.model ~priority ~queue_limit ?slo_ms ~name
               r.Puma_compiler.Compile.program)
@@ -887,12 +1070,25 @@ let serve_cmd =
     | Some path -> if not (check_serve_budget path report) then exit 1
     | None -> ()
   in
-  let run models arrival duration nodes max_batch queue_limit slo seed
-      input_seed domains json trace replay budget dim fast =
+  let run models arrival duration nodes cluster_nodes topology scheme
+      max_batch queue_limit slo seed input_seed domains json trace replay
+      budget dim fast =
     let domains =
       if domains = 0 then Puma_util.Pool.default_domains ()
       else if domains < 0 then exit_err "domains must be positive"
       else domains
+    in
+    if cluster_nodes < 1 then exit_err "--cluster-nodes must be positive";
+    let cluster =
+      if cluster_nodes > 1 then
+        Some { Partition.nodes = cluster_nodes; scheme = parse_scheme scheme }
+      else None
+    in
+    let cluster_nodes = if cluster_nodes > 1 then Some cluster_nodes else None in
+    let cluster_topology =
+      match cluster_nodes with
+      | Some _ -> Some (parse_topology topology)
+      | None -> None
     in
     match replay with
     | Some path -> (
@@ -946,7 +1142,7 @@ let serve_cmd =
           | Error e -> exit_err (Printf.sprintf "bad --arrival: %s" e)
         in
         let config = config_of_dim dim in
-        let fleet = compile_fleet ~config specs in
+        let fleet = compile_fleet ?cluster ~config specs in
         let workload =
           Serve_engine.synthesize ~models:(Array.length fleet) process ~seed
             ~duration_s:duration ~frequency_ghz:config.Config.frequency_ghz
@@ -954,7 +1150,10 @@ let serve_cmd =
         let serve_config =
           { Serve_engine.nodes; max_batch; input_seed }
         in
-        let report = Serve_engine.run ~domains ~fast serve_config fleet workload in
+        let report =
+          Serve_engine.run ~domains ~fast ?cluster_nodes
+            ?topology:cluster_topology serve_config fleet workload
+        in
         (match trace with
         | Some path ->
             Serve_trace.save path
@@ -972,9 +1171,10 @@ let serve_cmd =
           continuous batching, admission control, tail-latency and energy \
           reporting, record/replay")
     Term.(
-      const run $ models_arg $ arrival $ duration $ nodes $ max_batch
-      $ queue_limit $ slo $ seed $ input_seed $ domains $ json $ trace
-      $ replay $ budget $ dim_arg $ fast_arg)
+      const run $ models_arg $ arrival $ duration $ nodes $ cluster_nodes
+      $ topology_arg $ scheme_arg $ max_batch $ queue_limit $ slo $ seed
+      $ input_seed $ domains $ json $ trace $ replay $ budget $ dim_arg
+      $ fast_arg)
 
 (* ---- profile ---- *)
 
@@ -1156,13 +1356,24 @@ let faults_cmd =
       value & flag
       & info [ "json" ] ~doc:"Emit the campaign report as one JSON document.")
   in
+  let nodes =
+    Arg.(
+      value & opt int 1
+      & info [ "nodes" ]
+          ~doc:
+            "Run the campaign on a cluster of this many chips, each \
+             realizing its faults independently; reports per-chip blast \
+             radius next to the cluster-wide flip rate.")
+  in
   let run model rates seeds fault_seed samples input_seed remap stuck_on
-      drift_tau drift_age adc_sigma domains json dim fast =
+      drift_tau drift_age adc_sigma domains json nodes topology scheme dim
+      fast =
     match find_mini model with
     | Error e -> exit_err e
     | Ok m ->
         if seeds <= 0 then exit_err "--seeds must be positive";
         if samples <= 0 then exit_err "--samples must be positive";
+        if nodes < 1 then exit_err "--nodes must be positive";
         let domains =
           if domains = 0 then Puma_util.Pool.default_domains ()
           else if domains < 0 then exit_err "domains must be positive"
@@ -1195,26 +1406,49 @@ let faults_cmd =
         let config = config_of_dim dim in
         let cache = Puma_runtime.Program_cache.create () in
         let g = graph_of m in
-        let result =
-          Puma_runtime.Program_cache.get cache ~config ~key:model (fun () -> g)
-        in
-        let program = result.Puma_compiler.Compile.program in
-        let report =
-          Puma_fault.Campaign.run ~domains ~fast ~key:model program spec
-        in
-        if json then
-          print_endline
-            (Puma_util.Json.to_string (Puma_fault.Campaign.to_json report))
+        if nodes > 1 then begin
+          let topology = parse_topology topology in
+          let options =
+            {
+              Compile.default_options with
+              cluster = Some { Partition.nodes; scheme = parse_scheme scheme };
+            }
+          in
+          let result = Compile.compile ~options config g in
+          let report =
+            Puma_fault.Campaign.run_cluster ~domains ~topology
+              ~nodes:result.Puma_compiler.Compile.nodes_used ~key:model
+              result.Puma_compiler.Compile.program spec
+          in
+          if json then
+            print_endline
+              (Puma_util.Json.to_string
+                 (Puma_fault.Campaign.cluster_to_json report))
+          else Puma_util.Table.print (Puma_fault.Campaign.cluster_table report)
+        end
         else begin
-          Puma_util.Table.print (Puma_fault.Campaign.table report);
-          Array.iter
-            (fun (p : Puma_fault.Campaign.point) ->
-              List.iter
-                (fun d ->
-                  Format.printf "rate %.0e seed %d: %a@." p.rate p.fault_seed
-                    Puma_analysis.Diag.pp d)
-                p.diags)
-            report.points
+          let result =
+            Puma_runtime.Program_cache.get cache ~config ~key:model (fun () ->
+                g)
+          in
+          let program = result.Puma_compiler.Compile.program in
+          let report =
+            Puma_fault.Campaign.run ~domains ~fast ~key:model program spec
+          in
+          if json then
+            print_endline
+              (Puma_util.Json.to_string (Puma_fault.Campaign.to_json report))
+          else begin
+            Puma_util.Table.print (Puma_fault.Campaign.table report);
+            Array.iter
+              (fun (p : Puma_fault.Campaign.point) ->
+                List.iter
+                  (fun d ->
+                    Format.printf "rate %.0e seed %d: %a@." p.rate p.fault_seed
+                      Puma_analysis.Diag.pp d)
+                  p.diags)
+              report.points
+          end
         end
   in
   Cmd.v
@@ -1226,7 +1460,7 @@ let faults_cmd =
     Term.(
       const run $ model $ rates $ seeds $ fault_seed $ samples $ input_seed
       $ remap $ stuck_on $ drift_tau $ drift_age $ adc_sigma $ domains $ json
-      $ dim_arg $ fast_arg)
+      $ nodes $ topology_arg $ scheme_arg $ dim_arg $ fast_arg)
 
 (* ---- estimate ---- *)
 

@@ -123,8 +123,10 @@ let generate (config : Puma_hwmodel.Config.t) ~wrap_batch_loop (_g : G.t) lg
     smem_ptr.(tile) <- a + len;
     if smem_ptr.(tile) > smem_words then
       failwith
-        (Printf.sprintf "Codegen: tile %d shared memory overflow (%d words)"
-           tile smem_ptr.(tile));
+        (Printf.sprintf
+           "Codegen: tile %d shared memory overflow (%d words used of %d; \
+            last allocation %d words)"
+           tile smem_ptr.(tile) smem_words len);
     a
   in
   let home_addr = Array.make nvals (-1) in
@@ -163,8 +165,11 @@ let generate (config : Puma_hwmodel.Config.t) ~wrap_batch_loop (_g : G.t) lg
     if List.length l > config.num_fifos then
       failwith
         (Printf.sprintf
-           "Codegen: tile %d receives from %d tiles but only %d FIFOs exist"
-           dst (List.length l) config.num_fifos);
+           "Codegen: tile %d receives from %d tiles (%s) but only %d FIFOs \
+            exist"
+           dst (List.length l)
+           (String.concat "," (List.map string_of_int l))
+           config.num_fifos);
     let rec index k = function
       | [] -> assert false
       | x :: rest -> if x = src then k else index (k + 1) rest

@@ -6,6 +6,8 @@ type options = {
   analysis_gate : bool;
   repair_ordering : bool;
   check_equiv : bool;
+  static_analysis : bool;
+  cluster : Partition.cluster option;
 }
 
 let default_options =
@@ -17,6 +19,8 @@ let default_options =
     analysis_gate = true;
     repair_ordering = true;
     check_equiv = true;
+    static_analysis = true;
+    cluster = None;
   }
 
 type result = {
@@ -34,6 +38,8 @@ type result = {
   tiles_used : int;
   cores_used : int;
   mvmus_used : int;
+  nodes_used : int;
+  tiles_per_node : int;
 }
 
 let compile ?(options = default_options) (config : Puma_hwmodel.Config.t) g =
@@ -51,7 +57,10 @@ let compile ?(options = default_options) (config : Puma_hwmodel.Config.t) g =
     else (g, None)
   in
   let lg = Tiling.lower ~dim:config.mvmu_dim g in
-  let part = Partition.partition config options.partition_strategy lg in
+  let part =
+    Partition.partition ?cluster:options.cluster config
+      options.partition_strategy lg
+  in
   let sched = Schedule.build ~coalesce:options.coalesce_mvms lg part in
   let program, codegen_stats, provenance =
     Codegen.generate config ~wrap_batch_loop:options.wrap_batch_loop g lg part
@@ -62,6 +71,37 @@ let compile ?(options = default_options) (config : Puma_hwmodel.Config.t) g =
   let program, provenance, sequencing_stats =
     if options.repair_ordering then Sequencing.repair program ~provenance
     else (program, provenance, Sequencing.no_repair)
+  in
+  (* Cluster placements address the full node * tiles_per_node global tile
+     space; pad the program with empty tiles so every node's block is
+     complete and the runtime can split it at fixed strides (empty tiles
+     halt immediately and cost nothing). *)
+  let program =
+    match options.cluster with
+    | None -> program
+    | Some _ ->
+        let target =
+          part.Partition.nodes_used * part.Partition.tiles_per_node
+        in
+        let have = Array.length program.Puma_isa.Program.tiles in
+        if have >= target then program
+        else
+          let empty i =
+            {
+              Puma_isa.Program.tile_index = i;
+              core_code =
+                Array.init config.cores_per_tile (fun _ -> [||]);
+              tile_code = [||];
+              mvmu_images = [];
+            }
+          in
+          {
+            program with
+            Puma_isa.Program.tiles =
+              Array.init target (fun i ->
+                  if i < have then program.Puma_isa.Program.tiles.(i)
+                  else empty i);
+          }
   in
   (* Layer labels per source-graph node: MVMs carry their matrix name,
      I/O nodes their binding name; glue ops (concat, slices, elementwise
@@ -140,8 +180,10 @@ let compile ?(options = default_options) (config : Puma_hwmodel.Config.t) g =
     else None
   in
   let analysis =
-    Puma_analysis.Analyze.program ~ranges:true ~resources:true ~order:true
-      ~layer_of program
+    if options.static_analysis then
+      Puma_analysis.Analyze.program ~ranges:true ~resources:true ~order:true
+        ~layer_of program
+    else Puma_analysis.Analyze.make_report []
   in
   let analysis =
     match equiv with
@@ -171,6 +213,8 @@ let compile ?(options = default_options) (config : Puma_hwmodel.Config.t) g =
     tiles_used = part.Partition.tiles_used;
     cores_used = part.Partition.cores_used;
     mvmus_used = Lgraph.num_slots lg;
+    nodes_used = part.Partition.nodes_used;
+    tiles_per_node = part.Partition.tiles_per_node;
   }
 
 let usage result = Puma_isa.Usage.of_program result.program

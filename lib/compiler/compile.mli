@@ -28,6 +28,17 @@ type options = {
           final program against the lowered dataflow (default on). Its
           diagnostics merge into {!result.analysis}, so a refuted
           compilation ([E-EQUIV]) trips the analysis gate. *)
+  static_analysis : bool;
+      (** Run the post-codegen static analysis passes (default on).
+          Turning it off leaves {!result.analysis} empty and skips the
+          gate — an escape hatch for full-size scale-out models whose
+          whole-program fixpoints take minutes; the per-node gates
+          ({!Puma_cluster.Cluster.analyze_shards}) still apply. *)
+  cluster : Partition.cluster option;
+      (** Partition across this many cluster nodes with the given scheme
+          (default [None] — single node). The emitted program's tile
+          array is padded to the full [nodes * tiles_per_node] global
+          tile space so the runtime can split it at fixed strides. *)
 }
 
 val default_options : options
@@ -63,6 +74,8 @@ type result = {
   tiles_used : int;
   cores_used : int;
   mvmus_used : int;
+  nodes_used : int;  (** Cluster nodes the placement spans. *)
+  tiles_per_node : int;  (** Global tile stride between nodes. *)
 }
 
 val compile :

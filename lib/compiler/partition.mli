@@ -9,25 +9,57 @@
     The random strategy (the Table 8 baseline) shuffles slots before
     packing. Non-MVM nodes are placed by demand: each node goes to the
     core of its first consumer (computed in reverse topological order), so
-    values are produced where they are used. *)
+    values are produced where they are used.
+
+    With a {!cluster}, placement becomes node-aware: slots are first
+    assigned to cluster nodes (layer-pipelined contiguous runs or
+    tensor-sharded by row block), then packed densely within each node's
+    contiguous block of [tiles_per_node] global tiles. Cut edges whose
+    endpoints land on different nodes become inter-node transfers on the
+    {!Puma_noc.Fabric}. *)
 
 type strategy = Locality | Random of int  (** Random carries a seed. *)
 
-type place = { tile : int; core : int }
+type scheme =
+  | Pipelined
+      (** Contiguous layer runs per node (broken at matrix boundaries when
+          balance allows, at node capacity always). *)
+  | Sharded
+      (** Row blocks scatter round-robin, so every node computes a slice
+          of every layer and cut edges carry partial results. *)
+
+val scheme_name : scheme -> string
+val scheme_of_string : string -> scheme option
+
+type cluster = { nodes : int; scheme : scheme }
+
+type place = {
+  tile : int;
+  core : int;
+  node : int;  (** Owning cluster node ([tile / tiles_per_node]). *)
+}
 
 type t = {
   config : Puma_hwmodel.Config.t;
   slot_mvmu : (int * int * int) array;
-      (** Per slot: (tile, core, mvmu-within-core). *)
+      (** Per slot: (tile, core, mvmu-within-core). Tiles are global. *)
   node_place : place array;  (** Per lowered node. *)
   tiles_used : int;
   cores_used : int;
+  nodes_used : int;
+      (** Cluster nodes the placement spans (1 without a cluster on
+          models that fit one node). *)
+  tiles_per_node : int;
+      (** Global tile stride between consecutive nodes' blocks. *)
 }
 
-val partition : Puma_hwmodel.Config.t -> strategy -> Lgraph.t -> t
-(** Models larger than one node spill onto further nodes (tiles beyond
-    [tiles_per_node] belong to the next node); raises [Failure] beyond a
-    64-node sanity cap. *)
+val partition :
+  ?cluster:cluster -> Puma_hwmodel.Config.t -> strategy -> Lgraph.t -> t
+(** Without [cluster], models larger than one node spill onto further
+    nodes (tiles beyond [tiles_per_node] belong to the next node); raises
+    [Failure] beyond a 64-node sanity cap. With [cluster], raises
+    [Failure] when the model does not fit the requested node count (the
+    message names the minimum). *)
 
 val slot_place : t -> int -> place
 val mvmu_of_slot : t -> int -> int
@@ -36,7 +68,8 @@ val mvmu_of_slot : t -> int -> int
 type edge_stats = {
   intra_core : int;  (** Producer-consumer edges within one core. *)
   cross_core : int;  (** Edges crossing cores within a tile. *)
-  cross_tile : int;  (** Edges crossing tiles. *)
+  cross_tile : int;  (** Edges crossing tiles (includes cross-node). *)
+  cross_node : int;  (** Subset of [cross_tile] crossing cluster nodes. *)
 }
 
 val edge_stats : t -> Lgraph.t -> edge_stats

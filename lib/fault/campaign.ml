@@ -1,4 +1,5 @@
 module Batch = Puma_runtime.Batch
+module Cluster = Puma_cluster.Cluster
 module Diag = Puma_analysis.Diag
 module Fixed = Puma_util.Fixed
 module Json = Puma_util.Json
@@ -251,3 +252,228 @@ let table report =
   t
 
 let pp fmt report = Format.pp_print_string fmt (Table.render (table report))
+
+(* ------------------------------------------------------------------ *)
+(* Multi-node campaigns                                                *)
+(* ------------------------------------------------------------------ *)
+
+type cluster_point = {
+  c_rate : float;
+  c_fault_seed : int;
+  node_faults : int array;
+  c_total_faults : int;
+  c_fault_errors : int;
+  c_fault_warnings : int;
+  node_flip_rates : float array;
+  c_flip_rate : float;
+  c_max_err_ulps : int;
+  c_mean_err_ulps : float;
+  c_mean_cycles : float;
+}
+
+type cluster_report = {
+  c_key : string;
+  c_nodes : int;
+  c_topology : Puma_noc.Fabric.topology;
+  c_spec : spec;
+  c_golden : Batch.response array;
+  c_points : cluster_point array;
+}
+
+(* Replay the request batch on one freshly built (and warmed) cluster,
+   serially, exactly like Batch.run's cluster backend with one worker —
+   so faulted responses line up with a Batch.run golden bit for bit. *)
+let cluster_batch ~nodes ~topology ?node_faults program requests =
+  let cluster = Cluster.create ~nodes ~topology ?node_faults program in
+  let zeros =
+    List.map
+      (fun (name, len) -> (name, Array.make len 0.0))
+      (Batch.input_lengths program)
+  in
+  ignore (Cluster.run cluster ~inputs:zeros);
+  Array.of_list
+    (List.map
+       (fun (r : Batch.request) ->
+         let c0 = Cluster.cycles cluster in
+         let outputs = Cluster.run cluster ~inputs:r.Batch.inputs in
+         {
+           Batch.index = r.Batch.index;
+           outputs;
+           cycles = Cluster.cycles cluster - c0;
+           dynamic_energy_pj = 0.0;
+           stalls = [];
+         })
+       requests)
+
+let run_cluster ?domains ?(topology = Puma_noc.Fabric.Mesh2d) ~nodes ~key
+    program spec =
+  if nodes < 1 then
+    invalid_arg (Printf.sprintf "Campaign.run_cluster: %d nodes" nodes);
+  List.iter
+    (fun r ->
+      match Fault_model.validate (at_rate spec.base r) with
+      | Ok _ -> ()
+      | Error msg -> invalid_arg ("Campaign.run_cluster: rate " ^ msg))
+    spec.rates;
+  let requests =
+    Batch.random_requests program ~batch:spec.samples ~seed:spec.input_seed
+  in
+  let golden, _ =
+    Batch.run ~domains:1 ~cluster_nodes:nodes ~topology program requests
+  in
+  (* Each chip realizes its faults independently: node [k]'s plan comes
+     from its own shard program and a per-node seed mixed from the grid
+     point's fault seed, mirroring how a real multi-chip machine has
+     uncorrelated defect maps. *)
+  let shards = Cluster.split_program program ~nodes in
+  let grid =
+    List.concat_map
+      (fun rate -> List.map (fun seed -> (rate, seed)) spec.fault_seeds)
+      spec.rates
+    |> Array.of_list
+  in
+  let points =
+    Pool.map_init ?domains ~n:(Array.length grid)
+      ~init:(fun ~worker:_ -> ())
+      (fun () g ->
+        let rate, fault_seed = grid.(g) in
+        let model = at_rate spec.base rate in
+        let remaps =
+          Array.mapi
+            (fun k shard ->
+              Remap.build ~remap:spec.remap ~model
+                ~seed:(Batch.request_seed ~seed:fault_seed ~index:k)
+                shard)
+            shards
+        in
+        let plans = Array.map (fun r -> Some r.Remap.plan) remaps in
+        let faulty = cluster_batch ~nodes ~topology ~node_faults:plans
+            program requests in
+        let c_max_err_ulps, c_mean_err_ulps, c_flip_rate =
+          compare_batches ~golden faulty
+        in
+        (* Blast radius per chip: rerun with only node [k]'s plan live. *)
+        let node_flip_rates =
+          Array.init nodes (fun k ->
+              let only =
+                Array.mapi (fun j p -> if j = k then p else None) plans
+              in
+              let _, _, flip =
+                compare_batches ~golden
+                  (cluster_batch ~nodes ~topology ~node_faults:only program
+                     requests)
+              in
+              flip)
+        in
+        let c_mean_cycles =
+          if Array.length faulty = 0 then 0.0
+          else
+            float_of_int
+              (Array.fold_left
+                 (fun acc (r : Batch.response) -> acc + r.cycles)
+                 0 faulty)
+            /. float_of_int (Array.length faulty)
+        in
+        {
+          c_rate = rate;
+          c_fault_seed = fault_seed;
+          node_faults =
+            Array.map (fun r -> r.Remap.total_faults) remaps;
+          c_total_faults =
+            Array.fold_left (fun acc r -> acc + r.Remap.total_faults) 0 remaps;
+          c_fault_errors =
+            Array.fold_left (fun acc r -> acc + Remap.errors r) 0 remaps;
+          c_fault_warnings =
+            Array.fold_left (fun acc r -> acc + Remap.warnings r) 0 remaps;
+          node_flip_rates;
+          c_flip_rate;
+          c_max_err_ulps;
+          c_mean_err_ulps;
+          c_mean_cycles;
+        })
+  in
+  {
+    c_key = key;
+    c_nodes = nodes;
+    c_topology = topology;
+    c_spec = spec;
+    c_golden = golden;
+    c_points = points;
+  }
+
+let cluster_point_json p =
+  Json.Obj
+    [
+      ("rate", Json.Float p.c_rate);
+      ("fault_seed", Json.Int p.c_fault_seed);
+      ( "node_faults",
+        Json.List
+          (Array.to_list p.node_faults |> List.map (fun n -> Json.Int n)) );
+      ("total_faults", Json.Int p.c_total_faults);
+      ("fault_errors", Json.Int p.c_fault_errors);
+      ("fault_warnings", Json.Int p.c_fault_warnings);
+      ( "node_flip_rates",
+        Json.List
+          (Array.to_list p.node_flip_rates
+          |> List.map (fun f -> Json.Float f)) );
+      ("flip_rate", Json.Float p.c_flip_rate);
+      ("max_err_ulps", Json.Int p.c_max_err_ulps);
+      ("mean_err_ulps", Json.Float p.c_mean_err_ulps);
+      ("mean_cycles", Json.Float p.c_mean_cycles);
+    ]
+
+let cluster_to_json report =
+  Json.Obj
+    [
+      ("model", Json.String report.c_key);
+      ("nodes", Json.Int report.c_nodes);
+      ( "topology",
+        Json.String (Puma_noc.Fabric.topology_name report.c_topology) );
+      ("samples", Json.Int report.c_spec.samples);
+      ("input_seed", Json.Int report.c_spec.input_seed);
+      ("remap", Json.Bool report.c_spec.remap);
+      ("base", model_json report.c_spec.base);
+      ( "rates",
+        Json.List (List.map (fun r -> Json.Float r) report.c_spec.rates) );
+      ( "fault_seeds",
+        Json.List (List.map (fun s -> Json.Int s) report.c_spec.fault_seeds)
+      );
+      ( "points",
+        Json.List
+          (Array.to_list report.c_points |> List.map cluster_point_json) );
+    ]
+
+let cluster_table report =
+  let t =
+    Table.create
+      ~title:
+        (Printf.sprintf "multi-node fault campaign: %s (%d nodes, %s, %d samples%s)"
+           report.c_key report.c_nodes
+           (Puma_noc.Fabric.topology_name report.c_topology)
+           report.c_spec.samples
+           (if report.c_spec.remap then ", remap" else ""))
+      ~headers:
+        ([ "rate"; "seed"; "faults" ]
+        @ List.init report.c_nodes (fun k -> Printf.sprintf "n%d flip" k)
+        @ [ "cluster flip"; "max ulps"; "mean ulps"; "mean cycles" ])
+  in
+  Array.iter
+    (fun p ->
+      Table.add_row t
+        ([
+           Table.fmt_sci p.c_rate;
+           string_of_int p.c_fault_seed;
+           string_of_int p.c_total_faults;
+         ]
+        @ (Array.to_list p.node_flip_rates |> List.map Table.fmt_pct)
+        @ [
+            Table.fmt_pct p.c_flip_rate;
+            string_of_int p.c_max_err_ulps;
+            Table.fmt_float p.c_mean_err_ulps;
+            Table.fmt_float p.c_mean_cycles;
+          ]))
+    report.c_points;
+  t
+
+let pp_cluster fmt report =
+  Format.pp_print_string fmt (Table.render (cluster_table report))

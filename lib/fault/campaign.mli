@@ -85,3 +85,63 @@ val table : report -> Puma_util.Table.t
 (** One row per (rate, seed) point plus a mean row per rate. *)
 
 val pp : Format.formatter -> report -> unit
+
+(** {2 Multi-node campaigns}
+
+    The scale-out counterpart: the program is split across a
+    {!Puma_cluster.Cluster} and every chip realizes its faults
+    independently (its own shard program, its own derived seed) —
+    modelling a multi-chip machine whose defect maps are uncorrelated.
+    Each grid point measures the cluster-wide argmax flip rate with all
+    chips faulted, plus one blast-radius rerun per chip with only that
+    chip's plan live. *)
+
+(** One evaluated multi-node grid point. *)
+type cluster_point = {
+  c_rate : float;
+  c_fault_seed : int;
+  node_faults : int array;  (** Realized faulty elements per node. *)
+  c_total_faults : int;  (** Sum over all nodes. *)
+  c_fault_errors : int;  (** [E-FAULT] diagnostics over all nodes. *)
+  c_fault_warnings : int;  (** [W-FAULT] diagnostics over all nodes. *)
+  node_flip_rates : float array;
+      (** Flip rate with only node [k]'s faults live. *)
+  c_flip_rate : float;  (** Flip rate with every node faulted. *)
+  c_max_err_ulps : int;
+  c_mean_err_ulps : float;
+  c_mean_cycles : float;  (** Mean per-request cluster cycles (faulted). *)
+}
+
+type cluster_report = {
+  c_key : string;
+  c_nodes : int;
+  c_topology : Puma_noc.Fabric.topology;
+  c_spec : spec;
+  c_golden : Puma_runtime.Batch.response array;
+  c_points : cluster_point array;  (** Rate-major, seed-minor order. *)
+}
+
+val run_cluster :
+  ?domains:int ->
+  ?topology:Puma_noc.Fabric.topology ->
+  nodes:int ->
+  key:string ->
+  Puma_isa.Program.t ->
+  spec ->
+  cluster_report
+(** Evaluate the grid on an [nodes]-chip cluster (fabric [topology],
+    default mesh). The golden batch is a fault-free cluster run of the
+    same requests, so the comparison isolates fault effects from any
+    (zero, by the bit-identity contract) partitioning effects. Node
+    [k]'s fault plan is realized from its shard program with seed
+    [Batch.request_seed ~seed:fault_seed ~index:k]. [domains] shards
+    grid points; reports are bit-identical for any value. *)
+
+val cluster_to_json : cluster_report -> Puma_util.Json.t
+(** Machine-readable report (schema in [docs/SCALEOUT.md]). *)
+
+val cluster_table : cluster_report -> Puma_util.Table.t
+(** One row per (rate, seed) point: per-node flip rates, then the
+    cluster flip rate. *)
+
+val pp_cluster : Format.formatter -> cluster_report -> unit

@@ -16,6 +16,10 @@ let make ~name ~kind ~input ?(seq_len = 1) layers =
   if seq_len < 1 then invalid_arg "Network.make: seq_len must be >= 1";
   { name; kind; input; seq_len; layers }
 
+let with_seq_len t seq_len =
+  if seq_len < 1 then invalid_arg "Network.with_seq_len: seq_len must be >= 1";
+  { t with seq_len }
+
 let shapes t =
   let rec go shape = function
     | [] -> [ shape ]

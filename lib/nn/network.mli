@@ -26,6 +26,12 @@ val make :
   name:string -> kind:kind -> input:Layer.shape -> ?seq_len:int ->
   Layer.t list -> t
 
+val with_seq_len : t -> int -> t
+(** Same network at a different sequence length. Full-size recurrent
+    descriptors (NMT, BigLSTM) are workload-accurate at their paper
+    sequence lengths but are simulated at short ones — the per-step
+    compute is what the functional path validates. *)
+
 val shapes : t -> Layer.shape list
 (** Input shape followed by each layer's output shape. *)
 

@@ -32,7 +32,16 @@ exception Reordered of string
 type t
 
 val create :
-  Puma_hwmodel.Config.t -> energy:Puma_hwmodel.Energy.t -> num_tiles:int -> t
+  ?fabric:Fabric.t ->
+  Puma_hwmodel.Config.t ->
+  energy:Puma_hwmodel.Energy.t ->
+  num_tiles:int ->
+  t
+(** Without [fabric], tiles group into nodes of [Config.tiles_per_node]
+    and every cross-node message pays one {!Offchip} link (the original
+    single-chip-with-spill model — behavior is unchanged). With [fabric],
+    the node mapping, extra latency, and off-chip energy all come from
+    the {!Fabric}, multiplying per-hop costs along its topology. *)
 
 val topology : t -> Topology.t
 

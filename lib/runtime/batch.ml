@@ -1,4 +1,5 @@
 module Node = Puma_sim.Node
+module Cluster = Puma_cluster.Cluster
 module Energy = Puma_hwmodel.Energy
 module Program = Puma_isa.Program
 module Pool = Puma_util.Pool
@@ -96,6 +97,17 @@ let warmed_node ?noise_seed ?faults ?fast program =
   ignore (Node.run node ~inputs:zeros);
   node
 
+(* The cluster counterpart: split across [nodes] chips on the given
+   fabric topology, warmed by the same throwaway all-zero inference. *)
+let warmed_cluster ?noise_seed ?topology ~nodes program =
+  let cluster = Cluster.create ~nodes ?topology ?noise_seed program in
+  let zeros =
+    List.map (fun (name, len) -> (name, Array.make len 0.0))
+      (input_lengths program)
+  in
+  ignore (Cluster.run cluster ~inputs:zeros);
+  cluster
+
 (* Deterministic greedy (least-loaded) schedule of the per-request costs
    over [domains] simulated nodes, in request order. *)
 let greedy_makespan ~domains costs =
@@ -121,6 +133,9 @@ let greedy_makespan ~domains costs =
 let energy_counts node =
   Array.of_list
     (List.map (Energy.count (Node.energy node)) Energy.all_categories)
+
+let cluster_energy_counts cluster =
+  Array.of_list (List.map snd (Cluster.energy_counts cluster))
 
 let energy_delta_pj config ~before ~after =
   List.fold_left
@@ -152,55 +167,90 @@ let merge_stalls splits =
       if n > 0 then Some (reason, n) else None)
     Puma_arch.Core.all_stalls
 
-let run ?domains ?noise_seed ?faults ?fast ?(profile = false)
-    (program : Program.t) requests =
+let run ?domains ?cluster_nodes ?topology ?noise_seed ?faults ?fast
+    ?(profile = false) (program : Program.t) requests =
   let domains =
     match domains with
     | Some d when d >= 1 -> d
     | Some d -> invalid_arg (Printf.sprintf "Batch.run: %d domains" d)
     | None -> Pool.default_domains ()
   in
+  let cluster_nodes =
+    match cluster_nodes with
+    | Some c when c < 1 ->
+        invalid_arg (Printf.sprintf "Batch.run: %d cluster nodes" c)
+    | Some c when c > 1 -> Some c
+    | Some _ | None -> None
+  in
+  (match cluster_nodes with
+  | Some _ when profile ->
+      invalid_arg "Batch.run: profiling is single-node only"
+  | Some _ when Option.is_some faults ->
+      invalid_arg
+        "Batch.run: per-node fault plans go through Campaign.run_cluster"
+  | Some _ | None -> ());
   let requests = Array.of_list requests in
   let n = Array.length requests in
   let responses =
     Pool.map_init ~domains ~n
       ~init:(fun ~worker:_ ->
-        (* Attach the profiler only after warm-up, so the profile (like
-           every other metric) covers exactly the served requests. *)
-        let node = warmed_node ?noise_seed ?faults ?fast program in
-        let prof =
-          if profile then begin
-            let p = Profile.create () in
-            Profile.attach p node;
-            Some p
-          end
-          else None
-        in
-        (node, prof))
-      (fun (node, prof) i ->
+        match cluster_nodes with
+        | Some nodes ->
+            `Cluster (warmed_cluster ?noise_seed ?topology ~nodes program)
+        | None ->
+            (* Attach the profiler only after warm-up, so the profile
+               (like every other metric) covers exactly the served
+               requests. *)
+            let node = warmed_node ?noise_seed ?faults ?fast program in
+            let prof =
+              if profile then begin
+                let p = Profile.create () in
+                Profile.attach p node;
+                Some p
+              end
+              else None
+            in
+            `Node (node, prof))
+      (fun backend i ->
         let r = requests.(i) in
-        let c0 = Node.cycles node in
-        let e0 = energy_counts node in
-        let t0 = Option.map Profile.totals prof in
-        let outputs = Node.run node ~inputs:r.inputs in
-        let stalls, busy =
-          match (prof, t0) with
-          | Some p, Some before ->
-              let after = Profile.totals p in
-              ( stall_delta before after,
-                after.Profile.busy_cycles - before.Profile.busy_cycles )
-          | _ -> ([], 0)
-        in
-        ( {
-            index = r.index;
-            outputs;
-            cycles = Node.cycles node - c0;
-            dynamic_energy_pj =
-              energy_delta_pj program.config ~before:e0
-                ~after:(energy_counts node);
-            stalls;
-          },
-          busy ))
+        match backend with
+        | `Cluster cluster ->
+            let c0 = Cluster.cycles cluster in
+            let e0 = cluster_energy_counts cluster in
+            let outputs = Cluster.run cluster ~inputs:r.inputs in
+            ( {
+                index = r.index;
+                outputs;
+                cycles = Cluster.cycles cluster - c0;
+                dynamic_energy_pj =
+                  energy_delta_pj program.config ~before:e0
+                    ~after:(cluster_energy_counts cluster);
+                stalls = [];
+              },
+              0 )
+        | `Node (node, prof) ->
+            let c0 = Node.cycles node in
+            let e0 = energy_counts node in
+            let t0 = Option.map Profile.totals prof in
+            let outputs = Node.run node ~inputs:r.inputs in
+            let stalls, busy =
+              match (prof, t0) with
+              | Some p, Some before ->
+                  let after = Profile.totals p in
+                  ( stall_delta before after,
+                    after.Profile.busy_cycles - before.Profile.busy_cycles )
+              | _ -> ([], 0)
+            in
+            ( {
+                index = r.index;
+                outputs;
+                cycles = Node.cycles node - c0;
+                dynamic_energy_pj =
+                  energy_delta_pj program.config ~before:e0
+                    ~after:(energy_counts node);
+                stalls;
+              },
+              busy ))
   in
   let busy_cycles = Array.fold_left (fun acc (_, b) -> acc + b) 0 responses in
   let responses = Array.map fst responses in

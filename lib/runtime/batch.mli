@@ -94,8 +94,20 @@ val tiles_used : Puma_isa.Program.t -> int
 (** Tiles with a nonempty instruction stream — the occupied-tile count
     that static (leakage/clock) energy is billed for. *)
 
+val warmed_cluster :
+  ?noise_seed:int ->
+  ?topology:Puma_noc.Fabric.topology ->
+  nodes:int ->
+  Puma_isa.Program.t ->
+  Puma_cluster.Cluster.t
+(** {!warmed_node}'s multi-node counterpart: the program split across
+    [nodes] chips on the given fabric topology, warmed by the same
+    throwaway all-zero inference. *)
+
 val run :
   ?domains:int ->
+  ?cluster_nodes:int ->
+  ?topology:Puma_noc.Fabric.topology ->
   ?noise_seed:int ->
   ?faults:Puma_xbar.Fault.plan ->
   ?fast:bool ->
@@ -103,7 +115,18 @@ val run :
   Puma_isa.Program.t ->
   request list ->
   response array * summary
-(** Execute the batch. [domains] defaults to
+(** Execute the batch.
+
+    [cluster_nodes > 1] serves every request on a {!Puma_cluster.Cluster}
+    of that many chips (fabric [topology], default mesh) instead of a
+    single node — [domains] then replicates whole clusters, so the two
+    axes compose: host-parallel workers, each simulating one multi-chip
+    machine. Per-request cycles and dynamic energy come from the
+    cluster's global clock and summed ledgers. [profile] and [faults] are
+    single-node only (per-node fault plans go through
+    [Campaign.run_cluster]) and raise [Invalid_argument] with a cluster.
+
+    [domains] defaults to
     {!Puma_util.Pool.default_domains}; [noise_seed], [faults] and [fast]
     are passed to every node (defaults as {!Puma_sim.Node.create} — with
     [faults], every worker node carries the same deterministically

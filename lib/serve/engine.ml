@@ -1,4 +1,5 @@
 module Batch = Puma_runtime.Batch
+module Cluster = Puma_cluster.Cluster
 module Node = Puma_sim.Node
 module Energy = Puma_hwmodel.Energy
 module Pool = Puma_util.Pool
@@ -479,8 +480,19 @@ let energy_delta_pj config ~before ~after =
     (0, 0.0) Energy.all_categories
   |> snd
 
-let run ?domains ?fast (config : config) models (workload : workload) =
+let cluster_energy_counts cluster =
+  Array.of_list (List.map snd (Cluster.energy_counts cluster))
+
+let run ?domains ?fast ?cluster_nodes ?topology (config : config) models
+    (workload : workload) =
   validate_workload models workload;
+  let cluster_nodes =
+    match cluster_nodes with
+    | Some c when c < 1 ->
+        invalid_arg (Printf.sprintf "Engine.run: %d cluster nodes" c)
+    | Some c when c > 1 -> Some c
+    | Some _ | None -> None
+  in
   let n = Array.length workload in
   let mreq = model_request_indices models workload in
   let counts = model_counts models workload in
@@ -495,25 +507,45 @@ let run ?domains ?fast (config : config) models (workload : workload) =
     else
       Pool.map_init ?domains ~n
         ~init:(fun ~worker:_ ->
-          (* One warmed node per resident model, built lazily so a worker
-             only pays for the models it actually serves. *)
+          (* One warmed backend per resident model, built lazily so a
+             worker only pays for the models it actually serves. With
+             [cluster_nodes], every fleet slot is a whole multi-chip
+             cluster instead of a single node. *)
           Array.map
-            (fun (m : model) -> lazy (Batch.warmed_node ?fast m.program))
+            (fun (m : model) ->
+              lazy
+                (match cluster_nodes with
+                | Some nodes ->
+                    `Cluster (Batch.warmed_cluster ?topology ~nodes m.program)
+                | None -> `Node (Batch.warmed_node ?fast m.program)))
             models)
-        (fun lnodes i ->
+        (fun backends i ->
           let a = workload.(i) in
-          let node = Lazy.force lnodes.(a.model) in
           let req : Batch.request = requests.(a.model).(mreq.(i)) in
-          let c0 = Node.cycles node in
-          let e0 = energy_counts node in
-          let outputs = Node.run node ~inputs:req.Batch.inputs in
-          {
-            cycles = Node.cycles node - c0;
-            energy_pj =
-              energy_delta_pj models.(a.model).program.Program.config
-                ~before:e0 ~after:(energy_counts node);
-            outputs;
-          })
+          let prog_config = models.(a.model).program.Program.config in
+          match Lazy.force backends.(a.model) with
+          | `Node node ->
+              let c0 = Node.cycles node in
+              let e0 = energy_counts node in
+              let outputs = Node.run node ~inputs:req.Batch.inputs in
+              {
+                cycles = Node.cycles node - c0;
+                energy_pj =
+                  energy_delta_pj prog_config ~before:e0
+                    ~after:(energy_counts node);
+                outputs;
+              }
+          | `Cluster cluster ->
+              let c0 = Cluster.cycles cluster in
+              let e0 = cluster_energy_counts cluster in
+              let outputs = Cluster.run cluster ~inputs:req.Batch.inputs in
+              {
+                cycles = Cluster.cycles cluster - c0;
+                energy_pj =
+                  energy_delta_pj prog_config ~before:e0
+                    ~after:(cluster_energy_counts cluster);
+                outputs;
+              })
   in
   schedule config models workload costs
 

@@ -482,6 +482,110 @@ let finish_energy t =
       t.program.tiles
   end
 
+(* --- Cluster shard API ----------------------------------------------
+
+   [Puma_cluster.Cluster] drives several nodes under one global clock and
+   one shared fabric-aware network. These entry points expose the
+   reference loop's passes individually so the cluster run loop can
+   interleave shards in global tile order; each mirrors the corresponding
+   pass of [run_reference] exactly (that mirroring is what makes a
+   zero-cost-fabric cluster bit-identical to one monolithic node). The
+   fast loop has no shard form: its blocked-entity parking is a per-run
+   local of [run_fast], so clusters always execute reference-style. *)
+
+let shard_begin_run t ~inputs =
+  inject_inputs t inputs;
+  Array.iter Tile.reset t.tiles
+
+let shard_drain t ~send =
+  let progress = ref false in
+  Array.iter
+    (fun tile ->
+      Energy.set_scope t.energy (Tile.index tile);
+      let rec drain () =
+        match Tile.pop_outgoing tile with
+        | None -> ()
+        | Some (o : Tile.outgoing) ->
+            send ~src:(Tile.index tile) ~dst:o.target_tile ~fifo:o.fifo_id
+              ~payload:o.payload ~issue:o.issue_cycle;
+            progress := true;
+            drain ()
+      in
+      drain ())
+    t.tiles;
+  Energy.set_scope t.energy (-1);
+  !progress
+
+let shard_deliver t ~local_tile ~fifo ~src_tile ~payload =
+  let tile = t.tiles.(local_tile) in
+  Energy.set_scope t.energy (Tile.index tile);
+  let accepted = Tile.deliver tile ~fifo ~src_tile ~payload in
+  Energy.set_scope t.energy (-1);
+  accepted
+
+let shard_step t ~now =
+  t.now <- now;
+  let ntiles = Array.length t.tiles in
+  let progress = ref false in
+  for ti = 0 to ntiles - 1 do
+    let tile = t.tiles.(ti) in
+    Energy.set_scope t.energy (Tile.index tile);
+    if t.tcu_ready.(ti) <= now then begin
+      match Tile.step_tcu tile ~now with
+      | Tile.Retired { cycles; instr } ->
+          t.tcu_ready.(ti) <- now + cycles;
+          progress := true;
+          (match t.probe with
+          | Some p -> p.on_retire ~now ~tile:ti ~core:(-1) ~cycles instr
+          | None -> ())
+      | Tile.Blocked reason -> (
+          match t.probe with
+          | Some p -> p.on_stall ~now ~tile:ti ~core:(-1) reason
+          | None -> ())
+      | Tile.Halted -> (
+          match t.probe with
+          | Some p -> p.on_halt ~now ~tile:ti ~core:(-1)
+          | None -> ())
+    end;
+    for c = 0 to Tile.num_cores tile - 1 do
+      if t.core_ready.(ti).(c) <= now then begin
+        match Tile.step_core tile c with
+        | Core.Retired { cycles; instr } ->
+            (match t.retire_hook with
+            | Some hook -> hook ~cycle:now ~tile:ti ~core:c instr
+            | None -> ());
+            (match t.probe with
+            | Some p -> p.on_retire ~now ~tile:ti ~core:c ~cycles instr
+            | None -> ());
+            t.core_ready.(ti).(c) <- now + cycles;
+            progress := true
+        | Core.Blocked reason -> (
+            match t.probe with
+            | Some p -> p.on_stall ~now ~tile:ti ~core:c reason
+            | None -> ())
+        | Core.Halted -> (
+            match t.probe with
+            | Some p -> p.on_halt ~now ~tile:ti ~core:c
+            | None -> ())
+      end
+    done
+  done;
+  Energy.set_scope t.energy (-1);
+  !progress
+
+let shard_next_event t ~now =
+  let next = ref max_int in
+  let consider time = if time > now && time < !next then next := time in
+  Array.iteri
+    (fun ti _ ->
+      consider t.tcu_ready.(ti);
+      Array.iter consider t.core_ready.(ti))
+    t.tiles;
+  !next
+
+let shard_all_halted t = Array.for_all Tile.all_halted t.tiles
+let shard_add_cycles t n = t.total_cycles <- t.total_cycles + n
+
 let set_retire_hook t hook = t.retire_hook <- hook
 let set_probe t probe = t.probe <- probe
 let probe_attached t = t.probe <> None

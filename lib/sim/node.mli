@@ -123,3 +123,57 @@ val fast_enabled : t -> bool
 val last_run_fast : t -> bool
 (** Whether the most recent {!run} actually used the fast loop ([false]
     before the first run). *)
+
+val cycle_cap : int
+(** Runaway-program guard: a single run may not span more cycles than
+    this (shared by {!run} and the cluster run loop). *)
+
+(** {2 Cluster shard API}
+
+    [Puma_cluster.Cluster] drives several nodes as shards of one logical
+    machine: a single global clock, a single shared fabric-aware
+    {!Puma_noc.Network}, shards stepped in global tile order. These
+    functions expose the reference run loop's passes individually; each
+    mirrors the corresponding pass of the monolithic loop exactly, which
+    is what makes a zero-cost-fabric cluster bit-identical (outputs,
+    cycles, energy event counts) to one big node. Clusters always execute
+    reference-style — the fast loop's parking bookkeeping is private to a
+    whole-node run. Do not mix these with {!run} on the same node. *)
+
+val shard_begin_run : t -> inputs:(string * float array) list -> unit
+(** Inject this shard's inputs (bindings the shard's program slice owns)
+    and reset its instruction streams — the prologue {!run} performs. *)
+
+val shard_drain :
+  t ->
+  send:
+    (src:int ->
+    dst:int ->
+    fifo:int ->
+    payload:int array ->
+    issue:int ->
+    unit) ->
+  bool
+(** Drain retired sends from every tile (ascending order) into [send];
+    [src]/[dst] are global tile indices and [issue] the retirement cycle.
+    Returns whether anything was drained. *)
+
+val shard_deliver :
+  t -> local_tile:int -> fifo:int -> src_tile:int -> payload:int array -> bool
+(** Deliver a network message into the shard tile at array position
+    [local_tile]; [false] if the destination FIFO is full (caller
+    requeues). *)
+
+val shard_step : t -> now:int -> bool
+(** Step every ready entity (TCU then cores, tiles ascending) at global
+    cycle [now]; returns whether any instruction retired. *)
+
+val shard_next_event : t -> now:int -> int
+(** Earliest entity ready-time strictly after [now] ([max_int] if none) —
+    the shard's contribution to the cluster's time advance. *)
+
+val shard_all_halted : t -> bool
+
+val shard_add_cycles : t -> int -> unit
+(** Account cluster-run cycles to this shard so {!cycles} and
+    {!finish_energy} report correctly. *)
